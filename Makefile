@@ -1,0 +1,42 @@
+# MC-Checker reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build test race cover bench fuzz experiments table2 fig8 fig9 clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzReadTrace -fuzztime 30s ./internal/trace
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/mcbench -exp all
+
+table2:
+	$(GO) run ./cmd/mcbench -exp table2 -paper-scale
+
+fig8:
+	$(GO) run ./cmd/mcbench -exp fig8 -ranks 64 -scale 1.0 -repeats 3
+
+fig9:
+	$(GO) run ./cmd/mcbench -exp fig9 -lu-n 192 -repeats 2
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,249 @@
+// Command mcchecker runs MC-Checker end to end on the bundled MPI
+// one-sided applications, or analyzes previously collected trace
+// directories offline.
+//
+// Usage:
+//
+//	mcchecker apps
+//	    List the bundled applications (the paper's bug suite).
+//
+//	mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR] [-full] [-intra-only]
+//	    Run an application on the simulated MPI with the Profiler attached
+//	    and analyze the trace. By default the buggy variant runs with the
+//	    application's ST-Analyzer instrumentation set; -full instruments
+//	    every buffer; -intra-only reproduces the SyncChecker baseline.
+//
+//	mcchecker analyze -trace DIR
+//	    Run DN-Analyzer offline over per-rank trace files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/profiler"
+	"repro/internal/stream"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "apps":
+		err = listApps()
+	case "run":
+		err = runCmd(os.Args[2:])
+	case "analyze":
+		err = analyzeCmd(os.Args[2:])
+	case "dump":
+		err = dumpCmd(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "mcchecker: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcchecker:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  mcchecker apps
+  mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR] [-full] [-intra-only] [-online] [-json]
+  mcchecker analyze -trace DIR [-intra-only] [-json]
+  mcchecker dump -trace DIR [-rank N] [-limit N]`)
+}
+
+func listApps() error {
+	fmt.Println("bundled applications (paper Table II):")
+	for _, bc := range apps.BugCases() {
+		fmt.Printf("  %-14s %d ranks  %-11s %s\n", bc.Name, bc.Ranks, bc.Origin, bc.RootCause)
+	}
+	fmt.Println("extension applications (MPI-3, paper §V):")
+	for _, bc := range apps.ExtensionCases() {
+		fmt.Printf("  %-14s %d ranks  %-11s %s\n", bc.Name, bc.Ranks, bc.Origin, bc.RootCause)
+	}
+	fmt.Println("overhead workloads (paper Figure 8): use cmd/mcbench")
+	return nil
+}
+
+func findApp(name string) (apps.BugCase, bool) {
+	for _, bc := range apps.BugCases() {
+		if bc.Name == name {
+			return bc, true
+		}
+	}
+	for _, bc := range apps.ExtensionCases() {
+		if bc.Name == name {
+			return bc, true
+		}
+	}
+	return apps.BugCase{}, false
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	appName := fs.String("app", "", "application name (see `mcchecker apps`)")
+	fixed := fs.Bool("fixed", false, "run the fixed variant instead of the buggy one")
+	ranks := fs.Int("ranks", 0, "process count (default: the paper's count for the app)")
+	traceDir := fs.String("trace", "", "also write per-rank trace files to this directory")
+	full := fs.Bool("full", false, "instrument every buffer (no static analysis)")
+	intraOnly := fs.Bool("intra-only", false, "intra-epoch detection only (SyncChecker baseline)")
+	online := fs.Bool("online", false, "analyze regions while the program runs (streaming mode)")
+	jsonOut := fs.Bool("json", false, "print the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bc, ok := findApp(*appName)
+	if !ok {
+		return fmt.Errorf("unknown app %q (try `mcchecker apps`)", *appName)
+	}
+	n := bc.Ranks
+	if *ranks > 0 {
+		n = *ranks
+	}
+	body := bc.Buggy
+	variant := "buggy"
+	if *fixed {
+		body, variant = bc.Fixed, "fixed"
+	}
+
+	var rel profiler.Relevance
+	mode := "full instrumentation"
+	if !*full {
+		rel = profiler.FromNames(bc.RelevantBuffers)
+		mode = fmt.Sprintf("selective instrumentation %v", bc.RelevantBuffers)
+	}
+	fmt.Printf("running %s (%s) on %d simulated ranks, %s\n", bc.Name, variant, n, mode)
+
+	if *online {
+		sc := stream.New(n, func(v *core.Violation) {
+			fmt.Printf("[online] %s\n", v)
+		})
+		pr := profiler.New(sc, rel)
+		if err := mpi.Run(n, mpi.Options{Hook: pr}, body); err != nil {
+			return fmt.Errorf("run failed: %w", err)
+		}
+		rep, err := sc.Finish()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("analyzed %d slab(s) online\n", sc.Slabs())
+		return printReport(rep, *jsonOut)
+	}
+
+	sink := trace.NewMemorySink()
+	pr := profiler.New(sink, rel)
+	if err := mpi.Run(n, mpi.Options{Hook: pr}, body); err != nil {
+		return fmt.Errorf("run failed: %w", err)
+	}
+	set := sink.Set()
+	if *traceDir != "" {
+		if err := trace.WriteDir(*traceDir, set); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d events to %s\n", set.TotalEvents(), *traceDir)
+	}
+
+	opts := core.DefaultOptions()
+	if *intraOnly {
+		opts.CrossProcess = false
+	}
+	rep, err := core.AnalyzeWith(set, opts)
+	if err != nil {
+		return fmt.Errorf("analysis failed: %w", err)
+	}
+	return printReport(rep, *jsonOut)
+}
+
+// printReport renders the report (text or JSON) and exits with status 3
+// when errors were found, like compilers and linters signal findings.
+func printReport(rep *core.Report, asJSON bool) error {
+	if asJSON {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(rep)
+	}
+	if len(rep.Errors()) > 0 {
+		os.Exit(3)
+	}
+	return nil
+}
+
+func analyzeCmd(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	traceDir := fs.String("trace", "", "trace directory written by `mcchecker run -trace`")
+	intraOnly := fs.Bool("intra-only", false, "intra-epoch detection only")
+	jsonOut := fs.Bool("json", false, "print the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *traceDir == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	set, err := trace.ReadDir(*traceDir)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultOptions()
+	if *intraOnly {
+		opts.CrossProcess = false
+	}
+	rep, err := core.AnalyzeWith(set, opts)
+	if err != nil {
+		return err
+	}
+	return printReport(rep, *jsonOut)
+}
+
+// dumpCmd pretty-prints trace files for debugging instrumented runs.
+func dumpCmd(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	traceDir := fs.String("trace", "", "trace directory")
+	rank := fs.Int("rank", -1, "dump only this rank (-1 = all)")
+	limit := fs.Int("limit", 0, "stop after this many events per rank (0 = all)")
+	format := fs.String("format", "text", "output format: text or jsonl")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *traceDir == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	set, err := trace.ReadDir(*traceDir)
+	if err != nil {
+		return err
+	}
+	if *format == "jsonl" {
+		return trace.WriteJSONL(os.Stdout, set)
+	}
+	for _, t := range set.Traces {
+		if *rank >= 0 && int(t.Rank) != *rank {
+			continue
+		}
+		fmt.Printf("--- rank %d: %d events ---\n", t.Rank, len(t.Events))
+		for i := range t.Events {
+			if *limit > 0 && i >= *limit {
+				fmt.Printf("... %d more\n", len(t.Events)-i)
+				break
+			}
+			fmt.Println(t.Events[i].String())
+		}
+	}
+	return nil
+}

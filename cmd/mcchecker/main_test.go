@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+)
+
+func TestFindApp(t *testing.T) {
+	for _, name := range []string{"emulate", "lockopts", "jacobi", "counter", "jacobi2d"} {
+		bc, ok := findApp(name)
+		if !ok || bc.Name != name {
+			t.Errorf("findApp(%q) = %v, %v", name, bc.Name, ok)
+		}
+	}
+	if _, ok := findApp("nope"); ok {
+		t.Error("unknown app found")
+	}
+}
+
+func TestListApps(t *testing.T) {
+	if err := listApps(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeDemoTrace(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	sink, err := trace.NewFileSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := profiler.New(sink, nil)
+	err = mpi.Run(2, mpi.Options{Hook: pr}, func(p *mpi.Proc) error {
+		win := p.Alloc(16, "w")
+		w := p.WinCreate(win, 1, p.CommWorld())
+		w.Fence(mpi.AssertNone)
+		w.Fence(mpi.AssertNone)
+		w.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestAnalyzeCmdCleanTrace(t *testing.T) {
+	dir := writeDemoTrace(t)
+	// Clean trace: analyzeCmd must not exit and must not error.
+	if err := analyzeCmd([]string{"-trace", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := analyzeCmd([]string{"-trace", dir, "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := analyzeCmd([]string{"-trace", dir, "-intra-only"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeCmdErrors(t *testing.T) {
+	if err := analyzeCmd([]string{}); err == nil {
+		t.Error("missing -trace must error")
+	}
+	if err := analyzeCmd([]string{"-trace", filepath.Join(t.TempDir(), "missing")}); err == nil {
+		t.Error("missing dir must error")
+	}
+}
+
+func TestDumpCmd(t *testing.T) {
+	dir := writeDemoTrace(t)
+	// Redirect stdout noise away from the test log.
+	old := os.Stdout
+	null, _ := os.Open(os.DevNull)
+	devnull, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	os.Stdout = devnull
+	defer func() { os.Stdout = old; null.Close(); devnull.Close() }()
+
+	if err := dumpCmd([]string{"-trace", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dumpCmd([]string{"-trace", dir, "-rank", "1", "-limit", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dumpCmd([]string{"-trace", dir, "-format", "jsonl"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := dumpCmd([]string{}); err == nil {
+		t.Error("missing -trace must error")
+	}
+}

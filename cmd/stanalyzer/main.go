@@ -1,0 +1,38 @@
+// Command stanalyzer runs ST-Analyzer (paper §IV-A) over the Go source of
+// an MPI one-sided application and prints the relevant-variable report —
+// the variables whose loads and stores the Profiler must instrument, plus
+// the runtime buffer names to pass to the checker.
+//
+// Usage:
+//
+//	stanalyzer [-names-only] DIR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stanalyzer"
+)
+
+func main() {
+	namesOnly := flag.Bool("names-only", false, "print only the runtime buffer names, one per line")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: stanalyzer [-names-only] DIR")
+		os.Exit(2)
+	}
+	rep, err := stanalyzer.AnalyzeDir(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stanalyzer:", err)
+		os.Exit(1)
+	}
+	if *namesOnly {
+		for _, n := range rep.BufferNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+	fmt.Print(rep)
+}

@@ -1,0 +1,97 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Boltzmann ports the Global Arrays lattice-Boltzmann workload shape: a
+// 1-D D1Q3 lattice (three velocity populations per cell) decomposed in
+// slabs. Each time step performs a local collision (BGK relaxation), a
+// streaming step within the slab, and a halo exchange of the boundary
+// populations by Put into the neighbours' windows under fences.
+//
+// Window layout per rank: 3 populations × (cells+2 halo) float64s, stored
+// population-major: f[q][x]. Window rows are loaded and stored as blocks
+// (the instrumented accesses); the per-cell macroscopic moments go to an
+// RMA-irrelevant diagnostic buffer, fine-grained traffic only full
+// instrumentation observes.
+func Boltzmann(cellsPerRank, steps int) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		cells := cellsPerRank
+		if cells < 2 {
+			return fmt.Errorf("boltzmann: slab too small")
+		}
+		stride := cells + 2 // halo cells at 0 and cells+1
+		rowOff := func(q int) uint64 { return uint64(q*stride) * 8 }
+		win := p.AllocFloat64(3*stride, "lattice")
+		w := p.WinCreate(win, 8, p.CommWorld())
+		moments := p.AllocFloat64(2*stride, "moments") // rho, u diagnostics
+
+		// Equilibrium init with a density bump on rank 0.
+		weights := [3]float64{4.0 / 6, 1.0 / 6, 1.0 / 6}
+		for q := 0; q < 3; q++ {
+			row := make([]float64, stride)
+			for x := 1; x <= cells; x++ {
+				rho := 1.0
+				if p.Rank() == 0 && x == cells/2 {
+					rho = 1.2
+				}
+				row[x] = weights[q] * rho
+			}
+			win.SetFloat64Slice(rowOff(q), row)
+		}
+
+		left := (p.Rank() - 1 + p.Size()) % p.Size()
+		right := (p.Rank() + 1) % p.Size()
+		const tau = 0.8
+
+		w.Fence(mpi.AssertNone)
+		for s := 0; s < steps; s++ {
+			// Collision: BGK relaxation toward local equilibrium.
+			f0 := win.Float64SliceAt(rowOff(0), stride)
+			f1 := win.Float64SliceAt(rowOff(1), stride)
+			f2 := win.Float64SliceAt(rowOff(2), stride)
+			for x := 1; x <= cells; x++ {
+				rho := f0[x] + f1[x] + f2[x]
+				u := (f1[x] - f2[x]) / rho
+				eq0 := weights[0] * rho * (1 - 1.5*u*u)
+				eq1 := weights[1] * rho * (1 + 3*u + 3*u*u)
+				eq2 := weights[2] * rho * (1 - 3*u + 3*u*u)
+				f0[x] -= (f0[x] - eq0) / tau
+				f1[x] -= (f1[x] - eq1) / tau
+				f2[x] -= (f2[x] - eq2) / tau
+				// Per-cell diagnostics on the RMA-irrelevant buffer.
+				moments.SetFloat64(uint64(x)*8, rho)
+				moments.SetFloat64(uint64(stride+x)*8, u)
+			}
+			win.SetFloat64Slice(rowOff(0), f0)
+			win.SetFloat64Slice(rowOff(1), f1)
+			win.SetFloat64Slice(rowOff(2), f2)
+
+			// Halo exchange: outgoing boundary populations to neighbours.
+			// f1 streams right: my cell `cells` value → right's halo 0.
+			// f2 streams left: my cell 1 value → left's halo cells+1.
+			w.Fence(mpi.AssertNone)
+			w.Put(win, rowOff(1)+uint64(cells)*8, 1, mpi.Float64, right, uint64(1*stride+0), 1, mpi.Float64)
+			w.Put(win, rowOff(2)+1*8, 1, mpi.Float64, left, uint64(2*stride+cells+1), 1, mpi.Float64)
+			w.Fence(mpi.AssertNone)
+
+			// Streaming: shift f1 right, f2 left, consuming the halos.
+			s1 := win.Float64SliceAt(rowOff(1), stride)
+			s2 := win.Float64SliceAt(rowOff(2), stride)
+			for x := cells; x >= 1; x-- {
+				s1[x] = s1[x-1]
+			}
+			for x := 1; x <= cells; x++ {
+				s2[x] = s2[x+1]
+			}
+			win.SetFloat64Slice(rowOff(1), s1)
+			win.SetFloat64Slice(rowOff(2), s2)
+			w.Fence(mpi.AssertNone)
+		}
+		w.Free()
+		return nil
+	}
+}

@@ -1,0 +1,93 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// BTBroadcast is the binary-tree broadcast algorithm of Luecke et al.
+// (paper §VII-A-1, Figure 6): each process exposes a ready flag in a
+// window; a parent puts the payload and sets the flag, and children spin
+// on a local copy of the flag fetched with MPI_Get inside a lock epoch.
+//
+// The real-world bug: the spin loop loads the Get's destination variable
+// (`check`) inside the epoch. The Get is nonblocking and need not complete
+// before MPI_Win_unlock, so the loaded value stays 0 and the loop spins
+// forever. The simulator reproduces the stale read faithfully; SpinBound
+// caps the loop so the buggy run terminates and can be analyzed.
+//
+// The fixed variant closes the epoch before testing the value, re-locking
+// for each poll — the repaired algorithm.
+func BTBroadcast(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("btbroadcast: needs at least 2 ranks")
+		}
+		const payloadLen = 4
+		// Window layout: [0]=ready flag (int32), [8..] payload float64s.
+		win := p.Alloc(8+payloadLen*8, "bcastwin")
+		w := p.WinCreate(win, 1, p.CommWorld())
+		p.Barrier(p.CommWorld())
+
+		rank, size := p.Rank(), p.Size()
+		root := 0
+		if rank == root {
+			for i := 0; i < payloadLen; i++ {
+				win.SetFloat64(8+uint64(i)*8, float64(10*i))
+			}
+			win.SetInt32(0, 1)
+		}
+		p.Barrier(p.CommWorld())
+
+		parent := (rank - 1) / 2
+		children := []int{2*rank + 1, 2*rank + 2}
+
+		if rank != root {
+			// Wait until the parent's flag is set, then pull the payload.
+			check := p.AllocInt32(1, "check")
+			check.SetInt32(0, 0) // line "check = 0" of Figure 6
+			if buggy {
+				w.Lock(mpi.LockShared, parent)
+				for spin := 0; spin < SpinBound; spin++ {
+					if check.Int32At(0) != 0 { // BUG: loads before the Get completes
+						break
+					}
+					w.Get(check, 0, 1, mpi.Int32, parent, 0, 1, mpi.Int32)
+				}
+				w.Unlock(parent)
+			} else {
+				for {
+					w.Lock(mpi.LockShared, parent)
+					w.Get(check, 0, 1, mpi.Int32, parent, 0, 1, mpi.Int32)
+					w.Unlock(parent) // epoch closed: the value is now valid
+					if check.Int32At(0) != 0 {
+						break
+					}
+				}
+			}
+			// Fetch the payload and publish the local flag for children.
+			payload := p.AllocFloat64(payloadLen, "payload")
+			w.Lock(mpi.LockShared, parent)
+			w.Get(payload, 0, payloadLen, mpi.Float64, parent, 8, payloadLen, mpi.Float64)
+			w.Unlock(parent)
+			win.SetFloat64Slice(8, payload.Float64SliceAt(0, payloadLen))
+			win.SetInt32(0, 1)
+		}
+		_ = children
+		_ = size
+
+		p.Barrier(p.CommWorld())
+		if !buggy {
+			// Every rank must have received the payload.
+			if got := win.Float64At(8 + 8); got != 10 {
+				return fmt.Errorf("btbroadcast: rank %d payload[1] = %v", rank, got)
+			}
+		}
+		w.Free()
+		return nil
+	}
+}
+
+// SpinBound caps buggy spin loops so they terminate under simulation.
+const SpinBound = 3

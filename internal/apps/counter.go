@@ -1,0 +1,110 @@
+package apps
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/mpi"
+)
+
+// Counter is a dynamic load-balancing work queue in the style of ADLB (the
+// library whose deferred-Put bug motivates the paper's introduction),
+// rebuilt on MPI-3: rank 0 hosts a shared next-work-item counter, and every
+// rank claims items until the queue is exhausted.
+//
+// The correct variant claims items with the atomic MPI_Fetch_and_op; the
+// accumulate-family atomicity makes concurrent claims race-free, and
+// MC-Checker's MPI-3 rules (paper §V extension) analyze it clean.
+//
+// The buggy variant emulates fetch-and-add with Get + local increment +
+// Put — the classic lost-update race. MC-Checker flags the conflicting
+// Get/Put pairs from different processes; at runtime, ranks observably
+// claim duplicate work items.
+func Counter(buggy bool, itemsPerRank int) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		w, buf := p.WinAllocate(8, 8, p.CommWorld(), "workqueue")
+		if p.Rank() == 0 {
+			buf.SetInt64(0, 0)
+		}
+		p.Barrier(p.CommWorld())
+
+		claimed := make([]int64, 0, itemsPerRank)
+		if buggy {
+			old := p.Alloc(8, "old")
+			next := p.Alloc(8, "next")
+			for i := 0; i < itemsPerRank; i++ {
+				w.Lock(mpi.LockShared, 0)
+				w.Get(old, 0, 1, mpi.Int64, 0, 0, 1, mpi.Int64)
+				w.Unlock(0)
+				item := old.Int64At(0)
+				next.SetInt64(0, item+1) // BUG: non-atomic read-modify-write
+				w.Lock(mpi.LockShared, 0)
+				w.Put(next, 0, 1, mpi.Int64, 0, 0, 1, mpi.Int64)
+				w.Unlock(0)
+				claimed = append(claimed, item)
+			}
+		} else {
+			one := p.Alloc(8, "one")
+			one.SetInt64(0, 1)
+			old := p.Alloc(8, "old")
+			for i := 0; i < itemsPerRank; i++ {
+				w.LockAll()
+				w.FetchAndOp(one, 0, old, 0, 0, 0, mpi.Int64, mpi.OpSum)
+				w.UnlockAll()
+				claimed = append(claimed, old.Int64At(0))
+			}
+		}
+		p.Barrier(p.CommWorld())
+
+		// Verify in the fixed variant: the counter equals the total number
+		// of claims, and no two ranks claimed the same item.
+		if !buggy {
+			total := int64(p.Size() * itemsPerRank)
+			if p.Rank() == 0 {
+				if got := buf.Int64At(0); got != total {
+					return fmt.Errorf("counter: final value %d, want %d", got, total)
+				}
+			}
+			for _, item := range claimed {
+				if item < 0 || item >= total {
+					return fmt.Errorf("counter: claimed out-of-range item %d", item)
+				}
+			}
+			markClaims(p.Rank(), claimed)
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}
+
+// claimTracker detects duplicate claims across ranks within one process
+// (test support; reset per run by CounterDuplicates).
+var claimTracker struct {
+	slots      []atomic.Int32
+	duplicates atomic.Int64
+}
+
+// ResetClaimTracker prepares duplicate detection for a run claiming up to
+// n items.
+func ResetClaimTracker(n int) {
+	claimTracker.slots = make([]atomic.Int32, n)
+	claimTracker.duplicates.Store(0)
+}
+
+// CounterDuplicates returns the number of duplicate claims observed since
+// the last reset.
+func CounterDuplicates() int64 { return claimTracker.duplicates.Load() }
+
+func markClaims(rank int, items []int64) {
+	if claimTracker.slots == nil {
+		return
+	}
+	for _, it := range items {
+		if it >= 0 && int(it) < len(claimTracker.slots) {
+			if claimTracker.slots[it].Add(1) > 1 {
+				claimTracker.duplicates.Add(1)
+			}
+		}
+	}
+}

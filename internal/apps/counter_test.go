@@ -1,0 +1,43 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+func TestCounterFixedClean(t *testing.T) {
+	ResetClaimTracker(8 * 4)
+	rep := runChecked(t, 8, Counter(false, 4), nil)
+	if len(rep.Violations) != 0 {
+		t.Errorf("atomic counter flagged:\n%s", rep)
+	}
+	if d := CounterDuplicates(); d != 0 {
+		t.Errorf("atomic counter produced %d duplicate claims", d)
+	}
+}
+
+func TestCounterBuggyDetected(t *testing.T) {
+	rep := runChecked(t, 8, Counter(true, 4), nil)
+	if len(rep.Errors()) == 0 {
+		t.Fatalf("get/put counter not flagged:\n%s", rep)
+	}
+	found := false
+	for _, v := range rep.Errors() {
+		if v.Class == core.AcrossProcesses {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected across-process conflicts:\n%s", rep)
+	}
+}
+
+func TestCounterBuggyRunsToCompletion(t *testing.T) {
+	// The buggy variant still terminates (the corruption is silent — wrong
+	// counts, not hangs), as with real lost-update races.
+	if err := mpi.Run(8, mpi.Options{}, Counter(true, 4)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+// Package apps contains the MPI one-sided applications of the paper's
+// evaluation, ported to the simulated MPI interface:
+//
+// The bug suite (Table II) — each with the paper's buggy behaviour and a
+// fixed variant:
+//
+//   - emulate: distributed-shared-memory emulation; conflicting MPI_Get
+//     and local load/store within an epoch (real-world bug).
+//   - btbroadcast: the binary-tree broadcast of Luecke et al.; a load of
+//     the Get origin inside the epoch spins on a value the nonblocking Get
+//     has not delivered (real-world bug, Figure 6).
+//   - lockopts: the MPICH RMA test case; local load/store at the target
+//     conflicting with remote Put/Get across processes (real-world bug,
+//     Figure 7; the paper evaluates the shared-lock revision).
+//   - pingpong: an ARMCI-MPI-style ping-pong with an injected store to a
+//     Put origin buffer within the epoch.
+//   - jacobi: a one-sided Jacobi iteration with an injected local store to
+//     the halo cell concurrently updated by a neighbour's Put.
+//
+// The overhead suite (Figures 8–10):
+//
+//   - lennardjones, scf, boltzmann: ports of the Global Arrays workloads
+//     (force computation with get+accumulate, SCF-style matrix assembly,
+//     lattice-Boltzmann halo exchange);
+//   - skampi: an RMA micro-benchmark suite in the style of SKaMPI;
+//   - lu: a blocked LU factorization with fence-synchronized panel
+//     broadcast, the strong-scaling workload of Figures 9 and 10.
+//
+// All applications access window and origin buffers through tracked
+// accessors, so the profiler observes their loads and stores exactly as
+// LLVM instrumentation observes the originals'.
+package apps

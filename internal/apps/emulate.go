@@ -1,0 +1,62 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Emulate is a small distributed-shared-memory emulation: rank 0 is a
+// client reading and updating cells of a shared table that lives in rank
+// 1's window, using lock/unlock passive-target epochs.
+//
+// The real-world bug (Table II, "emulate", 2 processes): the client issues
+// an MPI_Get for a table cell and dereferences the destination buffer
+// before closing the epoch; because the Get is nonblocking, the load reads
+// whatever the buffer held before — conflicting MPI_Get and local
+// load/store within an epoch. The fixed variant moves the accesses after
+// the unlock.
+func Emulate(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("emulate: needs at least 2 ranks")
+		}
+		const cells = 8
+		table := p.AllocFloat64(cells, "table")
+		if p.Rank() == 1 {
+			for i := 0; i < cells; i++ {
+				table.SetFloat64(uint64(i)*8, float64(100+i))
+			}
+		}
+		w := p.WinCreate(table, 8, p.CommWorld())
+		p.Barrier(p.CommWorld())
+
+		var sum float64
+		if p.Rank() == 0 {
+			cache := p.AllocFloat64(1, "cache")
+			for i := 0; i < cells; i++ {
+				w.Lock(mpi.LockShared, 1)
+				w.Get(cache, 0, 1, mpi.Float64, 1, uint64(i), 1, mpi.Float64)
+				if buggy {
+					// BUG: read the cache line inside the epoch; the Get
+					// has not completed.
+					sum += cache.Float64At(0)
+					w.Unlock(1)
+				} else {
+					w.Unlock(1)
+					sum += cache.Float64At(0)
+				}
+			}
+			want := 0.0
+			for i := 0; i < cells; i++ {
+				want += float64(100 + i)
+			}
+			if !buggy && sum != want {
+				return fmt.Errorf("emulate: read %v, want %v", sum, want)
+			}
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}

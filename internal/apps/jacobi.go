@@ -1,0 +1,97 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// Jacobi is a one-sided implementation of the 1-D Jacobi method: each rank
+// owns a chunk of the vector plus two halo cells exposed in a window;
+// every iteration, ranks put their boundary values into the neighbours'
+// halo cells between fences, then relax their interior.
+//
+// Window layout per rank (float64 cells):
+//
+//	[0]            left halo (written by the left neighbour)
+//	[1..chunk]     owned cells
+//	[chunk+1]      right halo (written by the right neighbour)
+//
+// The injected bug (Table II, "jacobi"): with buggy=true, ranks seed their
+// halo cells with a local store during the exchange epoch, concurrently
+// with the neighbour's Put into the same cell — a conflicting remote
+// MPI_Put and local store across processes (Figure 2d). The fixed variant
+// seeds the halos before the epoch opens.
+func Jacobi(buggy bool) func(p *mpi.Proc) error {
+	return JacobiN(buggy, 16, 10)
+}
+
+// JacobiN configures the per-rank chunk size and iteration count.
+func JacobiN(buggy bool, chunk, iters int) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("jacobi: needs at least 2 ranks")
+		}
+		cells := chunk + 2
+		grid := p.AllocFloat64(cells, "grid")
+		next := p.AllocFloat64(cells, "next")
+		w := p.WinCreate(grid, 8, p.CommWorld())
+
+		// Boundary conditions: global edges fixed at 1 and 0.
+		for i := 1; i <= chunk; i++ {
+			grid.SetFloat64(uint64(i)*8, 0)
+		}
+		if p.Rank() == 0 {
+			grid.SetFloat64(0, 1) // global left boundary
+		}
+		if p.Rank() == p.Size()-1 {
+			grid.SetFloat64(uint64(chunk+1)*8, 0)
+		}
+
+		left, right := p.Rank()-1, p.Rank()+1
+		for it := 0; it < iters; it++ {
+			w.Fence(mpi.AssertNone)
+			// Exchange: put boundary cells into neighbour halos.
+			if left >= 0 {
+				w.Put(grid, 1*8, 1, mpi.Float64, left, uint64(chunk+1), 1, mpi.Float64)
+			}
+			if right < p.Size() {
+				w.Put(grid, uint64(chunk)*8, 1, mpi.Float64, right, 0, 1, mpi.Float64)
+			}
+			if buggy {
+				// BUG: re-seed the halo cells inside the exchange epoch,
+				// racing with the neighbours' puts into the same cells.
+				if left >= 0 {
+					grid.SetFloat64(0, 0)
+				}
+				if right < p.Size() {
+					grid.SetFloat64(uint64(chunk+1)*8, 0)
+				}
+			}
+			w.Fence(mpi.AssertNone)
+
+			// Relax the interior.
+			row := grid.Float64SliceAt(0, cells)
+			out := make([]float64, cells)
+			copy(out, row)
+			for i := 1; i <= chunk; i++ {
+				out[i] = 0.5 * (row[i-1] + row[i+1])
+			}
+			next.SetFloat64Slice(0, out)
+			// Swap owned cells back into the window buffer.
+			grid.SetFloat64Slice(8, next.Float64SliceAt(8, chunk))
+		}
+
+		// Convergence metric (not asserted; the fixed run must be finite).
+		if !buggy {
+			v := grid.Float64At(8)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("jacobi: diverged: %v", v)
+			}
+		}
+		w.Fence(mpi.AssertNone)
+		w.Free()
+		return nil
+	}
+}

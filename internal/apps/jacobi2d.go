@@ -1,0 +1,116 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// Jacobi2D is a two-dimensional Jacobi relaxation with the grid distributed
+// by columns and halo exchange over post/start/complete/wait (PSCW)
+// general active-target synchronization. Because columns of a row-major
+// grid are strided, the halo transfer uses a derived vector datatype — the
+// combination of PSCW epochs and non-contiguous datatypes that stresses
+// both the simulator's data-map machinery and the analyzer's footprint
+// computation.
+//
+// Local layout per rank (row-major float64): rows × (cols+2), where column
+// 0 and column cols+1 are halo columns owned by the neighbours.
+//
+// The buggy variant stores into its own halo column during the exposure
+// epoch (between Win_post and Win_wait), racing with the neighbour's
+// strided Put into the same cells — an across-processes conflict on a
+// derived-datatype footprint.
+func Jacobi2D(buggy bool) func(p *mpi.Proc) error {
+	return Jacobi2DN(buggy, 12, 6, 8)
+}
+
+// Jacobi2DN configures rows, owned columns per rank, and iterations.
+func Jacobi2DN(buggy bool, rows, cols, iters int) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("jacobi2d: needs at least 2 ranks")
+		}
+		stride := cols + 2
+		idx := func(r, c int) uint64 { return uint64(r*stride+c) * 8 }
+		grid := p.AllocFloat64(rows*stride, "grid2d")
+		w := p.WinCreate(grid, 8, p.CommWorld())
+
+		// Column datatype: rows elements, one per grid row.
+		colType := p.TypeVector(rows, 1, stride, mpi.Float64)
+
+		// Dirichlet boundary: hot left edge on rank 0.
+		if p.Rank() == 0 {
+			for r := 0; r < rows; r++ {
+				grid.SetFloat64(idx(r, 0), 1.0)
+			}
+		}
+
+		var neighbors []int
+		left, right := p.Rank()-1, p.Rank()+1
+		if left >= 0 {
+			neighbors = append(neighbors, left)
+		}
+		if right < p.Size() {
+			neighbors = append(neighbors, right)
+		}
+		group := mpi.NewGroup(neighbors)
+
+		next := make([]float64, rows*stride)
+		for it := 0; it < iters; it++ {
+			// Halo exchange: expose my window to neighbours; put my
+			// boundary columns into their halo columns.
+			w.Post(group)
+			w.Start(group)
+			if left >= 0 {
+				// My column 1 → left neighbour's halo column cols+1.
+				w.Put(grid, idx(0, 1), 1, colType, left, uint64(cols+1), 1, colType)
+			}
+			if right < p.Size() {
+				// My column cols → right neighbour's halo column 0.
+				w.Put(grid, idx(0, cols), 1, colType, right, 0, 1, colType)
+			}
+			if buggy {
+				// BUG: re-seed own halo columns during the exposure epoch,
+				// racing with the neighbours' strided puts.
+				if left >= 0 {
+					grid.SetFloat64(idx(it%rows, 0), 0)
+				}
+				if right < p.Size() {
+					grid.SetFloat64(idx(it%rows, cols+1), 0)
+				}
+			}
+			w.Complete()
+			w.WaitEpoch()
+			p.Barrier(p.CommWorld())
+
+			// Relax the interior (block loads/stores, like compiled code).
+			cur := grid.Float64SliceAt(0, rows*stride)
+			copy(next, cur)
+			// The hot boundary lives in rank 0's (neighbourless) halo
+			// column 0 and stays fixed; every owned column relaxes.
+			for r := 1; r < rows-1; r++ {
+				for c := 1; c <= cols; c++ {
+					next[r*stride+c] = 0.25 * (cur[(r-1)*stride+c] + cur[(r+1)*stride+c] +
+						cur[r*stride+c-1] + cur[r*stride+c+1])
+				}
+			}
+			grid.SetFloat64Slice(0, next)
+			p.Barrier(p.CommWorld())
+		}
+
+		if !buggy {
+			v := grid.Float64At(idx(rows/2, 1))
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("jacobi2d: diverged")
+			}
+			if p.Rank() == 0 && v == 0 {
+				return fmt.Errorf("jacobi2d: heat did not propagate")
+			}
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}

@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// LennardJones ports the Global Arrays Lennard-Jones workload: particles
+// are block-distributed; each iteration every rank fetches remote particle
+// blocks with Get, computes pairwise LJ forces against its own block, and
+// adds the partial forces back into the owners' windows with Accumulate —
+// the canonical GA get/compute/accumulate pattern over ARMCI-MPI.
+//
+// Window layout per rank (float64): positions[3*local] ++ forces[3*local].
+// Buffers that participate in one-sided communication (the window, the Get
+// destination, the Accumulate source) are accessed at block granularity —
+// the accesses ST-Analyzer selects for instrumentation. The private force
+// scratch (`ownfrc`) never reaches an RMA call: selective instrumentation
+// skips it, full instrumentation pays for its per-element traffic.
+func LennardJones(particlesPerRank, iters int) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		n := particlesPerRank
+		if n < 1 {
+			return fmt.Errorf("lennardjones: empty block")
+		}
+		posOff := uint64(0)
+		frcOff := uint64(3 * n * 8)
+		win := p.AllocFloat64(6*n, "ga")
+		w := p.WinCreate(win, 8, p.CommWorld())
+
+		// Initialize positions on a jittered lattice (block store).
+		pos := make([]float64, 3*n)
+		for i := 0; i < n; i++ {
+			pos[3*i] = float64(p.Rank()) + float64(i)*0.01
+			pos[3*i+1] = float64(i%7) * 0.5
+			pos[3*i+2] = float64(i%3) * 0.25
+		}
+		win.SetFloat64Slice(posOff, pos)
+
+		remote := p.AllocFloat64(3*n, "remote")
+		partial := p.AllocFloat64(3*n, "partial")
+		ownfrc := p.AllocFloat64(3*n, "ownfrc")
+		zero := make([]float64, 3*n)
+
+		w.Fence(mpi.AssertNone)
+		for it := 0; it < iters; it++ {
+			own := make([]float64, 3*n)
+
+			// Compute phase: fetch each peer block, compute pair forces,
+			// accumulate the peer's share remotely.
+			for d := 1; d < p.Size(); d++ {
+				peer := (p.Rank() + d) % p.Size()
+				w.Get(remote, 0, 3*n, mpi.Float64, peer, 0, 3*n, mpi.Float64)
+				w.Fence(mpi.AssertNone) // completes the Get (and prior Accs)
+
+				mine := win.Float64SliceAt(posOff, 3*n) // instrumented block load
+				theirs := remote.Float64SliceAt(0, 3*n) // instrumented block load
+				part := make([]float64, 3*n)
+				for i := 0; i < n; i++ {
+					xi, yi, zi := mine[3*i], mine[3*i+1], mine[3*i+2]
+					var fx, fy, fz float64
+					for j := 0; j < n; j++ {
+						dx := xi - theirs[3*j]
+						dy := yi - theirs[3*j+1]
+						dz := zi - theirs[3*j+2]
+						r2 := dx*dx + dy*dy + dz*dz + 0.01
+						inv2 := 1.0 / r2
+						inv6 := inv2 * inv2 * inv2
+						f := 24 * inv6 * (2*inv6 - 1) * inv2
+						fx += f * dx
+						fy += f * dy
+						fz += f * dz
+						// Newton's third law: opposite share for particle j.
+						part[3*j] -= f * dx
+						part[3*j+1] -= f * dy
+						part[3*j+2] -= f * dz
+					}
+					// Private per-particle accumulation: fine-grained
+					// traffic on a buffer ST-Analyzer proves irrelevant.
+					ownfrc.SetFloat64(uint64(3*i)*8, ownfrc.Float64At(uint64(3*i)*8)+fx)
+					ownfrc.SetFloat64(uint64(3*i+1)*8, ownfrc.Float64At(uint64(3*i+1)*8)+fy)
+					ownfrc.SetFloat64(uint64(3*i+2)*8, ownfrc.Float64At(uint64(3*i+2)*8)+fz)
+				}
+				partial.SetFloat64Slice(0, part) // instrumented block store
+				w.Accumulate(partial, 0, 3*n, mpi.Float64, peer, uint64(3*n), 3*n, mpi.Float64, mpi.OpSum)
+			}
+			w.Fence(mpi.AssertNone) // completes the last Accumulate
+
+			// Integration phase: no one-sided traffic in flight, so the
+			// rank may read and rewrite its own window freely.
+			copy(own, ownfrc.Float64SliceAt(0, 3*n))
+			ownfrc.SetFloat64Slice(0, zero)
+			frc := win.Float64SliceAt(frcOff, 3*n)
+			cur := win.Float64SliceAt(posOff, 3*n)
+			for i := 0; i < 3*n; i++ {
+				cur[i] += 1e-6 * (frc[i] + own[i])
+			}
+			win.SetFloat64Slice(posOff, cur)
+			win.SetFloat64Slice(frcOff, zero)
+			w.Fence(mpi.AssertNone)
+		}
+		w.Free()
+		return nil
+	}
+}

@@ -1,0 +1,76 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// Lockopts ports the MPICH RMA test case of the paper's second case study
+// (§VII-A-2, Figure 7; svn r10308). A master rank owns a counter window;
+// worker ranks lock it, put new values and get old ones, while the master
+// reads and writes the same cells with plain loads and stores.
+//
+// The real-world bug (evaluated with the lock changed from exclusive to
+// shared, as in the paper): the master's local load/store of the window is
+// concurrent with the workers' Put/Get — conflicting local load/store and
+// remote Put/Get across processes, yielding nondeterministic results.
+//
+// The fixed variant separates the master's local accesses from the
+// workers' epochs with barriers.
+func Lockopts(buggy bool) func(p *mpi.Proc) error {
+	return LockoptsWithLock(buggy, mpi.LockShared)
+}
+
+// LockoptsOriginal is the original MPICH bug with the exclusive lock; the
+// paper detects it but reports only a warning, since the exclusive locks
+// serialize the transfers.
+func LockoptsOriginal() func(p *mpi.Proc) error {
+	return LockoptsWithLock(true, mpi.LockExclusive)
+}
+
+// LockoptsWithLock selects the lock mode explicitly.
+func LockoptsWithLock(buggy bool, lock mpi.LockType) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("lockopts: needs at least 2 ranks")
+		}
+		const master = 0
+		counters := p.AllocInt32(p.Size(), "counters")
+		w := p.WinCreate(counters, 4, p.CommWorld())
+		p.Barrier(p.CommWorld())
+
+		if p.Rank() == master {
+			if buggy {
+				// BUG (section A of Figure 7): local load/store of the
+				// window while workers' epochs are open.
+				for i := 0; i < p.Size(); i++ {
+					v := counters.Int32At(uint64(i) * 4)
+					counters.SetInt32(uint64(i)*4, v+1)
+				}
+				p.Barrier(p.CommWorld())
+			} else {
+				// Fixed: local access only after all workers are done.
+				p.Barrier(p.CommWorld())
+				for i := 0; i < p.Size(); i++ {
+					v := counters.Int32At(uint64(i) * 4)
+					counters.SetInt32(uint64(i)*4, v+1)
+				}
+			}
+		} else {
+			// Workers: put a fresh value into their slot and read back the
+			// master's slot (section D of Figure 7).
+			val := p.AllocInt32(1, "val")
+			old := p.AllocInt32(1, "old")
+			val.SetInt32(0, int32(1000+p.Rank()))
+			w.Lock(lock, master)
+			w.Put(val, 0, 1, mpi.Int32, master, uint64(p.Rank()), 1, mpi.Int32)
+			w.Get(old, 0, 1, mpi.Int32, master, 0, 1, mpi.Int32)
+			w.Unlock(master)
+			p.Barrier(p.CommWorld())
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}

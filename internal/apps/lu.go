@@ -1,0 +1,112 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// LU is the strong-scaling workload of the paper's Figures 9 and 10 (NAS
+// LU class run on a 1500×1500 problem): a dense LU factorization without
+// pivoting, rows distributed cyclically across ranks. For each pivot row
+// k, the owner publishes the row into every rank's panel window with Put
+// under fences, and all ranks eliminate their owned rows below k.
+//
+// Per-rank computation is Θ(N³/P) while communication is Θ(N²), so with
+// fixed N the per-rank load/store event rate falls as ranks are added —
+// the effect behind the paper's decreasing profiling overhead (Fig 9-10).
+func LU(n int) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		size := p.Size()
+		if n < size {
+			return fmt.Errorf("lu: matrix order %d smaller than %d ranks", n, size)
+		}
+		myRows := 0
+		for i := p.Rank(); i < n; i += size {
+			myRows++
+		}
+		// Owned rows, stored densely; rowIdx maps global row → local slot.
+		a := p.AllocFloat64(myRows*n, "matrix")
+		slotOf := func(global int) int { return global / size }
+
+		// Deterministic diagonally dominant matrix.
+		for g := p.Rank(); g < n; g += size {
+			s := slotOf(g)
+			for j := 0; j < n; j++ {
+				v := 1.0 / float64(1+abs(g-j))
+				if g == j {
+					v = float64(n)
+				}
+				a.SetFloat64(uint64(s*n+j)*8, v)
+			}
+		}
+
+		// Panel window: the current pivot row.
+		panel := p.AllocFloat64(n, "panel")
+		w := p.WinCreate(panel, 8, p.CommWorld())
+
+		for k := 0; k < n; k++ {
+			owner := k % size
+			w.Fence(mpi.AssertNone)
+			if p.Rank() == owner {
+				// Publish row k into every other rank's panel window.
+				row := a.Float64SliceAt(uint64(slotOf(k)*n)*8, n)
+				panel.SetFloat64Slice(0, row)
+				for r := 0; r < size; r++ {
+					if r != p.Rank() {
+						w.Put(a, uint64(slotOf(k)*n)*8, n, mpi.Float64, r, 0, n, mpi.Float64)
+					}
+				}
+			}
+			w.Fence(mpi.AssertNone)
+
+			// Eliminate owned rows below k.
+			pivot := panel.Float64At(uint64(k) * 8)
+			start := k + 1
+			first := firstOwnedAtOrAfter(start, p.Rank(), size)
+			for g := first; g < n; g += size {
+				s := slotOf(g)
+				mult := a.Float64At(uint64(s*n+k)*8) / pivot
+				a.SetFloat64(uint64(s*n+k)*8, mult)
+				// Update the trailing row segment in one tracked
+				// load/store pair per row (vectorized access, as compiled
+				// code would issue).
+				rowSeg := a.Float64SliceAt(uint64(s*n+k+1)*8, n-k-1)
+				pivSeg := panel.Float64SliceAt(uint64(k+1)*8, n-k-1)
+				for j := range rowSeg {
+					rowSeg[j] -= mult * pivSeg[j]
+				}
+				a.SetFloat64Slice(uint64(s*n+k+1)*8, rowSeg)
+			}
+		}
+
+		// Verification element: the last pivot must be finite and nonzero.
+		w.Fence(mpi.AssertNone)
+		if p.Rank() == (n-1)%size {
+			last := a.Float64At(uint64(slotOf(n-1)*n+n-1) * 8)
+			if last == 0 {
+				return fmt.Errorf("lu: zero pivot at %d", n-1)
+			}
+		}
+		w.Fence(mpi.AssertNone)
+		w.Free()
+		return nil
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// firstOwnedAtOrAfter returns the smallest global row index ≥ start owned
+// by rank under cyclic distribution.
+func firstOwnedAtOrAfter(start, rank, size int) int {
+	r := start % size
+	if r <= rank {
+		return start + (rank - r)
+	}
+	return start + (size - r + rank)
+}

@@ -1,0 +1,59 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// PingPong is an ARMCI-MPI-style ping-pong benchmark: two ranks bounce a
+// message back and forth by putting into each other's windows inside fence
+// epochs.
+//
+// The injected bug (Table II, "ping-pong", 2 processes): after issuing the
+// Put, the origin immediately writes the next iteration's value into the
+// same buffer, before the fence closes the epoch — a conflicting MPI_Put
+// and local store within an epoch, corrupting the message in flight
+// (exactly the ADLB/GFMC failure mode of Figure 2a). The fixed variant
+// prepares the next message only after the fence.
+func PingPong(buggy bool) func(p *mpi.Proc) error {
+	return PingPongN(buggy, 8, 4)
+}
+
+// PingPongN configures the number of round trips and message length.
+func PingPongN(buggy bool, rounds, msgLen int) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("pingpong: needs at least 2 ranks")
+		}
+		inbox := p.AllocFloat64(msgLen, "inbox")
+		w := p.WinCreate(inbox, 8, p.CommWorld())
+		msg := p.AllocFloat64(msgLen, "msg")
+
+		w.Fence(mpi.AssertNone)
+		me, other := p.Rank(), 1-p.Rank()
+		active := me <= 1
+		for r := 0; r < rounds; r++ {
+			sender := r % 2
+			if active && me == sender {
+				for i := 0; i < msgLen; i++ {
+					msg.SetFloat64(uint64(i)*8, float64(r*100+i))
+				}
+				w.Put(msg, 0, msgLen, mpi.Float64, other, 0, msgLen, mpi.Float64)
+				if buggy {
+					// BUG: overwrite the origin buffer before the epoch
+					// closes; the nonblocking Put may transfer this value.
+					msg.SetFloat64(0, -1)
+				}
+			}
+			w.Fence(mpi.AssertNone)
+			if active && me != sender && !buggy {
+				if got := inbox.Float64At(8); msgLen > 1 && got != float64(r*100+1) {
+					return fmt.Errorf("pingpong: round %d received %v", r, got)
+				}
+			}
+		}
+		w.Free()
+		return nil
+	}
+}

@@ -1,0 +1,164 @@
+package apps
+
+import (
+	"repro/internal/mpi"
+)
+
+// BugCase describes one entry of the paper's Table II: a real-world or
+// injected memory consistency bug, with the buggy and fixed program
+// variants and the expected detection outcome.
+type BugCase struct {
+	Name   string
+	Ranks  int    // process count the paper used to trigger the bug
+	Origin string // "real-world" or "injected"
+
+	// Table II columns.
+	ErrorLocation string // "within an epoch" or "across processes"
+	RootCause     string
+	Symptom       string
+
+	Buggy func(p *mpi.Proc) error
+	Fixed func(p *mpi.Proc) error
+
+	// ExpectWarningOnly is set for variants the paper reports as warnings
+	// (the original exclusive-lock lockopts bug).
+	ExpectWarningOnly bool
+
+	// RelevantBuffers is the ST-Analyzer result for the application: the
+	// tracked allocations that can participate in one-sided communication.
+	RelevantBuffers []string
+}
+
+// BugCases returns the five bug cases of Table II in the paper's order.
+func BugCases() []BugCase {
+	return []BugCase{
+		{
+			Name: "emulate", Ranks: 2, Origin: "real-world",
+			ErrorLocation: "within an epoch",
+			RootCause:     "conflicting MPI_Get and local load/store",
+			Symptom:       "stale values read from the DSM table",
+			Buggy:         Emulate(true), Fixed: Emulate(false),
+			RelevantBuffers: []string{"table", "cache"},
+		},
+		{
+			Name: "BT-broadcast", Ranks: 2, Origin: "real-world",
+			ErrorLocation: "within an epoch",
+			RootCause:     "conflicting MPI_Get and local load",
+			Symptom:       "infinite spin loop on a stale flag",
+			Buggy:         BTBroadcast(true), Fixed: BTBroadcast(false),
+			RelevantBuffers: []string{"bcastwin", "check", "payload"},
+		},
+		{
+			Name: "lockopts", Ranks: 64, Origin: "real-world",
+			ErrorLocation: "across processes",
+			RootCause:     "conflicting local load/store and remote MPI_Put/Get",
+			Symptom:       "nondeterministic counter values",
+			Buggy:         Lockopts(true), Fixed: Lockopts(false),
+			RelevantBuffers: []string{"counters", "val", "old"},
+		},
+		{
+			Name: "ping-pong", Ranks: 2, Origin: "injected",
+			ErrorLocation: "within an epoch",
+			RootCause:     "conflicting MPI_Put and local store",
+			Symptom:       "corrupted message payload",
+			Buggy:         PingPong(true), Fixed: PingPong(false),
+			RelevantBuffers: []string{"inbox", "msg"},
+		},
+		{
+			Name: "jacobi", Ranks: 4, Origin: "injected",
+			ErrorLocation: "across processes",
+			RootCause:     "conflicting remote MPI_Put and local store",
+			Symptom:       "corrupted halo cells, wrong relaxation",
+			Buggy:         Jacobi(true), Fixed: Jacobi(false),
+			RelevantBuffers: []string{"grid", "next"},
+		},
+	}
+}
+
+// ExtensionCases returns bug cases beyond the paper's Table II,
+// exercising the MPI-3 extension of §V.
+func ExtensionCases() []BugCase {
+	return []BugCase{
+		{
+			Name: "jacobi2d", Ranks: 4, Origin: "extension (PSCW)",
+			ErrorLocation: "across processes",
+			RootCause:     "conflicting strided remote MPI_Put and local store in an exposure epoch",
+			Symptom:       "corrupted halo columns",
+			Buggy:         Jacobi2D(true), Fixed: Jacobi2D(false),
+			RelevantBuffers: []string{"grid2d"},
+		},
+		{
+			Name: "counter", Ranks: 8, Origin: "extension (MPI-3)",
+			ErrorLocation: "across processes",
+			RootCause:     "non-atomic Get/Put emulation of fetch-and-add",
+			Symptom:       "lost updates, duplicate work items",
+			Buggy:         Counter(true, 4), Fixed: Counter(false, 4),
+			RelevantBuffers: []string{"workqueue", "old", "next", "one"},
+		},
+	}
+}
+
+// Workload is one overhead-suite application (Figures 8–10).
+type Workload struct {
+	Name  string
+	Ranks int // the paper's Figure 8 runs all at 64 ranks
+
+	// Body builds the program for a work scale factor (1.0 = the size used
+	// by the Figure 8 harness; smaller for tests).
+	Body func(scale float64) func(p *mpi.Proc) error
+
+	// RelevantBuffers is the ST-Analyzer selection for the workload.
+	RelevantBuffers []string
+}
+
+// Workloads returns the five overhead applications of Figure 8.
+func Workloads() []Workload {
+	scaleInt := func(base int, scale float64, min int) int {
+		v := int(float64(base) * scale)
+		if v < min {
+			return min
+		}
+		return v
+	}
+	return []Workload{
+		{
+			Name: "Lennard-Jones", Ranks: 64,
+			Body: func(s float64) func(p *mpi.Proc) error {
+				return LennardJones(scaleInt(12, s, 2), 2)
+			},
+			RelevantBuffers: []string{"ga", "remote", "partial"},
+		},
+		{
+			Name: "SCF", Ranks: 64,
+			Body: func(s float64) func(p *mpi.Proc) error {
+				return SCF(scaleInt(6, s, 2), scaleInt(48, s, 8), 2)
+			},
+			RelevantBuffers: []string{"scfwin", "densblk", "fockblk"},
+		},
+		{
+			Name: "Boltzmann", Ranks: 64,
+			Body: func(s float64) func(p *mpi.Proc) error {
+				return Boltzmann(scaleInt(256, s, 16), scaleInt(40, s, 4))
+			},
+			RelevantBuffers: []string{"lattice"},
+		},
+		{
+			Name: "SKaMPI", Ranks: 64,
+			Body: func(s float64) func(p *mpi.Proc) error {
+				return SKaMPI(scaleInt(12, s, 2))
+			},
+			RelevantBuffers: []string{"skwin", "skbuf"},
+		},
+		{
+			Name: "LU", Ranks: 64,
+			Body: func(s float64) func(p *mpi.Proc) error {
+				return LU(scaleInt(192, s, 32))
+			},
+			RelevantBuffers: []string{"matrix", "panel"},
+		},
+	}
+}
+
+// LUWorkload returns the LU body for an explicit matrix order, used by the
+// Figure 9/10 scalability harness (the paper runs N=1500 at 8–128 ranks).
+func LUWorkload(n int) func(p *mpi.Proc) error { return LU(n) }

@@ -1,0 +1,64 @@
+package apps
+
+import (
+	"repro/internal/mpi"
+)
+
+// SKaMPI ports the shape of the SKaMPI benchmark suite: a battery of
+// communication micro-benchmarks — one-sided put/get/accumulate at
+// increasing message sizes under both fence and lock synchronization,
+// point-to-point echo, and collectives — each repeated a fixed number of
+// times. It is communication-dominated with little local computation, the
+// lightest profiling load of the overhead suite.
+func SKaMPI(repeats int) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		sizes := []int{1, 8, 64, 256} // float64 counts
+		maxN := sizes[len(sizes)-1]
+		win := p.AllocFloat64(maxN, "skwin")
+		w := p.WinCreate(win, 8, p.CommWorld())
+		buf := p.AllocFloat64(maxN, "skbuf")
+		right := (p.Rank() + 1) % p.Size()
+
+		for r := 0; r < repeats; r++ {
+			// Pattern 1: fence / put.
+			for _, n := range sizes {
+				w.Fence(mpi.AssertNone)
+				buf.SetFloat64(0, float64(r))
+				w.Put(buf, 0, n, mpi.Float64, right, 0, n, mpi.Float64)
+				w.Fence(mpi.AssertNone)
+			}
+			// Pattern 2: fence / get.
+			for _, n := range sizes {
+				w.Fence(mpi.AssertNone)
+				w.Get(buf, 0, n, mpi.Float64, right, 0, n, mpi.Float64)
+				w.Fence(mpi.AssertNone)
+				_ = buf.Float64At(0)
+			}
+			// Pattern 3: lock / put (each rank targets its right neighbour,
+			// disjoint slots to stay race-free).
+			for _, n := range sizes {
+				w.Lock(mpi.LockShared, right)
+				w.Put(buf, 0, n, mpi.Float64, right, 0, n, mpi.Float64)
+				w.Unlock(right)
+				p.Barrier(p.CommWorld())
+			}
+			// Pattern 4: accumulate (same op everywhere: race-free by the
+			// MPI accumulate exception).
+			w.Fence(mpi.AssertNone)
+			w.Accumulate(buf, 0, maxN, mpi.Float64, right, 0, maxN, mpi.Float64, mpi.OpSum)
+			w.Fence(mpi.AssertNone)
+
+			// Pattern 5: point-to-point echo around the ring.
+			p.Sendrecv(p.CommWorld(),
+				buf, 0, 8, mpi.Float64, right, 7,
+				buf, 0, 8, mpi.Float64, (p.Rank()-1+p.Size())%p.Size(), 7)
+
+			// Pattern 6: collectives.
+			p.Bcast(p.CommWorld(), buf, 0, 8, mpi.Float64, 0)
+			p.Allreduce(p.CommWorld(), buf, 0, buf, 64, 4, mpi.Float64, mpi.OpMax)
+			p.Barrier(p.CommWorld())
+		}
+		w.Free()
+		return nil
+	}
+}

@@ -1,0 +1,51 @@
+package apps
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"repro/internal/stanalyzer"
+)
+
+// TestStaticAnalysisCoversDeclaredSets runs ST-Analyzer over this package's
+// real source and checks that its conservative result covers every buffer
+// the registry declares relevant — the soundness property of §IV-A ("it
+// will not fail to mark those that need to be instrumented").
+func TestStaticAnalysisCoversDeclaredSets(t *testing.T) {
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate source")
+	}
+	dir := filepath.Dir(thisFile)
+	rep, err := stanalyzer.AnalyzeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, name := range rep.BufferNames() {
+		found[name] = true
+	}
+	check := func(app string, buffers []string) {
+		for _, b := range buffers {
+			if !found[b] {
+				t.Errorf("%s: ST-Analyzer missed relevant buffer %q (found %v)", app, b, rep.BufferNames())
+			}
+		}
+	}
+	for _, bc := range BugCases() {
+		check(bc.Name, bc.RelevantBuffers)
+	}
+	for _, bc := range ExtensionCases() {
+		check(bc.Name, bc.RelevantBuffers)
+	}
+	for _, wl := range Workloads() {
+		check(wl.Name, wl.RelevantBuffers)
+	}
+	// And selectivity: buffers that never reach RMA calls stay unmarked.
+	for _, irrelevant := range []string{"scfscratch", "moments", "ownfrc"} {
+		if found[irrelevant] {
+			t.Errorf("ST-Analyzer over-marked %q, defeating selective instrumentation", irrelevant)
+		}
+	}
+}

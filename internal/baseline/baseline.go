@@ -1,0 +1,48 @@
+// Package baseline implements the comparison points of the paper's
+// evaluation:
+//
+//   - Quadratic: the "straightforward method" of §IV-C-4 that examines
+//     every pair of operations in a concurrent region against the
+//     compatibility table. Its results match the linear detector; its cost
+//     is combinatorial in the region size. It exists for the ablation
+//     benchmark demonstrating why MC-Checker's per-target-window vectors
+//     matter.
+//
+//   - SyncChecker: the related tool of §VII that detects only errors
+//     occurring within an epoch, missing conflicts across processes.
+package baseline
+
+import (
+	"repro/internal/core"
+	"repro/internal/dag"
+	"repro/internal/match"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// SyncCheckerAnalyze runs intra-epoch-only detection, reproducing
+// SyncChecker's coverage (paper §VII: "it cannot detect memory consistency
+// errors across processes").
+func SyncCheckerAnalyze(set *trace.Set) (*core.Report, error) {
+	return core.AnalyzeWith(set, core.Options{IntraEpoch: true, CrossProcess: false})
+}
+
+// QuadraticAnalyze detects cross-process conflicts by checking every pair
+// of operations in every concurrent region. It reports the same conflicts
+// as the linear detector (deduplicated identically) but runs in time
+// combinatorial in the number of operations per region.
+func QuadraticAnalyze(set *trace.Set) (*core.Report, error) {
+	m, err := model.Build(set)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := match.Run(m)
+	if err != nil {
+		return nil, err
+	}
+	d, err := dag.Build(m, ms)
+	if err != nil {
+		return nil, err
+	}
+	return core.QuadraticCrossProcess(m, d)
+}

@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+func putEv(target int32, originAddr uint64, disp uint64, line int32) trace.Event {
+	return trace.Event{Kind: trace.KindPut, Win: 1, Target: target,
+		OriginAddr: originAddr, OriginType: trace.TypeInt32, OriginCount: 1,
+		TargetDisp: disp, TargetType: trace.TypeInt32, TargetCount: 1,
+		File: "app.go", Line: line}
+}
+
+// buggySet builds a trace with one cross-process conflict (Fig 2b) and one
+// within-epoch conflict (Fig 2a).
+func buggySet(t *testing.T) *trace.Set {
+	t.Helper()
+	b := testutil.NewTraceBuilder(3)
+	b.WinCreate(1, 0x1000, 64)
+	b.Fence(1)
+	b.Add(0, putEv(1, 0x500, 0, 10))
+	b.Add(0, trace.Event{Kind: trace.KindStore, Addr: 0x500, Size: 4, File: "app.go", Line: 11})
+	b.Add(2, putEv(1, 0x700, 0, 12))
+	b.Fence(1)
+	return b.Set()
+}
+
+func TestSyncCheckerMissesCrossProcess(t *testing.T) {
+	set := buggySet(t)
+	rep, err := SyncCheckerAnalyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 1 {
+		t.Fatalf("synccheck violations = %d:\n%s", len(rep.Violations), rep)
+	}
+	if rep.Violations[0].Class != core.WithinEpoch {
+		t.Errorf("synccheck found %v", rep.Violations[0].Class)
+	}
+
+	full, err := core.Analyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Violations) != 2 {
+		t.Fatalf("full violations = %d:\n%s", len(full.Violations), full)
+	}
+}
+
+// The quadratic detector must agree with the linear cross-process detector.
+func TestQuadraticMatchesLinear(t *testing.T) {
+	set := buggySet(t)
+	quad, err := QuadraticAnalyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := core.AnalyzeWith(set, core.Options{CrossProcess: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quad.Violations) != len(lin.Violations) {
+		t.Fatalf("quadratic found %d, linear found %d:\nquad:\n%s\nlin:\n%s",
+			len(quad.Violations), len(lin.Violations), quad, lin)
+	}
+	for i := range quad.Violations {
+		q, l := quad.Violations[i], lin.Violations[i]
+		if q.Rule != l.Rule || q.Severity != l.Severity || q.A.Loc() != l.A.Loc() || q.B.Loc() != l.B.Loc() {
+			t.Errorf("violation %d differs:\nquad: %v\nlin:  %v", i, q, l)
+		}
+	}
+}
+
+func TestQuadraticMatchesLinearOnManyRandomOps(t *testing.T) {
+	// A denser scenario: several origins putting/getting at varied
+	// displacements plus local accesses at targets.
+	b := testutil.NewTraceBuilder(4)
+	b.WinCreate(1, 0x1000, 256)
+	b.Fence(1)
+	line := int32(100)
+	for origin := int32(0); origin < 4; origin++ {
+		for k := uint64(0); k < 5; k++ {
+			disp := (uint64(origin)*16 + k*8) % 64
+			ev := putEv(3, 0x500+16*k, disp, line)
+			if k%2 == 1 {
+				ev.Kind = trace.KindGet
+			}
+			if origin != 3 {
+				b.Add(origin, ev)
+			}
+			line++
+		}
+	}
+	b.Add(3, trace.Event{Kind: trace.KindStore, Addr: 0x1008, Size: 4, File: "app.go", Line: line})
+	b.Fence(1)
+	set := b.Set()
+
+	quad, err := QuadraticAnalyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := core.AnalyzeWith(set, core.Options{CrossProcess: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quad.Violations) != len(lin.Violations) {
+		t.Fatalf("quadratic %d vs linear %d violations", len(quad.Violations), len(lin.Violations))
+	}
+	if len(quad.Violations) == 0 {
+		t.Fatal("scenario should produce conflicts")
+	}
+	for i := range quad.Violations {
+		if quad.Violations[i].Rule != lin.Violations[i].Rule {
+			t.Errorf("rule %d: %q vs %q", i, quad.Violations[i].Rule, lin.Violations[i].Rule)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import "repro/internal/trace"
+
+// Op is the access class used by the compatibility matrix (paper Table I).
+type Op uint8
+
+const (
+	OpLoad Op = iota
+	OpStore
+	OpGet
+	OpPut
+	OpAcc
+	numOps
+)
+
+var opNames = [...]string{"Load", "Store", "Get", "Put", "Acc"}
+
+func (o Op) String() string { return opNames[o] }
+
+// OpOf classifies a trace event kind as a matrix access class. The MPI-3
+// fetching atomics classify as Acc: they update target memory and enjoy
+// the accumulate-family atomicity exception.
+func OpOf(k trace.Kind) (Op, bool) {
+	switch k {
+	case trace.KindLoad:
+		return OpLoad, true
+	case trace.KindStore:
+		return OpStore, true
+	case trace.KindGet:
+		return OpGet, true
+	case trace.KindPut:
+		return OpPut, true
+	case trace.KindAccumulate, trace.KindGetAccumulate,
+		trace.KindFetchOp, trace.KindCompareSwap:
+		return OpAcc, true
+	}
+	return 0, false
+}
+
+// Compat is a cell of the compatibility matrix.
+type Compat uint8
+
+const (
+	// Both: overlapping and non-overlapping combinations are permitted.
+	Both Compat = iota
+	// NonOverlap: only non-overlapping combinations are permitted.
+	NonOverlap
+	// Error: the combination is erroneous even without buffer overlap.
+	Error
+)
+
+var compatNames = [...]string{"BOTH", "NON-OV", "ERROR"}
+
+func (c Compat) String() string { return compatNames[c] }
+
+// compatTable is Table I of the paper, covering concurrent accesses to
+// memory exposed in an RMA window. The matrix is symmetric; the published
+// table has two asymmetric cells (Load×Acc and Store×Acc) that contradict
+// its own lower triangle and the MPI-2.2 rules quoted in the paper's prose
+// ("a local store cannot be combined with any MPI_Put or MPI_Accumulate
+// even when they do not have any buffer overlap", §IV-C-4); this
+// implementation uses the symmetric closure consistent with that prose.
+//
+// The Acc×Acc entry is BOTH only for accumulates using the same operation
+// and basic datatype; the detector applies that exception before consulting
+// the table (paper §II-A).
+var compatTable = [numOps][numOps]Compat{
+	//            Load        Store       Get         Put         Acc
+	OpLoad:  {Both /*   */, Both, Both, NonOverlap, NonOverlap},
+	OpStore: {Both /*   */, Both, NonOverlap, Error, Error},
+	OpGet:   {Both /*   */, NonOverlap, Both, NonOverlap, NonOverlap},
+	OpPut:   {NonOverlap, Error, NonOverlap, NonOverlap, NonOverlap},
+	OpAcc:   {NonOverlap, Error, NonOverlap, NonOverlap, Both},
+}
+
+// Table returns the compatibility matrix cell for two concurrent access
+// classes on the same window.
+func Table(a, b Op) Compat { return compatTable[a][b] }
+
+// AccSameOpException reports whether two events are accumulate-family
+// operations combining with the same operation and the same basic datatype
+// — the combination MPI permits to overlap (paper §II-A; extended to the
+// MPI-3 fetching atomics, which are elementwise-atomic with each other
+// under the same conditions).
+func AccSameOpException(a, b *trace.Event) bool {
+	if !a.Kind.IsAccFamily() || !b.Kind.IsAccFamily() {
+		return false
+	}
+	// Basic datatype comparison: both target types must resolve to the same
+	// predefined type id (derived types built from it compare by id only
+	// when predefined; conservative otherwise).
+	if a.TargetType != b.TargetType || !trace.IsPredefinedType(a.TargetType) {
+		return false
+	}
+	aCAS := a.Kind == trace.KindCompareSwap
+	bCAS := b.Kind == trace.KindCompareSwap
+	if aCAS || bCAS {
+		return aCAS && bCAS // concurrent CAS to the same element is atomic
+	}
+	if a.AccOp != b.AccOp {
+		return false
+	}
+	// MPI-2.2 forbids overlapping REPLACE accumulates (they act as puts);
+	// the MPI-3 fetching family makes same-op REPLACE atomic (atomic swap).
+	if a.AccOp == trace.OpReplace &&
+		a.Kind == trace.KindAccumulate && b.Kind == trace.KindAccumulate {
+		return false
+	}
+	return true
+}
+
+// EffectiveCompat returns the matrix cell governing two concrete events,
+// applying the accumulate exception: Acc×Acc is BOTH only for the same
+// operation and basic datatype, and NON-OV otherwise.
+func EffectiveCompat(a, b *trace.Event) Compat {
+	opA, okA := OpOf(a.Kind)
+	opB, okB := OpOf(b.Kind)
+	if !okA || !okB {
+		return Both
+	}
+	if opA == OpAcc && opB == OpAcc {
+		if AccSameOpException(a, b) {
+			return Both
+		}
+		return NonOverlap
+	}
+	return Table(opA, opB)
+}
+
+// TableRows renders the matrix for reports and the Table I experiment.
+func TableRows() [][]string {
+	rows := make([][]string, 0, numOps+1)
+	header := []string{""}
+	for o := Op(0); o < numOps; o++ {
+		header = append(header, o.String())
+	}
+	rows = append(rows, header)
+	for a := Op(0); a < numOps; a++ {
+		row := []string{a.String()}
+		for b := Op(0); b < numOps; b++ {
+			row = append(row, Table(a, b).String())
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

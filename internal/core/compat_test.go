@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestTableI checks the compatibility matrix against the paper's Table I
+// (using the symmetric closure of the published table; see compatTable).
+func TestTableI(t *testing.T) {
+	want := map[[2]Op]Compat{
+		{OpLoad, OpLoad}:   Both,
+		{OpLoad, OpStore}:  Both,
+		{OpLoad, OpGet}:    Both,
+		{OpLoad, OpPut}:    NonOverlap,
+		{OpLoad, OpAcc}:    NonOverlap,
+		{OpStore, OpStore}: Both,
+		{OpStore, OpGet}:   NonOverlap,
+		{OpStore, OpPut}:   Error,
+		{OpStore, OpAcc}:   Error,
+		{OpGet, OpGet}:     Both,
+		{OpGet, OpPut}:     NonOverlap,
+		{OpGet, OpAcc}:     NonOverlap,
+		{OpPut, OpPut}:     NonOverlap,
+		{OpPut, OpAcc}:     NonOverlap,
+		{OpAcc, OpAcc}:     Both,
+	}
+	for pair, c := range want {
+		if got := Table(pair[0], pair[1]); got != c {
+			t.Errorf("Table(%v,%v) = %v, want %v", pair[0], pair[1], got, c)
+		}
+		if got := Table(pair[1], pair[0]); got != c {
+			t.Errorf("Table(%v,%v) = %v, want %v (symmetry)", pair[1], pair[0], got, c)
+		}
+	}
+}
+
+func TestTableSymmetric(t *testing.T) {
+	for a := Op(0); a < numOps; a++ {
+		for b := Op(0); b < numOps; b++ {
+			if Table(a, b) != Table(b, a) {
+				t.Errorf("matrix asymmetric at (%v,%v)", a, b)
+			}
+		}
+	}
+}
+
+func TestOpOf(t *testing.T) {
+	cases := map[trace.Kind]Op{
+		trace.KindLoad:       OpLoad,
+		trace.KindStore:      OpStore,
+		trace.KindGet:        OpGet,
+		trace.KindPut:        OpPut,
+		trace.KindAccumulate: OpAcc,
+	}
+	for k, want := range cases {
+		got, ok := OpOf(k)
+		if !ok || got != want {
+			t.Errorf("OpOf(%v) = %v,%v", k, got, ok)
+		}
+	}
+	if _, ok := OpOf(trace.KindBarrier); ok {
+		t.Error("Barrier must not classify")
+	}
+}
+
+func TestAccSameOpException(t *testing.T) {
+	mk := func(op trace.AccOp, typ int32) *trace.Event {
+		return &trace.Event{Kind: trace.KindAccumulate, AccOp: op, TargetType: typ}
+	}
+	if !AccSameOpException(mk(trace.OpSum, trace.TypeFloat64), mk(trace.OpSum, trace.TypeFloat64)) {
+		t.Error("same-op same-type accumulates must be exempt")
+	}
+	if AccSameOpException(mk(trace.OpSum, trace.TypeFloat64), mk(trace.OpMax, trace.TypeFloat64)) {
+		t.Error("different ops must not be exempt")
+	}
+	if AccSameOpException(mk(trace.OpSum, trace.TypeFloat64), mk(trace.OpSum, trace.TypeInt32)) {
+		t.Error("different types must not be exempt")
+	}
+	if AccSameOpException(mk(trace.OpReplace, trace.TypeFloat64), mk(trace.OpReplace, trace.TypeFloat64)) {
+		t.Error("REPLACE acts like Put and must not be exempt")
+	}
+	if AccSameOpException(mk(trace.OpSum, trace.TypeUserBase), mk(trace.OpSum, trace.TypeUserBase)) {
+		t.Error("derived types must be conservative (not exempt)")
+	}
+	put := &trace.Event{Kind: trace.KindPut}
+	if AccSameOpException(put, mk(trace.OpSum, trace.TypeFloat64)) {
+		t.Error("non-accumulate must not be exempt")
+	}
+}
+
+func TestTableRows(t *testing.T) {
+	rows := TableRows()
+	if len(rows) != 6 || len(rows[0]) != 6 {
+		t.Fatalf("rows shape = %dx%d", len(rows), len(rows[0]))
+	}
+	if rows[0][1] != "Load" || rows[4][0] != "Put" {
+		t.Errorf("header wrong: %v", rows[0])
+	}
+	if rows[2][4] != "ERROR" { // Store × Put
+		t.Errorf("Store×Put cell = %q", rows[2][4])
+	}
+}

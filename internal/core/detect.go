@@ -1,0 +1,547 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dag"
+	"repro/internal/memory"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// Options selects which detectors run; the defaults (via Analyze) run both.
+// Disabling one reproduces the baselines the paper compares against:
+// SyncChecker detects only within-epoch errors (§VII).
+type Options struct {
+	IntraEpoch   bool
+	CrossProcess bool
+
+	// Workers parallelizes the cross-process detection across concurrent
+	// regions (regions are independent by construction) — the
+	// multithreaded analyzer the paper names as planned work (§VI: the
+	// offline analyzer "is implemented as a single-threaded application
+	// ... We plan to further improve it by using multithreaded
+	// programming"). 0 or 1 analyzes serially; results are identical and
+	// deterministically ordered either way.
+	Workers int
+}
+
+// DefaultOptions runs the full MC-Checker analysis.
+func DefaultOptions() Options { return Options{IntraEpoch: true, CrossProcess: true} }
+
+// Analyzer runs DN-Analyzer's detection phase over a built model, matching
+// and DAG (paper §IV-C-3 and §IV-C-4).
+type Analyzer struct {
+	m       *model.Model
+	d       *dag.DAG
+	epochs  []*Epoch
+	opEpoch map[trace.ID]*Epoch
+	opts    Options
+
+	report *Report
+	vindex map[string]*Violation
+}
+
+// NewAnalyzer assembles an analyzer from the pipeline pieces.
+func NewAnalyzer(m *model.Model, d *dag.DAG, epochs []*Epoch, opEpoch map[trace.ID]*Epoch, opts Options) *Analyzer {
+	return &Analyzer{
+		m: m, d: d, epochs: epochs, opEpoch: opEpoch, opts: opts,
+		report: &Report{}, vindex: map[string]*Violation{},
+	}
+}
+
+// Run executes the enabled detectors and returns the report.
+func (a *Analyzer) Run() (*Report, error) {
+	a.report.EventsAnalyzed = a.m.Set.TotalEvents()
+	if a.opts.IntraEpoch {
+		if err := a.detectIntraEpoch(); err != nil {
+			return nil, err
+		}
+	}
+	if a.opts.CrossProcess {
+		if err := a.detectCrossProcess(); err != nil {
+			return nil, err
+		}
+	}
+	a.report.Sort()
+	return a.report, nil
+}
+
+// originClass returns how an RMA operation uses its origin buffer: Put and
+// Accumulate read it (load-like), Get writes it (store-like).
+func originClass(k trace.Kind) Op {
+	if k == trace.KindGet {
+		return OpStore
+	}
+	return OpLoad
+}
+
+// messageBufferClass classifies how a point-to-point or collective call
+// uses the buffer logged in its origin fields, per the paper's rule that
+// "the local operations include the local load/store and all MPI calls
+// performed to a local buffer" (§IV-C-4). The trace records one buffer per
+// call: the send side for sends and contributing collectives, the receive
+// side for receives and Scatter, and the root-dependent single buffer for
+// Bcast. Receive-side buffers of Gather/Allgather/Alltoall are not logged —
+// a documented under-approximation shared with the paper's scope.
+func (a *Analyzer) messageBufferClass(ev *trace.Event) (Op, bool) {
+	if ev.OriginCount <= 0 {
+		return 0, false
+	}
+	switch ev.Kind {
+	case trace.KindSend, trace.KindIsend:
+		return OpLoad, true
+	case trace.KindRecv, trace.KindIrecv, trace.KindScatter:
+		return OpStore, true
+	case trace.KindReduce, trace.KindAllreduce, trace.KindGather,
+		trace.KindAllgather, trace.KindAlltoall:
+		return OpLoad, true
+	case trace.KindBcast:
+		ci, err := a.m.Comm(ev.Comm)
+		if err != nil {
+			return 0, false
+		}
+		root, err := ci.World(ev.Peer)
+		if err != nil {
+			return 0, false
+		}
+		if root == ev.Rank {
+			return OpLoad, true
+		}
+		return OpStore, true
+	}
+	return 0, false
+}
+
+// detectIntraEpoch finds conflicts inside single epochs (paper §IV-C-3,
+// error class 1; Figures 1 and 2a). Within an epoch, issued one-sided
+// operations are unordered with everything that follows them up to the
+// closing synchronization call, so:
+//
+//   - a local access overlapping the origin buffer of an issued Get
+//     conflicts (the Get may complete at any time up to the close);
+//   - a local store overlapping the origin buffer of an issued Put or
+//     Accumulate conflicts (the transfer may read the buffer at any time);
+//   - two issued operations conflict if their origin buffers overlap with
+//     at least one writer, or if their target regions at the same target
+//     process overlap incompatibly per Table I.
+func (a *Analyzer) detectIntraEpoch() error {
+	for _, e := range a.epochs {
+		a.report.EpochsChecked++
+		if err := a.checkEpoch(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// localSide is one origin-process buffer an issued operation touches: the
+// origin buffer (read by Put/Acc-family, written by Get) and, for fetching
+// atomics, the result buffer (written at completion).
+type localSide struct {
+	fp    model.Footprint
+	write bool
+	role  string // "origin" or "result", for diagnostics
+}
+
+type issuedOp struct {
+	ev     *trace.Event
+	locals []localSide
+	target model.Footprint
+	tw     int32
+	// localDone is set by Win_flush_local: the operation's local buffers
+	// are complete, so later local accesses are ordered after them.
+	localDone bool
+}
+
+func (a *Analyzer) localSidesOf(ev *trace.Event) ([]localSide, error) {
+	origin, err := a.m.OriginFootprint(ev)
+	if err != nil {
+		return nil, err
+	}
+	sides := []localSide{{fp: origin, write: ev.Kind == trace.KindGet, role: "origin"}}
+	if ev.ResultCount > 0 {
+		result, err := a.m.ResultFootprint(ev)
+		if err != nil {
+			return nil, err
+		}
+		sides = append(sides, localSide{fp: result, write: true, role: "result"})
+	}
+	return sides, nil
+}
+
+// checkEpoch finds conflicts inside one epoch. Win_flush completes all
+// pending operations to its target (removing them from consideration);
+// Win_flush_local completes only their local buffers.
+func (a *Analyzer) checkEpoch(e *Epoch) error {
+	t := a.m.Set.Traces[e.Rank]
+	var ops []issuedOp
+	opSet := make(map[trace.ID]bool, len(e.Ops))
+	for _, id := range e.Ops {
+		opSet[id] = true
+	}
+	flushTargetWorld := func(ev *trace.Event) (int32, bool, error) {
+		if ev.Target < 0 {
+			return 0, true, nil // flush_all
+		}
+		tw, err := lockTargetWorld(a.m, ev)
+		return tw, false, err
+	}
+
+	for seq := e.Start + 1; seq < e.End && seq < int64(len(t.Events)); seq++ {
+		ev := &t.Events[seq]
+		switch {
+		case ev.Kind == trace.KindWinFlush && ev.Win == e.Win:
+			tw, all, err := flushTargetWorld(ev)
+			if err != nil {
+				return err
+			}
+			kept := ops[:0]
+			for _, o := range ops {
+				if !all && o.tw != tw {
+					kept = append(kept, o)
+				}
+			}
+			ops = kept
+		case ev.Kind == trace.KindWinFlushLocal && ev.Win == e.Win:
+			tw, all, err := flushTargetWorld(ev)
+			if err != nil {
+				return err
+			}
+			for i := range ops {
+				if all || ops[i].tw == tw {
+					ops[i].localDone = true
+				}
+			}
+		case ev.Kind.IsLocalAccess():
+			acc := model.AccessFootprint(ev)
+			accWrite := ev.Kind == trace.KindStore
+			for i := range ops {
+				o := &ops[i]
+				if o.localDone {
+					continue
+				}
+				for _, side := range o.locals {
+					iv, overlap := acc.Overlaps(side.fp)
+					if !overlap || (!accWrite && !side.write) {
+						continue
+					}
+					a.report.add(a.vindex, &Violation{
+						Severity: SevError,
+						Class:    WithinEpoch,
+						Rule: fmt.Sprintf("local %s overlaps the %s buffer of a pending %s in the same epoch",
+							ev.Kind, side.role, o.ev.Kind),
+						A: *o.ev, B: *ev, Win: e.Win, Overlap: iv,
+					})
+				}
+			}
+		case opSet[ev.ID()]:
+			locals, err := a.localSidesOf(ev)
+			if err != nil {
+				return err
+			}
+			target, err := a.m.TargetFootprint(ev)
+			if err != nil {
+				return err
+			}
+			tw := target.Rank
+			for i := range ops {
+				o := &ops[i]
+				// Local-side pairs: conflict when overlapping with at
+				// least one writer, unless the older op's local buffers
+				// were completed by a flush_local.
+				if !o.localDone {
+					for _, os := range o.locals {
+						for _, ns := range locals {
+							if !os.write && !ns.write {
+								continue
+							}
+							if iv, ok := ns.fp.Overlaps(os.fp); ok {
+								a.report.add(a.vindex, &Violation{
+									Severity: SevError,
+									Class:    WithinEpoch,
+									Rule: fmt.Sprintf("%s buffer of %s overlaps the %s buffer of %s within one epoch",
+										ns.role, ev.Kind, os.role, o.ev.Kind),
+									A: *o.ev, B: *ev, Win: e.Win, Overlap: iv,
+								})
+							}
+						}
+					}
+				}
+				// Target-target at the same target process.
+				if o.tw == tw {
+					if iv, ok := target.Overlaps(o.target); ok {
+						if EffectiveCompat(o.ev, ev) != Both {
+							a.report.add(a.vindex, &Violation{
+								Severity: SevError,
+								Class:    WithinEpoch,
+								Rule: fmt.Sprintf("%s and %s to overlapping target regions within one epoch",
+									o.ev.Kind, ev.Kind),
+								A: *o.ev, B: *ev, Win: e.Win, Overlap: iv,
+							})
+						}
+					}
+				}
+			}
+			ops = append(ops, issuedOp{ev: ev, locals: locals, target: target, tw: tw})
+		}
+	}
+	return nil
+}
+
+// storedOp is one remote one-sided operation recorded in a window vector
+// during cross-process detection (paper §IV-C-4).
+type storedOp struct {
+	ev     *trace.Event
+	target model.Footprint
+	epoch  *Epoch
+}
+
+// detectCrossProcess finds conflicts between processes (paper §IV-C-4,
+// error class 2; Figures 2b–2d). For each concurrent region it records all
+// one-sided operations per (window, target process) vector, checking each
+// new operation against the stored ones, then checks every local operation
+// (loads, stores, and RMA origin-buffer accesses) of each target process
+// against the stored remote operations — the two-step linear-time approach
+// of the paper, rather than examining every pair of operations in the
+// region.
+//
+// Regions are sequentially ordered and independent, so with Options.Workers
+// > 1 they are analyzed concurrently and the per-region results merged in
+// region order, keeping the output deterministic.
+func (a *Analyzer) detectCrossProcess() error {
+	regions := a.d.Regions()
+	a.report.Regions = len(regions)
+	if a.opts.Workers <= 1 || len(regions) < 2 {
+		col := &collector{report: a.report, vindex: a.vindex}
+		for _, rg := range regions {
+			if err := a.checkRegion(rg, col); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	type result struct {
+		col *collector
+		err error
+	}
+	results := make([]result, len(regions))
+	work := make(chan int)
+	var wg sync.WaitGroup
+	workers := a.opts.Workers
+	if workers > len(regions) {
+		workers = len(regions)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				col := &collector{report: &Report{}, vindex: map[string]*Violation{}}
+				err := a.checkRegion(regions[i], col)
+				results[i] = result{col: col, err: err}
+			}
+		}()
+	}
+	for i := range regions {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	for _, res := range results {
+		if res.err != nil {
+			return res.err
+		}
+		for _, v := range res.col.report.Violations {
+			a.report.addCounted(a.vindex, v)
+		}
+	}
+	return nil
+}
+
+// collector receives the violations of one analysis scope.
+type collector struct {
+	report *Report
+	vindex map[string]*Violation
+}
+
+func (c *collector) add(v *Violation) { c.report.add(c.vindex, v) }
+
+type winTarget struct {
+	win int32
+	tw  int32
+}
+
+func (a *Analyzer) checkRegion(rg dag.Region, col *collector) error {
+	vectors := map[winTarget][]storedOp{}
+
+	// Step 1: remote one-sided operations, checked pairwise per vector.
+	for r := 0; r < a.m.Set.Ranks(); r++ {
+		t := a.m.Set.Traces[r]
+		lo, hi := rg.Span(int32(r))
+		for seq := lo; seq < hi; seq++ {
+			ev := &t.Events[seq]
+			if !ev.Kind.IsRMAComm() {
+				continue
+			}
+			target, err := a.m.TargetFootprint(ev)
+			if err != nil {
+				return err
+			}
+			key := winTarget{win: ev.Win, tw: target.Rank}
+			cur := storedOp{ev: ev, target: target, epoch: a.opEpoch[ev.ID()]}
+			for i := range vectors[key] {
+				prev := &vectors[key][i]
+				if prev.ev.Rank == ev.Rank {
+					continue // same-process pairs are the intra-epoch detector's job
+				}
+				if !a.d.Concurrent(prev.ev.ID(), ev.ID()) {
+					continue
+				}
+				iv, overlap := target.Overlaps(prev.target)
+				if !overlap {
+					continue
+				}
+				if EffectiveCompat(prev.ev, ev) == Both {
+					continue
+				}
+				col.add(&Violation{
+					Severity: a.rmaPairSeverity(prev, &cur),
+					Class:    AcrossProcesses,
+					Rule: fmt.Sprintf("concurrent %s and %s from different processes overlap in the target window",
+						prev.ev.Kind, ev.Kind),
+					A: *prev.ev, B: *ev, Win: ev.Win, Overlap: iv, Region: rg.Index,
+				})
+			}
+			vectors[key] = append(vectors[key], cur)
+		}
+	}
+
+	// Step 2: local operations at each process against the stored remote
+	// operations on that process's window buffers.
+	for r := 0; r < a.m.Set.Ranks(); r++ {
+		t := a.m.Set.Traces[r]
+		lo, hi := rg.Span(int32(r))
+		for seq := lo; seq < hi; seq++ {
+			ev := &t.Events[seq]
+			switch {
+			case ev.Kind.IsLocalAccess():
+				cls := OpLoad
+				if ev.Kind == trace.KindStore {
+					cls = OpStore
+				}
+				acc := model.AccessFootprint(ev)
+				a.checkLocalAgainstVectors(rg, vectors, ev, cls, acc, true, col)
+			case ev.Kind.IsRMAComm():
+				// The origin buffer access of an RMA call is treated as a
+				// local load (Put/Acc) or store (Get); the no-overlap store
+				// rule explicitly does not apply to it (paper §IV-C-4).
+				origin, err := a.m.OriginFootprint(ev)
+				if err != nil {
+					return err
+				}
+				a.checkLocalAgainstVectors(rg, vectors, ev, originClass(ev.Kind), origin, false, col)
+				if ev.ResultCount > 0 {
+					// The result buffer of a fetching atomic is written at
+					// completion: a store-class local access.
+					result, err := a.m.ResultFootprint(ev)
+					if err != nil {
+						return err
+					}
+					a.checkLocalAgainstVectors(rg, vectors, ev, OpStore, result, false, col)
+				}
+			default:
+				// Point-to-point and collective calls access local buffers
+				// too ("all MPI calls performed to a local buffer").
+				if cls, ok := a.messageBufferClass(ev); ok {
+					fp, err := a.m.OriginFootprint(ev)
+					if err != nil {
+						return err
+					}
+					a.checkLocalAgainstVectors(rg, vectors, ev, cls, fp, false, col)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkLocalAgainstVectors compares one local operation of process
+// fp.Rank against the remote one-sided operations stored for windows at
+// that process. storeRuleApplies enables the MPI-2.2 rule that a local
+// store may not be concurrent with any Put or Accumulate epoch exposing
+// the same window, even without byte overlap.
+func (a *Analyzer) checkLocalAgainstVectors(rg dag.Region, vectors map[winTarget][]storedOp,
+	ev *trace.Event, cls Op, fp model.Footprint, storeRuleApplies bool, col *collector) {
+	for _, iv := range fp.Intervals {
+		wi, ok := a.m.WindowAt(fp.Rank, iv)
+		if !ok {
+			continue
+		}
+		for i := range vectors[winTarget{win: wi.ID, tw: fp.Rank}] {
+			op := &vectors[winTarget{win: wi.ID, tw: fp.Rank}][i]
+			if op.ev.Rank == ev.Rank {
+				continue
+			}
+			if !a.d.Concurrent(op.ev.ID(), ev.ID()) {
+				continue
+			}
+			opCls, _ := OpOf(op.ev.Kind)
+			cell := Table(opCls, cls)
+			var overlapIv memory.Interval
+			conflict := false
+			switch cell {
+			case Both:
+				continue
+			case NonOverlap:
+				overlapIv, conflict = fp.Overlaps(op.target)
+			case Error:
+				// Store vs Put/Acc: erroneous without overlap — but only
+				// for true local stores, not Get origin-buffer writes.
+				if storeRuleApplies {
+					conflict = true
+					overlapIv, _ = fp.Overlaps(op.target)
+				} else {
+					overlapIv, conflict = fp.Overlaps(op.target)
+				}
+			}
+			if !conflict {
+				continue
+			}
+			rule := fmt.Sprintf("local %s at the target process conflicts with a concurrent remote %s",
+				cls, op.ev.Kind)
+			if cell == Error && overlapIv.Empty() {
+				rule = fmt.Sprintf("local %s to window %d while a concurrent remote %s updates the window (erroneous even without overlap)",
+					cls, wi.ID, op.ev.Kind)
+			}
+			col.add(&Violation{
+				Severity: a.localPairSeverity(op),
+				Class:    AcrossProcesses,
+				Rule:     rule,
+				A:        *op.ev, B: *ev, Win: wi.ID, Overlap: overlapIv, Region: rg.Index,
+			})
+		}
+	}
+}
+
+// rmaPairSeverity downgrades conflicts serialized by exclusive locks to
+// warnings (paper §VII-A-2: the original lockopts bug with an exclusive
+// lock is reported as a warning only).
+func (a *Analyzer) rmaPairSeverity(x, y *storedOp) Severity {
+	if x.epoch != nil && y.epoch != nil &&
+		x.epoch.Kind == EpochLockExclusive && y.epoch.Kind == EpochLockExclusive &&
+		x.epoch.Target == y.epoch.Target {
+		return SevWarning
+	}
+	return SevError
+}
+
+func (a *Analyzer) localPairSeverity(op *storedOp) Severity {
+	if op.epoch != nil && op.epoch.Kind == EpochLockExclusive {
+		return SevWarning
+	}
+	return SevError
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+func TestHints(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *testutil.TraceBuilder
+		want  string
+	}{
+		{
+			name: "get-origin",
+			build: func() *testutil.TraceBuilder {
+				b := testutil.NewTraceBuilder(2)
+				b.WinCreate(1, 0x1000, 64)
+				b.Fence(1)
+				b.Add(0, getEv(1, 0x500, 0, 1))
+				b.Add(0, loc(trace.Event{Kind: trace.KindLoad, Addr: 0x500, Size: 4}, 2))
+				b.Fence(1)
+				return b
+			},
+			want: "close the epoch",
+		},
+		{
+			name: "put-origin",
+			build: func() *testutil.TraceBuilder {
+				b := testutil.NewTraceBuilder(2)
+				b.WinCreate(1, 0x1000, 64)
+				b.Fence(1)
+				b.Add(0, putEv(1, 0x500, 0, 1))
+				b.Add(0, loc(trace.Event{Kind: trace.KindStore, Addr: 0x500, Size: 4}, 2))
+				b.Fence(1)
+				return b
+			},
+			want: "delay reuse of the origin buffer",
+		},
+		{
+			name: "store-rule",
+			build: func() *testutil.TraceBuilder {
+				b := testutil.NewTraceBuilder(2)
+				b.WinCreate(1, 0x1000, 64)
+				b.Add(0, loc(trace.Event{Kind: trace.KindWinLock, Win: 1, Target: 1, Lock: trace.LockShared}, 1))
+				b.Add(0, putEv(1, 0x500, 0, 2))
+				b.Add(0, loc(trace.Event{Kind: trace.KindWinUnlock, Win: 1, Target: 1}, 3))
+				b.Add(1, loc(trace.Event{Kind: trace.KindStore, Addr: 0x1020, Size: 4}, 4))
+				return b
+			},
+			want: "interprocess synchronization",
+		},
+		{
+			name: "cross-rma",
+			build: func() *testutil.TraceBuilder {
+				b := testutil.NewTraceBuilder(3)
+				b.WinCreate(1, 0x1000, 64)
+				b.Fence(1)
+				b.Add(0, putEv(1, 0x500, 0, 1))
+				b.Add(2, putEv(1, 0x700, 0, 2))
+				b.Fence(1)
+				return b
+			},
+			want: "order the conflicting epochs",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep := analyze(t, c.build())
+			if len(rep.Violations) == 0 {
+				t.Fatal("no violation")
+			}
+			v := rep.Violations[0]
+			if !strings.Contains(v.Hint(), c.want) {
+				t.Errorf("hint = %q, want substring %q (rule %q)", v.Hint(), c.want, v.Rule)
+			}
+			if !strings.Contains(v.String(), "hint: ") {
+				t.Error("String() must include the hint")
+			}
+		})
+	}
+}

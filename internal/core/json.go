@@ -1,0 +1,76 @@
+package core
+
+import (
+	"encoding/json"
+	"path"
+)
+
+// JSON representations for tooling: a stable, flat schema independent of
+// the internal event structure.
+
+type eventJSON struct {
+	Rank int32  `json:"rank"`
+	Op   string `json:"op"`
+	File string `json:"file"`
+	Line int32  `json:"line"`
+	Func string `json:"func,omitempty"`
+}
+
+type overlapJSON struct {
+	Lo uint64 `json:"lo"`
+	Hi uint64 `json:"hi"`
+}
+
+type violationJSON struct {
+	Severity string       `json:"severity"`
+	Class    string       `json:"class"`
+	Rule     string       `json:"rule"`
+	Hint     string       `json:"hint"`
+	First    eventJSON    `json:"first"`
+	Second   eventJSON    `json:"second"`
+	Window   int32        `json:"window"`
+	Overlap  *overlapJSON `json:"overlap,omitempty"`
+	Region   int          `json:"region"`
+	Count    int          `json:"count"`
+}
+
+type reportJSON struct {
+	Violations     []violationJSON `json:"violations"`
+	Errors         int             `json:"errors"`
+	Warnings       int             `json:"warnings"`
+	EventsAnalyzed int             `json:"events_analyzed"`
+	Regions        int             `json:"regions"`
+	Epochs         int             `json:"epochs"`
+}
+
+// JSON renders the report as indented JSON with a stable schema.
+func (r *Report) JSON() ([]byte, error) {
+	out := reportJSON{
+		Violations:     []violationJSON{},
+		Errors:         len(r.Errors()),
+		Warnings:       len(r.Warnings()),
+		EventsAnalyzed: r.EventsAnalyzed,
+		Regions:        r.Regions,
+		Epochs:         r.EpochsChecked,
+	}
+	for _, v := range r.Violations {
+		vj := violationJSON{
+			Severity: v.Severity.String(),
+			Class:    v.Class.String(),
+			Rule:     v.Rule,
+			Hint:     v.Hint(),
+			First: eventJSON{Rank: v.A.Rank, Op: v.A.Kind.String(),
+				File: path.Base(v.A.File), Line: v.A.Line, Func: shortFunc(v.A.Func)},
+			Second: eventJSON{Rank: v.B.Rank, Op: v.B.Kind.String(),
+				File: path.Base(v.B.File), Line: v.B.Line, Func: shortFunc(v.B.Func)},
+			Window: v.Win,
+			Region: v.Region,
+			Count:  v.Count,
+		}
+		if !v.Overlap.Empty() {
+			vj.Overlap = &overlapJSON{Lo: v.Overlap.Lo, Hi: v.Overlap.Hi}
+		}
+		out.Violations = append(out.Violations, vj)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+func TestReportJSON(t *testing.T) {
+	b := testutil.NewTraceBuilder(2)
+	b.WinCreate(1, 0x1000, 64)
+	b.Fence(1)
+	b.Add(0, putEv(1, 0x500, 0, 10))
+	b.Add(0, loc(trace.Event{Kind: trace.KindStore, Addr: 0x500, Size: 4}, 11))
+	b.Fence(1)
+	rep := analyze(t, b)
+
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Violations []struct {
+			Severity string `json:"severity"`
+			Class    string `json:"class"`
+			Rule     string `json:"rule"`
+			First    struct {
+				Rank int32  `json:"rank"`
+				Op   string `json:"op"`
+				File string `json:"file"`
+				Line int32  `json:"line"`
+			} `json:"first"`
+			Overlap *struct {
+				Lo, Hi uint64
+			} `json:"overlap"`
+			Count int `json:"count"`
+		} `json:"violations"`
+		Errors int `json:"errors"`
+		Epochs int `json:"epochs"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if decoded.Errors != 1 || len(decoded.Violations) != 1 {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	v := decoded.Violations[0]
+	if v.Severity != "ERROR" || v.Class != "within-epoch" || v.First.Op != "Put" {
+		t.Errorf("violation json = %+v", v)
+	}
+	if v.First.File != "app.go" || v.First.Line != 10 {
+		t.Errorf("location json = %+v", v.First)
+	}
+	if v.Overlap == nil || v.Overlap.Hi-v.Overlap.Lo != 4 {
+		t.Errorf("overlap json = %+v", v.Overlap)
+	}
+	if v.Count != 1 {
+		t.Errorf("count = %d", v.Count)
+	}
+
+	// Empty report serializes with an empty array, not null.
+	empty := &Report{}
+	data, err = empty.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m["violations"].([]any); !ok {
+		t.Errorf("violations must be an array: %s", data)
+	}
+}

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+// --- hand-built trace tests for the MPI-3 rules --------------------------
+
+func faoEv(target int32, originAddr, resultAddr uint64, op trace.AccOp, line int32) trace.Event {
+	return trace.Event{Kind: trace.KindFetchOp, Win: 1, Target: target, AccOp: op,
+		OriginAddr: originAddr, OriginType: trace.TypeInt64, OriginCount: 1,
+		TargetDisp: 0, TargetType: trace.TypeInt64, TargetCount: 1,
+		ResultAddr: resultAddr, ResultType: trace.TypeInt64, ResultCount: 1,
+		File: "m3.go", Line: line}
+}
+
+func lockAllWrap(b *testutil.TraceBuilder, rank int32, line int32, mid ...trace.Event) {
+	b.Add(rank, trace.Event{Kind: trace.KindWinLockAll, Win: 1, File: "m3.go", Line: line})
+	for _, ev := range mid {
+		b.Add(rank, ev)
+	}
+	b.Add(rank, trace.Event{Kind: trace.KindWinUnlockAll, Win: 1, File: "m3.go", Line: line + 10})
+}
+
+// Concurrent same-op Fetch_and_op calls to the same element are atomic:
+// no violation (the accumulate-family exception).
+func TestFetchOpSameOpAtomic(t *testing.T) {
+	b := testutil.NewTraceBuilder(3)
+	b.WinCreate(1, 0x1000, 64)
+	lockAllWrap(b, 0, 10, faoEv(2, 0x500, 0x540, trace.OpSum, 11))
+	lockAllWrap(b, 1, 20, faoEv(2, 0x500, 0x540, trace.OpSum, 21))
+	rep := analyze(t, b)
+	if len(rep.Violations) != 0 {
+		t.Errorf("same-op fetch_and_op flagged:\n%s", rep)
+	}
+}
+
+// Mixed operations conflict (SUM vs PROD), and FetchOp vs plain Put
+// conflicts like any update pair.
+func TestFetchOpMixedOpsConflict(t *testing.T) {
+	b := testutil.NewTraceBuilder(3)
+	b.WinCreate(1, 0x1000, 64)
+	lockAllWrap(b, 0, 10, faoEv(2, 0x500, 0x540, trace.OpSum, 11))
+	lockAllWrap(b, 1, 20, faoEv(2, 0x500, 0x540, trace.OpProd, 21))
+	rep := analyze(t, b)
+	if len(rep.Errors()) != 1 {
+		t.Fatalf("mixed-op atomics: errors = %d\n%s", len(rep.Errors()), rep)
+	}
+
+	b = testutil.NewTraceBuilder(3)
+	b.WinCreate(1, 0x1000, 64)
+	lockAllWrap(b, 0, 10, faoEv(2, 0x500, 0x540, trace.OpSum, 11))
+	lockAllWrap(b, 1, 20, trace.Event{Kind: trace.KindPut, Win: 1, Target: 2,
+		OriginAddr: 0x600, OriginType: trace.TypeInt64, OriginCount: 1,
+		TargetDisp: 0, TargetType: trace.TypeInt64, TargetCount: 1,
+		File: "m3.go", Line: 21})
+	rep = analyze(t, b)
+	if len(rep.Errors()) != 1 {
+		t.Fatalf("fetch_and_op vs put: errors = %d\n%s", len(rep.Errors()), rep)
+	}
+}
+
+// Concurrent CAS to the same element is atomic; CAS vs accumulate is not.
+func TestCompareSwapRules(t *testing.T) {
+	cas := func(line int32) trace.Event {
+		return trace.Event{Kind: trace.KindCompareSwap, Win: 1, Target: 2,
+			OriginAddr: 0x500, OriginType: trace.TypeInt64, OriginCount: 1,
+			TargetDisp: 0, TargetType: trace.TypeInt64, TargetCount: 1,
+			ResultAddr: 0x540, ResultType: trace.TypeInt64, ResultCount: 1,
+			File: "m3.go", Line: line}
+	}
+	b := testutil.NewTraceBuilder(3)
+	b.WinCreate(1, 0x1000, 64)
+	lockAllWrap(b, 0, 10, cas(11))
+	lockAllWrap(b, 1, 20, cas(21))
+	rep := analyze(t, b)
+	if len(rep.Violations) != 0 {
+		t.Errorf("CAS vs CAS flagged:\n%s", rep)
+	}
+
+	b = testutil.NewTraceBuilder(3)
+	b.WinCreate(1, 0x1000, 64)
+	lockAllWrap(b, 0, 10, cas(11))
+	lockAllWrap(b, 1, 20, faoEv(2, 0x500, 0x540, trace.OpSum, 21))
+	rep = analyze(t, b)
+	if len(rep.Errors()) != 1 {
+		t.Errorf("CAS vs FetchOp: errors = %d\n%s", len(rep.Errors()), rep)
+	}
+}
+
+// A local load of the result buffer inside the epoch conflicts: the
+// fetching atomic delivers the result only at the closing sync.
+func TestResultBufferReadInsideEpoch(t *testing.T) {
+	b := testutil.NewTraceBuilder(2)
+	b.WinCreate(1, 0x1000, 64)
+	b.Add(0, trace.Event{Kind: trace.KindWinLockAll, Win: 1, File: "m3.go", Line: 10})
+	b.Add(0, faoEv(1, 0x500, 0x540, trace.OpSum, 11))
+	b.Add(0, trace.Event{Kind: trace.KindLoad, Addr: 0x540, Size: 8, File: "m3.go", Line: 12})
+	b.Add(0, trace.Event{Kind: trace.KindWinUnlockAll, Win: 1, File: "m3.go", Line: 13})
+	rep := analyze(t, b)
+	v := onlyViolation(t, rep)
+	if v.Class != WithinEpoch || !strings.Contains(v.Rule, "result buffer") {
+		t.Errorf("violation = %v", v)
+	}
+}
+
+// Win_flush completes the operation: accesses after the flush are ordered
+// and safe; without the flush they conflict.
+func TestFlushOrdersResultAccess(t *testing.T) {
+	b := testutil.NewTraceBuilder(2)
+	b.WinCreate(1, 0x1000, 64)
+	b.Add(0, trace.Event{Kind: trace.KindWinLockAll, Win: 1, File: "m3.go", Line: 10})
+	b.Add(0, faoEv(1, 0x500, 0x540, trace.OpSum, 11))
+	b.Add(0, trace.Event{Kind: trace.KindWinFlush, Win: 1, Target: 1, File: "m3.go", Line: 12})
+	b.Add(0, trace.Event{Kind: trace.KindLoad, Addr: 0x540, Size: 8, File: "m3.go", Line: 13})
+	b.Add(0, trace.Event{Kind: trace.KindWinUnlockAll, Win: 1, File: "m3.go", Line: 14})
+	rep := analyze(t, b)
+	if len(rep.Violations) != 0 {
+		t.Errorf("flushed access flagged:\n%s", rep)
+	}
+}
+
+// Win_flush_local completes only the local side: origin reuse is fine, but
+// target-side conflicts with later operations remain.
+func TestFlushLocalSemantics(t *testing.T) {
+	// Origin store after flush_local: fine.
+	b := testutil.NewTraceBuilder(2)
+	b.WinCreate(1, 0x1000, 64)
+	b.Add(0, trace.Event{Kind: trace.KindWinLockAll, Win: 1, File: "m3.go", Line: 10})
+	b.Add(0, trace.Event{Kind: trace.KindPut, Win: 1, Target: 1,
+		OriginAddr: 0x500, OriginType: trace.TypeInt64, OriginCount: 1,
+		TargetDisp: 0, TargetType: trace.TypeInt64, TargetCount: 1, File: "m3.go", Line: 11})
+	b.Add(0, trace.Event{Kind: trace.KindWinFlushLocal, Win: 1, Target: 1, File: "m3.go", Line: 12})
+	b.Add(0, trace.Event{Kind: trace.KindStore, Addr: 0x500, Size: 8, File: "m3.go", Line: 13})
+	b.Add(0, trace.Event{Kind: trace.KindWinUnlockAll, Win: 1, File: "m3.go", Line: 14})
+	rep := analyze(t, b)
+	if len(rep.Violations) != 0 {
+		t.Errorf("origin store after flush_local flagged:\n%s", rep)
+	}
+
+	// Overlapping Put after flush_local to the same target bytes: still a
+	// conflict (target-side completion is not guaranteed).
+	b = testutil.NewTraceBuilder(2)
+	b.WinCreate(1, 0x1000, 64)
+	b.Add(0, trace.Event{Kind: trace.KindWinLockAll, Win: 1, File: "m3.go", Line: 20})
+	b.Add(0, trace.Event{Kind: trace.KindPut, Win: 1, Target: 1,
+		OriginAddr: 0x500, OriginType: trace.TypeInt64, OriginCount: 1,
+		TargetDisp: 0, TargetType: trace.TypeInt64, TargetCount: 1, File: "m3.go", Line: 21})
+	b.Add(0, trace.Event{Kind: trace.KindWinFlushLocal, Win: 1, Target: 1, File: "m3.go", Line: 22})
+	b.Add(0, trace.Event{Kind: trace.KindPut, Win: 1, Target: 1,
+		OriginAddr: 0x600, OriginType: trace.TypeInt64, OriginCount: 1,
+		TargetDisp: 0, TargetType: trace.TypeInt64, TargetCount: 1, File: "m3.go", Line: 23})
+	b.Add(0, trace.Event{Kind: trace.KindWinUnlockAll, Win: 1, File: "m3.go", Line: 24})
+	rep = analyze(t, b)
+	if len(rep.Errors()) != 1 {
+		t.Errorf("target overlap after flush_local: errors = %d\n%s", len(rep.Errors()), rep)
+	}
+
+	// With a full flush instead, the same pattern is clean.
+	b = testutil.NewTraceBuilder(2)
+	b.WinCreate(1, 0x1000, 64)
+	b.Add(0, trace.Event{Kind: trace.KindWinLockAll, Win: 1, File: "m3.go", Line: 30})
+	b.Add(0, trace.Event{Kind: trace.KindPut, Win: 1, Target: 1,
+		OriginAddr: 0x500, OriginType: trace.TypeInt64, OriginCount: 1,
+		TargetDisp: 0, TargetType: trace.TypeInt64, TargetCount: 1, File: "m3.go", Line: 31})
+	b.Add(0, trace.Event{Kind: trace.KindWinFlush, Win: 1, Target: 1, File: "m3.go", Line: 32})
+	b.Add(0, trace.Event{Kind: trace.KindPut, Win: 1, Target: 1,
+		OriginAddr: 0x600, OriginType: trace.TypeInt64, OriginCount: 1,
+		TargetDisp: 0, TargetType: trace.TypeInt64, TargetCount: 1, File: "m3.go", Line: 33})
+	b.Add(0, trace.Event{Kind: trace.KindWinUnlockAll, Win: 1, File: "m3.go", Line: 34})
+	rep = analyze(t, b)
+	if len(rep.Violations) != 0 {
+		t.Errorf("flush-separated puts flagged:\n%s", rep)
+	}
+}
+
+// --- end-to-end MPI-3 runs through the full pipeline ---------------------
+
+func TestEndToEndAtomicCounterClean(t *testing.T) {
+	rep := runAndAnalyze(t, 4, func(p *mpi.Proc) error {
+		w, buf := p.WinAllocate(8, 8, p.CommWorld(), "counter")
+		if p.Rank() == 0 {
+			buf.SetInt64(0, 0)
+		}
+		p.Barrier(p.CommWorld())
+		one := p.Alloc(8, "one")
+		one.SetInt64(0, 1)
+		old := p.Alloc(8, "old")
+		for i := 0; i < 3; i++ {
+			w.LockAll()
+			w.FetchAndOp(one, 0, old, 0, 0, 0, mpi.Int64, mpi.OpSum)
+			w.UnlockAll()
+			_ = old.Int64At(0)
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	})
+	if len(rep.Violations) != 0 {
+		t.Errorf("atomic counter flagged:\n%s", rep)
+	}
+}
+
+func TestEndToEndGetPutCounterRacy(t *testing.T) {
+	// The same counter implemented with Get + Put (lost updates): the
+	// checker must flag the conflicting accesses.
+	rep := runAndAnalyze(t, 4, func(p *mpi.Proc) error {
+		w, buf := p.WinAllocate(8, 8, p.CommWorld(), "counter")
+		if p.Rank() == 0 {
+			buf.SetInt64(0, 0)
+		}
+		p.Barrier(p.CommWorld())
+		old := p.Alloc(8, "old")
+		inc := p.Alloc(8, "inc")
+		for i := 0; i < 2; i++ {
+			w.Lock(mpi.LockShared, 0)
+			w.Get(old, 0, 1, mpi.Int64, 0, 0, 1, mpi.Int64)
+			w.Unlock(0)
+			inc.SetInt64(0, old.Int64At(0)+1)
+			w.Lock(mpi.LockShared, 0)
+			w.Put(inc, 0, 1, mpi.Int64, 0, 0, 1, mpi.Int64)
+			w.Unlock(0)
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	})
+	if len(rep.Errors()) == 0 {
+		t.Errorf("get/put counter not flagged:\n%s", rep)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+)
+
+// Parallel cross-process analysis must produce exactly the serial result,
+// in the same order, on both clean and buggy programs.
+func TestParallelAnalysisEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		for _, bug := range []int{-1, 1} {
+			g := &progGen{rng: rand.New(rand.NewSource(seed)), ranks: 4, rounds: 12, bug: bug, bugTyp: int(seed) % 3}
+			sink := trace.NewMemorySink()
+			pr := profiler.New(sink, nil)
+			if err := mpi.Run(g.ranks, mpi.Options{Hook: pr}, g.body()); err != nil {
+				t.Fatal(err)
+			}
+			set := sink.Set()
+			serial, err := AnalyzeWith(set, Options{IntraEpoch: true, CrossProcess: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := AnalyzeWith(set, Options{IntraEpoch: true, CrossProcess: true, Workers: runtime.NumCPU()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(serial) != fmt.Sprint(parallel) {
+				t.Errorf("seed %d bug %d: parallel differs from serial:\nserial:\n%s\nparallel:\n%s",
+					seed, bug, serial, parallel)
+			}
+		}
+	}
+}
+
+func TestParallelAnalysisOnBugSuiteTrace(t *testing.T) {
+	// The lockopts trace has many regions and real violations; counts must
+	// fold identically.
+	sink := trace.NewMemorySink()
+	pr := profiler.New(sink, nil)
+	body := lockoptsLike()
+	if err := mpi.Run(8, mpi.Options{Hook: pr}, body); err != nil {
+		t.Fatal(err)
+	}
+	set := sink.Set()
+	serial, err := AnalyzeWith(set, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Workers = 4
+	par, err := AnalyzeWith(set, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(serial) != fmt.Sprint(par) {
+		t.Errorf("parallel differs:\n%s\nvs\n%s", serial, par)
+	}
+	if len(serial.Errors()) == 0 {
+		t.Error("scenario should contain errors")
+	}
+}
+
+// lockoptsLike repeats a racy lock/put pattern across many barrier-split
+// regions.
+func lockoptsLike() func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		win := p.Alloc(64, "win")
+		w := p.WinCreate(win, 1, p.CommWorld())
+		p.Barrier(p.CommWorld())
+		for i := 0; i < 6; i++ {
+			if p.Rank() != 0 {
+				src := p.Alloc(8, "src")
+				w.Lock(mpi.LockShared, 0)
+				w.Put(src, 0, 1, mpi.Int64, 0, 0, 1, mpi.Int64)
+				w.Unlock(0)
+			} else {
+				win.SetInt64(0, int64(i))
+			}
+			p.Barrier(p.CommWorld())
+		}
+		w.Free()
+		return nil
+	}
+}

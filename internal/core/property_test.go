@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+)
+
+// Property tests: randomized MPI one-sided programs that are race-free by
+// construction must analyze clean (no false positives), and a single
+// injected conflict must be detected (no false negatives for the paper's
+// bug classes). The generator's stripe discipline guarantees freedom:
+//
+//   - every rank's window has 2R stripes of 64 bytes;
+//   - stripe o (o < R) is written remotely ONLY by origin rank o, with
+//     same-op accumulates as the only overlapping combination;
+//   - stripe R+r is touched ONLY by the owner's local loads and stores;
+//   - remote reads (Get) target a dedicated read-only stripe region that
+//     no one writes during the run.
+type progGen struct {
+	rng    *rand.Rand
+	ranks  int
+	rounds int
+	bug    int // -1 = none; otherwise index of the round that injects a bug
+	bugTyp int
+}
+
+const stripe = 64
+
+func (g *progGen) winSize() uint64 { return uint64(2*g.ranks+1) * stripe }
+
+// body builds the program; all ranks derive identical control flow from
+// the same seed, as SPMD programs do.
+func (g *progGen) body() func(p *mpi.Proc) error {
+	seed := g.rng.Int63()
+	rounds, bug, bugTyp, ranks := g.rounds, g.bug, g.bugTyp, g.ranks
+	winSize := g.winSize()
+	return func(p *mpi.Proc) error {
+		rng := rand.New(rand.NewSource(seed)) // same stream on every rank
+		win := p.Alloc(winSize, "pwin")
+		w := p.WinCreate(win, 1, p.CommWorld())
+		src := p.AllocFloat64(4, "psrc")
+		dst := p.AllocFloat64(4, "pdst")
+		scratch := p.AllocFloat64(8, "pscratch") // private, never in RMA
+		me := p.Rank()
+		myRemoteStripe := uint64(me) * stripe      // stripe written by me remotely
+		myLocalStripe := uint64(ranks+me) * stripe // stripe touched locally
+		roStripe := uint64(2*ranks) * stripe       // read-only stripe
+
+		for round := 0; round < rounds; round++ {
+			pattern := rng.Intn(6)
+			target := rng.Intn(ranks)
+			off := uint64(rng.Intn(6)) * 8
+			switch pattern {
+			case 0: // fence put into own remote stripe of the target
+				w.Fence(mpi.AssertNone)
+				src.SetFloat64(0, float64(round))
+				w.Put(src, 0, 1, mpi.Float64, target, myRemoteStripe+off, 1, mpi.Float64)
+				if bug == round && bugTyp == 0 && me == 0 {
+					src.SetFloat64(0, -1) // BUG: store to put origin in epoch
+				}
+				w.Fence(mpi.AssertNone)
+			case 1: // lock/put into own remote stripe
+				w.Lock(mpi.LockShared, target)
+				w.Put(src, 0, 2, mpi.Float64, target, myRemoteStripe+off, 2, mpi.Float64)
+				w.Unlock(target)
+				if bug == round && bugTyp == 1 {
+					// BUG: every rank also puts to a COMMON stripe cell.
+					w.Lock(mpi.LockShared, target)
+					w.Put(src, 0, 1, mpi.Float64, target, 0, 1, mpi.Float64)
+					w.Unlock(target)
+				}
+			case 2: // local traffic: loads of the window are fine (no one
+				// targets local stripes remotely); stores go to private
+				// scratch — MPI-2.2 forbids a local window store concurrent
+				// with ANY remote Put/Acc epoch on the window, even
+				// non-overlapping, so a race-free SPMD program must not
+				// store into the window while peers may be updating it.
+				scratch.SetFloat64(off, float64(round))
+				_ = win.Float64At(myLocalStripe + off)
+			case 3: // get from the read-only stripe
+				w.Lock(mpi.LockShared, target)
+				w.Get(dst, 0, 2, mpi.Float64, target, roStripe+off, 2, mpi.Float64)
+				w.Unlock(target)
+				_ = dst.Float64At(0)
+			case 4: // all ranks accumulate with the same op: exempt
+				w.Fence(mpi.AssertNone)
+				w.Accumulate(src, 0, 2, mpi.Float64, target, roStripe+16, 2, mpi.Float64, mpi.OpSum)
+				w.Fence(mpi.AssertNone)
+			case 5: // collectives and a barrier
+				p.Allreduce(p.CommWorld(), src, 0, dst, 0, 2, mpi.Float64, mpi.OpMax)
+				p.Barrier(p.CommWorld())
+			}
+			if bug == round && bugTyp == 2 && me == 1 {
+				// BUG: local store into the window, which other ranks
+				// update with Put concurrently in the same region.
+				win.SetFloat64(0*stripe+off, -2)
+			}
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}
+
+func runProg(t *testing.T, g *progGen) *Report {
+	t.Helper()
+	sink := trace.NewMemorySink()
+	pr := profiler.New(sink, nil)
+	if err := mpi.Run(g.ranks, mpi.Options{Hook: pr}, g.body()); err != nil {
+		t.Fatalf("seeded program failed: %v", err)
+	}
+	rep, err := Analyze(sink.Set())
+	if err != nil {
+		t.Fatalf("analysis failed: %v", err)
+	}
+	return rep
+}
+
+func TestPropertyNoFalsePositives(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := &progGen{rng: rand.New(rand.NewSource(seed)), ranks: 4, rounds: 12, bug: -1}
+		rep := runProg(t, g)
+		if len(rep.Violations) != 0 {
+			t.Errorf("seed %d: race-free program flagged:\n%s", seed, rep)
+		}
+	}
+}
+
+func TestPropertyInjectedBugsDetected(t *testing.T) {
+	detected := 0
+	attempts := 0
+	for seed := int64(100); seed < 130; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := &progGen{rng: rng, ranks: 4, rounds: 12}
+		// Choose the bug type and a round; the round must execute the
+		// corresponding pattern for the injection to fire, so scan the
+		// pattern stream with a clone of the rank-side RNG.
+		g.bugTyp = int(seed) % 3
+		g.bug = -1
+		// Peek at which pattern each round draws.
+		probe := rand.New(rand.NewSource(0))
+		_ = probe
+		// Simply try all rounds until a run reports an error; injections
+		// on non-matching rounds are no-ops, making the run clean.
+		found := false
+		for round := 0; round < g.rounds && !found; round++ {
+			g2 := &progGen{rng: rand.New(rand.NewSource(seed)), ranks: 4, rounds: 12, bug: round, bugTyp: g.bugTyp}
+			rep := runProg(t, g2)
+			attempts++
+			if len(rep.Errors()) > 0 {
+				found = true
+				detected++
+			}
+		}
+		if !found {
+			// The bug type's pattern may never have been drawn with a
+			// conflicting configuration for this seed; tolerate a few.
+			t.Logf("seed %d: injection never fired (bug type %d)", seed, g.bugTyp)
+		}
+	}
+	if detected < 20 {
+		t.Errorf("only %d/30 seeds produced a detected injection (%d runs)", detected, attempts)
+	}
+}
+
+// The linear and quadratic cross-process detectors agree on random
+// race-free and buggy programs alike.
+func TestPropertyLinearQuadraticAgree(t *testing.T) {
+	for seed := int64(200); seed < 208; seed++ {
+		for _, bug := range []int{-1, 3} {
+			g := &progGen{rng: rand.New(rand.NewSource(seed)), ranks: 4, rounds: 8, bug: bug, bugTyp: int(seed) % 3}
+			sink := trace.NewMemorySink()
+			pr := profiler.New(sink, nil)
+			if err := mpi.Run(g.ranks, mpi.Options{Hook: pr}, g.body()); err != nil {
+				t.Fatal(err)
+			}
+			set := sink.Set()
+			lin, err := AnalyzeWith(set, Options{CrossProcess: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, d := buildPipeline(t, set)
+			quad, err := QuadraticCrossProcess(m, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(lin.Violations) != len(quad.Violations) {
+				t.Errorf("seed %d bug %d: linear %d vs quadratic %d",
+					seed, bug, len(lin.Violations), len(quad.Violations))
+			}
+		}
+	}
+}
+
+// Determinism: analyzing the same trace twice yields identical reports.
+func TestPropertyDeterministicAnalysis(t *testing.T) {
+	g := &progGen{rng: rand.New(rand.NewSource(7)), ranks: 4, rounds: 10, bug: 2, bugTyp: 1}
+	sink := trace.NewMemorySink()
+	pr := profiler.New(sink, nil)
+	if err := mpi.Run(g.ranks, mpi.Options{Hook: pr}, g.body()); err != nil {
+		t.Fatal(err)
+	}
+	set := sink.Set()
+	a, err := Analyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Errorf("nondeterministic analysis:\n%s\nvs\n%s", a, b)
+	}
+}

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// Severity grades a detected consistency violation.
+type Severity uint8
+
+const (
+	// SevError: conflicting concurrent operations with undefined outcome.
+	SevError Severity = iota
+	// SevWarning: operations that conflict by the memory model but are
+	// serialized by exclusive locks, so the outcome is defined but
+	// order-dependent (paper §VII-A-2 reports these as warnings).
+	SevWarning
+)
+
+func (s Severity) String() string {
+	if s == SevWarning {
+		return "WARNING"
+	}
+	return "ERROR"
+}
+
+// Class distinguishes the paper's two error classes (§III-C).
+type Class uint8
+
+const (
+	// WithinEpoch: conflicting operations inside one epoch of one process.
+	WithinEpoch Class = iota
+	// AcrossProcesses: conflicting operations from different processes.
+	AcrossProcesses
+)
+
+func (c Class) String() string {
+	if c == WithinEpoch {
+		return "within-epoch"
+	}
+	return "across-processes"
+}
+
+// Violation is one detected memory consistency error, with the diagnostic
+// information the paper reports: the pair of conflicting operations and
+// their source locations.
+type Violation struct {
+	Severity Severity
+	Class    Class
+	Rule     string // human-readable rule that fired
+
+	A, B trace.Event // copies of the conflicting events
+
+	Win     int32           // window involved (0 if none resolvable)
+	Overlap memory.Interval // overlapping bytes; empty for no-overlap rules
+	Region  int             // concurrent region index (cross-process only)
+
+	Count int // occurrences folded into this report entry
+}
+
+// key identifies a violation for deduplication: the same pair of source
+// locations conflicting by the same rule is reported once with a count.
+func (v *Violation) key() string {
+	a := fmt.Sprintf("%s@%s#%s", v.A.Kind, v.A.Loc(), v.A.Func)
+	b := fmt.Sprintf("%s@%s#%s", v.B.Kind, v.B.Loc(), v.B.Func)
+	if b < a {
+		a, b = b, a
+	}
+	return fmt.Sprintf("%s|%s|%s|%d", a, b, v.Rule, v.Win)
+}
+
+// Hint suggests a remediation for the violated rule, in the spirit of the
+// paper's goal that diagnostics "help programmers locate and fix the bugs".
+func (v *Violation) Hint() string {
+	r := v.Rule
+	switch {
+	case strings.Contains(r, "origin buffer of a pending Get"),
+		strings.Contains(r, "result buffer of a pending"):
+		return "close the epoch (fence, unlock, complete, or an MPI-3 flush) before touching the destination buffer"
+	case strings.Contains(r, "origin buffer of a pending"):
+		return "delay reuse of the origin buffer until the epoch closes, or complete it early with MPI-3 Win_flush_local"
+	case strings.Contains(r, "buffer of") && strings.Contains(r, "overlaps the"):
+		return "give concurrent operations in one epoch distinct local buffers"
+	case v.Class == WithinEpoch && strings.Contains(r, "target regions"):
+		return "split the operations into separate epochs or make the target regions disjoint"
+	case strings.Contains(r, "erroneous even without overlap"):
+		return "do not store into an exposed window while remote updates may be in flight; separate the accesses with interprocess synchronization"
+	case strings.Contains(r, "local") && v.Class == AcrossProcesses:
+		return "order the local access against the remote epoch with synchronization (e.g. a barrier after the origin's unlock)"
+	case v.Class == AcrossProcesses:
+		return "order the conflicting epochs with synchronization, make their target regions disjoint, or use same-operation accumulates"
+	}
+	return "separate the conflicting operations with MPI synchronization"
+}
+
+func (v *Violation) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s [%s] %s\n", v.Severity, v.Class, v.Rule)
+	fmt.Fprintf(&sb, "  (1) rank %d: %s at %s (%s)\n", v.A.Rank, v.A.Kind, v.A.Loc(), shortFunc(v.A.Func))
+	fmt.Fprintf(&sb, "  (2) rank %d: %s at %s (%s)\n", v.B.Rank, v.B.Kind, v.B.Loc(), shortFunc(v.B.Func))
+	if !v.Overlap.Empty() {
+		fmt.Fprintf(&sb, "  overlapping bytes: %v", v.Overlap)
+	} else {
+		sb.WriteString("  no byte overlap required by this rule")
+	}
+	if v.Win != 0 || v.Class == AcrossProcesses {
+		fmt.Fprintf(&sb, "; window %d", v.Win)
+	}
+	if v.Count > 1 {
+		fmt.Fprintf(&sb, "; occurred %d times", v.Count)
+	}
+	fmt.Fprintf(&sb, "\n  hint: %s", v.Hint())
+	return sb.String()
+}
+
+func shortFunc(f string) string {
+	if f == "" {
+		return "?"
+	}
+	if i := strings.LastIndexByte(f, '/'); i >= 0 {
+		f = f[i+1:]
+	}
+	return f
+}
+
+// Report is the result of one analysis run.
+type Report struct {
+	Violations []*Violation
+
+	// Analysis statistics.
+	EventsAnalyzed int
+	Regions        int
+	EpochsChecked  int
+}
+
+// add records a violation, folding duplicates.
+func (r *Report) add(index map[string]*Violation, v *Violation) {
+	if prev, ok := index[v.key()]; ok {
+		prev.Count++
+		return
+	}
+	v.Count = 1
+	index[v.key()] = v
+	r.Violations = append(r.Violations, v)
+}
+
+// addCounted folds a violation that already carries a Count (merging
+// per-region partial reports produced by parallel analysis).
+func (r *Report) addCounted(index map[string]*Violation, v *Violation) {
+	if prev, ok := index[v.key()]; ok {
+		prev.Count += v.Count
+		return
+	}
+	index[v.key()] = v
+	r.Violations = append(r.Violations, v)
+}
+
+// Errors returns the violations with Severity == SevError.
+func (r *Report) Errors() []*Violation {
+	var out []*Violation
+	for _, v := range r.Violations {
+		if v.Severity == SevError {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Warnings returns the violations with Severity == SevWarning.
+func (r *Report) Warnings() []*Violation {
+	var out []*Violation
+	for _, v := range r.Violations {
+		if v.Severity == SevWarning {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Sort orders violations deterministically (by severity, class, then
+// location) for stable output.
+func (r *Report) Sort() {
+	sort.Slice(r.Violations, func(i, j int) bool {
+		a, b := r.Violations[i], r.Violations[j]
+		if a.Severity != b.Severity {
+			return a.Severity < b.Severity
+		}
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		return a.key() < b.key()
+	})
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	if len(r.Violations) == 0 {
+		sb.WriteString("MC-Checker: no memory consistency errors detected\n")
+	} else {
+		fmt.Fprintf(&sb, "MC-Checker: %d memory consistency issue(s) detected\n", len(r.Violations))
+		for i, v := range r.Violations {
+			fmt.Fprintf(&sb, "#%d %s\n", i+1, v)
+		}
+	}
+	fmt.Fprintf(&sb, "analyzed %d events, %d concurrent regions, %d epochs\n",
+		r.EventsAnalyzed, r.Regions, r.EpochsChecked)
+	return sb.String()
+}

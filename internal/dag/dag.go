@@ -1,0 +1,320 @@
+// Package dag builds DN-Analyzer's data-access DAG (paper §III-B): every
+// runtime event is a vertex, vertices within a rank are ordered by program
+// order, and matched synchronization calls contribute cross-process edges
+// according to the happens-before relation. Blocking receives and waits
+// gain an edge from the matched send; PSCW synchronization gains
+// post→start and complete→wait edges; all-to-all collectives such as
+// barriers order every member against every other.
+//
+// Rather than materializing edges, the builder computes vector clocks: each
+// rank's trace is split into segments at every event that receives an
+// incoming cross-process ordering, and each segment stores one clock — the
+// highest event sequence number of every rank known to happen-before the
+// segment. Concurrency queries are then O(1) (paper §III-B's "unordered in
+// the DAG"), and the storage is proportional to the number of
+// synchronization events rather than all events.
+//
+// The package also extracts concurrent regions: global synchronization
+// events that all ranks participate in partition the DAG into sequentially
+// ordered regions (paper §III-B, Figure 4), which the detector analyzes
+// independently.
+package dag
+
+import (
+	"fmt"
+
+	"repro/internal/match"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// VC is a vector clock: VC[r] is the highest event seq of rank r known to
+// happen-before this point, or -1 if none.
+type VC []int64
+
+func newVC(n int) VC {
+	vc := make(VC, n)
+	for i := range vc {
+		vc[i] = -1
+	}
+	return vc
+}
+
+func (vc VC) clone() VC { return append(VC(nil), vc...) }
+
+// join sets vc to the elementwise max of vc and o.
+func (vc VC) join(o VC) {
+	for i, v := range o {
+		if v > vc[i] {
+			vc[i] = v
+		}
+	}
+}
+
+// DAG is the built happens-before structure over one trace set.
+type DAG struct {
+	set   *trace.Set
+	segOf [][]int32 // [rank][eventSeq] → segment index
+	segs  [][]VC    // [rank][segment] → base clock
+
+	regions []Region
+}
+
+// Region is one concurrent region: for every rank, the half-open event
+// range [Start[r], End[r]) belonging to the region. Regions are delimited
+// by global synchronization events spanning all ranks; the delimiting
+// events themselves belong to the earlier region.
+type Region struct {
+	Index int
+	Start []int64
+	End   []int64
+}
+
+// Events returns the event ids of one rank inside the region.
+func (rg *Region) Span(rank int32) (int64, int64) {
+	return rg.Start[rank], rg.End[rank]
+}
+
+// Build constructs the DAG for the model's trace set using the matches.
+func Build(m *model.Model, ms *match.Matches) (*DAG, error) {
+	set := m.Set
+	n := set.Ranks()
+	d := &DAG{
+		set:   set,
+		segOf: make([][]int32, n),
+		segs:  make([][]VC, n),
+	}
+	for r := 0; r < n; r++ {
+		d.segOf[r] = make([]int32, len(set.Traces[r].Events))
+		d.segs[r] = []VC{newVC(n)}
+	}
+
+	// Index incoming pair edges and collective groups by receiving event.
+	incoming := map[trace.ID][]trace.ID{}
+	addPair := func(p match.Pair) { incoming[p.To] = append(incoming[p.To], p.From) }
+	for _, p := range ms.P2P {
+		addPair(p)
+	}
+	for _, p := range ms.PostStart {
+		addPair(p)
+	}
+	for _, p := range ms.CompleteWait {
+		addPair(p)
+	}
+
+	type groupState struct {
+		g       *match.Group
+		arrived int
+	}
+	groupAt := map[trace.ID]*groupState{}
+	var globals [][]trace.ID // ordered list of global (all-ranks) sync instances
+	for i := range ms.Groups {
+		g := &ms.Groups[i]
+		switch g.Direction {
+		case match.DirFromRoot:
+			for _, id := range g.Events {
+				if id != g.Root {
+					incoming[id] = append(incoming[id], g.Root)
+				}
+			}
+		case match.DirToRoot:
+			for _, id := range g.Events {
+				if id != g.Root {
+					incoming[g.Root] = append(incoming[g.Root], id)
+				}
+			}
+		default:
+			gs := &groupState{g: g}
+			for _, id := range g.Events {
+				groupAt[id] = gs
+			}
+			if len(g.Events) == n {
+				globals = append(globals, g.Events)
+			}
+		}
+	}
+
+	// Process events in a deadlock-free simulation order (the trace came
+	// from a real run, so one exists).
+	cursor := make([]int64, n)
+	curVC := make([]VC, n)
+	curSeg := make([]int32, n)
+	for r := range curVC {
+		curVC[r] = d.segs[r][0]
+	}
+
+	// eventClock returns the clock that event id exports to its successors.
+	eventClock := func(id trace.ID) VC {
+		base := d.segs[id.Rank][d.segOf[id.Rank][id.Seq]]
+		vc := base.clone()
+		if id.Seq > vc[id.Rank] {
+			vc[id.Rank] = id.Seq
+		}
+		return vc
+	}
+	processed := func(id trace.ID) bool {
+		return cursor[id.Rank] > id.Seq
+	}
+
+	total := set.TotalEvents()
+	done := 0
+	for done < total {
+		progress := false
+		for r := 0; r < n; r++ {
+			for cursor[r] < int64(len(set.Traces[r].Events)) {
+				ev := &set.Traces[r].Events[cursor[r]]
+				id := ev.ID()
+
+				if gs, ok := groupAt[id]; ok {
+					// Barrier-like group: wait until every member is at its
+					// group event, then join all clocks.
+					ready := true
+					for _, mid := range gs.g.Events {
+						if mid != id && cursor[mid.Rank] < mid.Seq {
+							ready = false
+							break
+						}
+					}
+					if !ready {
+						break // stall this rank
+					}
+					joint := newVC(n)
+					for _, mid := range gs.g.Events {
+						joint.join(d.segs[mid.Rank][curSegFor(d, curSeg, mid)])
+						if mid.Seq > joint[mid.Rank] {
+							joint[mid.Rank] = mid.Seq
+						}
+					}
+					// Every member starts a fresh segment with the joint
+					// clock; advance all member cursors past the event.
+					for _, mid := range gs.g.Events {
+						d.segOf[mid.Rank][mid.Seq] = int32(len(d.segs[mid.Rank]))
+						seg := joint.clone()
+						d.segs[mid.Rank] = append(d.segs[mid.Rank], seg)
+						curVC[mid.Rank] = seg
+						curSeg[mid.Rank] = int32(len(d.segs[mid.Rank]) - 1)
+						cursor[mid.Rank] = mid.Seq + 1
+						done++
+					}
+					progress = true
+					continue
+				}
+
+				if ins := incoming[id]; len(ins) > 0 {
+					ready := true
+					for _, from := range ins {
+						if !processed(from) {
+							ready = false
+							break
+						}
+					}
+					if !ready {
+						break // stall until senders processed
+					}
+					nv := curVC[r].clone()
+					for _, from := range ins {
+						nv.join(eventClock(from))
+					}
+					d.segOf[r][id.Seq] = int32(len(d.segs[r]))
+					d.segs[r] = append(d.segs[r], nv)
+					curVC[r] = nv
+					curSeg[r] = int32(len(d.segs[r]) - 1)
+					cursor[r]++
+					done++
+					progress = true
+					continue
+				}
+
+				// Plain event: stays in the current segment.
+				d.segOf[r][id.Seq] = curSeg[r]
+				cursor[r]++
+				done++
+				progress = true
+			}
+		}
+		if !progress {
+			return nil, fmt.Errorf("dag: no progress with %d of %d events processed; trace ordering is cyclic or matches are inconsistent", done, total)
+		}
+	}
+
+	d.buildRegions(globals)
+	return d, nil
+}
+
+// curSegFor returns the segment index holding the clock visible just
+// before mid executes (its own current segment).
+func curSegFor(d *DAG, curSeg []int32, mid trace.ID) int32 {
+	return curSeg[mid.Rank]
+}
+
+// buildRegions partitions the trace by global synchronization instances.
+// globals arrive in completion order per Build's processing; sort by the
+// per-rank sequence of rank 0's member (global instances are totally
+// ordered, so any rank's order works).
+func (d *DAG) buildRegions(globals [][]trace.ID) {
+	n := d.set.Ranks()
+	// Order the global sync instances by their event seq on rank 0.
+	ordered := make([][]trace.ID, len(globals))
+	copy(ordered, globals)
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && seqOn(ordered[j], 0) < seqOn(ordered[j-1], 0); j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	start := make([]int64, n)
+	idx := 0
+	for _, g := range ordered {
+		end := make([]int64, n)
+		for _, id := range g {
+			end[id.Rank] = id.Seq + 1 // delimiter belongs to earlier region
+		}
+		d.regions = append(d.regions, Region{Index: idx, Start: append([]int64(nil), start...), End: end})
+		idx++
+		copy(start, end)
+	}
+	final := Region{Index: idx, Start: append([]int64(nil), start...), End: make([]int64, n)}
+	for r := 0; r < n; r++ {
+		final.End[r] = int64(len(d.set.Traces[r].Events))
+	}
+	d.regions = append(d.regions, final)
+}
+
+func seqOn(g []trace.ID, rank int32) int64 {
+	for _, id := range g {
+		if id.Rank == rank {
+			return id.Seq
+		}
+	}
+	return -1
+}
+
+// HappensBefore reports whether a is ordered before b by program order or
+// the synchronization edges.
+func (d *DAG) HappensBefore(a, b trace.ID) bool {
+	if a.Rank == b.Rank {
+		return a.Seq < b.Seq
+	}
+	seg := d.segs[b.Rank][d.segOf[b.Rank][b.Seq]]
+	return seg[a.Rank] >= a.Seq
+}
+
+// Concurrent reports whether a and b are unordered (and distinct).
+func (d *DAG) Concurrent(a, b trace.ID) bool {
+	if a == b {
+		return false
+	}
+	return !d.HappensBefore(a, b) && !d.HappensBefore(b, a)
+}
+
+// Regions returns the concurrent regions in order.
+func (d *DAG) Regions() []Region { return d.regions }
+
+// Segments returns the number of clock segments of one rank (a measure of
+// how much synchronization the rank observed); exported for tests and
+// diagnostics.
+func (d *DAG) Segments(rank int32) int { return len(d.segs[rank]) }
+
+// Clock returns a copy of the vector clock in effect for an event.
+func (d *DAG) Clock(id trace.ID) VC {
+	return d.segs[id.Rank][d.segOf[id.Rank][id.Seq]].clone()
+}

@@ -1,0 +1,121 @@
+package dag
+
+import (
+	"repro/internal/match"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// NaiveHB answers happens-before queries by explicit graph traversal — the
+// straightforward implementation that the segment vector clocks replace
+// (DESIGN.md decision 2). Building it is cheap (it only indexes edges);
+// every query walks the DAG, so query cost grows with trace size instead
+// of being O(1). It exists as the ablation baseline for the vector-clock
+// benchmark and as an independent oracle in tests.
+type NaiveHB struct {
+	set *trace.Set
+	// cross[id] lists the cross-process (or intra-group) targets ordered
+	// after id, in addition to id's program-order successor.
+	cross map[trace.ID][]trace.ID
+}
+
+// BuildNaive indexes the ordering edges without computing clocks.
+func BuildNaive(m *model.Model, ms *match.Matches) *NaiveHB {
+	n := &NaiveHB{set: m.Set, cross: map[trace.ID][]trace.ID{}}
+	add := func(from, to trace.ID) {
+		n.cross[from] = append(n.cross[from], to)
+	}
+	for _, p := range ms.P2P {
+		add(p.From, p.To)
+	}
+	for _, p := range ms.PostStart {
+		add(p.From, p.To)
+	}
+	for _, p := range ms.CompleteWait {
+		add(p.From, p.To)
+	}
+	for i := range ms.Groups {
+		g := &ms.Groups[i]
+		switch g.Direction {
+		case match.DirFromRoot:
+			for _, id := range g.Events {
+				if id != g.Root {
+					add(g.Root, id)
+				}
+			}
+		case match.DirToRoot:
+			for _, id := range g.Events {
+				if id != g.Root {
+					add(id, g.Root)
+				}
+			}
+		default:
+			// Barrier: every member's event is ordered before every other
+			// member's event — the same mutual ordering the vector clocks
+			// assign to one synchronization instance. The resulting
+			// two-cycles among the group's events are harmless: the
+			// reachability walk prunes by earliest-reached sequence.
+			for _, from := range g.Events {
+				for _, to := range g.Events {
+					if to.Rank != from.Rank {
+						add(from, to)
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// HappensBefore walks the graph from a, tracking per rank the earliest
+// reached sequence number (everything later on that rank is then reachable
+// by program order).
+func (n *NaiveHB) HappensBefore(a, b trace.ID) bool {
+	if a.Rank == b.Rank {
+		return a.Seq < b.Seq
+	}
+	// earliest[r] = smallest seq reached on rank r so far (math.MaxInt64
+	// when unreached).
+	earliest := make([]int64, n.set.Ranks())
+	for i := range earliest {
+		earliest[i] = int64(1) << 62
+	}
+	var work []trace.ID
+	push := func(id trace.ID) {
+		if id.Seq >= int64(len(n.set.Traces[id.Rank].Events)) {
+			return
+		}
+		if id.Seq >= earliest[id.Rank] {
+			return // already covered by program order from an earlier point
+		}
+		earliest[id.Rank] = id.Seq
+		work = append(work, id)
+	}
+	// Everything strictly after a on a's rank is reachable.
+	push(trace.ID{Rank: a.Rank, Seq: a.Seq + 1})
+	for _, to := range n.cross[a] {
+		push(to)
+	}
+	for len(work) > 0 {
+		cur := work[len(work)-1]
+		work = work[:len(work)-1]
+		// Walk cur's rank forward from cur, following cross edges of every
+		// event passed; stop early if this stretch was already covered.
+		t := n.set.Traces[cur.Rank]
+		for s := cur.Seq; s < int64(len(t.Events)); s++ {
+			id := trace.ID{Rank: cur.Rank, Seq: s}
+			for _, to := range n.cross[id] {
+				push(to)
+			}
+		}
+	}
+	return earliest[b.Rank] <= b.Seq
+}
+
+// Concurrent reports whether a and b are unordered and distinct.
+func (n *NaiveHB) Concurrent(a, b trace.ID) bool {
+	if a == b {
+		return false
+	}
+	return !n.HappensBefore(a, b) && !n.HappensBefore(b, a)
+}

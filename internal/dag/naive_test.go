@@ -1,0 +1,118 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/match"
+	"repro/internal/model"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+// randomSyncTrace builds a trace mixing barriers, rooted collectives,
+// p2p chains, and local accesses.
+func randomSyncTrace(seed int64, ranks, rounds int) *testutil.TraceBuilder {
+	rng := rand.New(rand.NewSource(seed))
+	b := testutil.NewTraceBuilder(ranks)
+	for round := 0; round < rounds; round++ {
+		switch rng.Intn(5) {
+		case 0:
+			b.Barrier()
+		case 1:
+			root := int32(rng.Intn(ranks))
+			for r := int32(0); r < int32(ranks); r++ {
+				b.Add(r, trace.Event{Kind: trace.KindBcast, Comm: 0, Peer: root})
+			}
+		case 2:
+			root := int32(rng.Intn(ranks))
+			for r := int32(0); r < int32(ranks); r++ {
+				b.Add(r, trace.Event{Kind: trace.KindReduce, Comm: 0, Peer: root})
+			}
+		case 3:
+			src := int32(rng.Intn(ranks))
+			dst := (src + 1 + int32(rng.Intn(ranks-1))) % int32(ranks)
+			b.Add(src, trace.Event{Kind: trace.KindSend, Comm: 0, Peer: dst, Tag: int32(rng.Intn(2))})
+			b.Add(dst, trace.Event{Kind: trace.KindRecv, Comm: 0, Peer: src, Tag: 0}) // may mismatch tag
+		case 4:
+			r := int32(rng.Intn(ranks))
+			b.Add(r, trace.Event{Kind: trace.KindStore, Addr: uint64(rng.Intn(64)), Size: 1})
+		}
+	}
+	return b
+}
+
+// fixTags repairs the p2p tags so that every send matches a receive (the
+// generator may emit mismatched tags; rewrite all tags to 0).
+func fixTags(set *trace.Set) {
+	for _, t := range set.Traces {
+		for i := range t.Events {
+			if t.Events[i].Kind.IsP2P() {
+				t.Events[i].Tag = 0
+			}
+		}
+	}
+}
+
+func TestNaiveAgreesWithVectorClocks(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		set := randomSyncTrace(seed, 4, 20).Set()
+		fixTags(set)
+		m, err := model.Build(set)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms, err := match.Run(m)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		d, err := Build(m, ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := BuildNaive(m, ms)
+
+		// Compare on every pair of events across different ranks, plus a
+		// sample of same-rank pairs.
+		rng := rand.New(rand.NewSource(seed + 1000))
+		var ids []trace.ID
+		for _, tr := range set.Traces {
+			for i := range tr.Events {
+				ids = append(ids, tr.Events[i].ID())
+			}
+		}
+		checks := 0
+		for i := 0; i < len(ids); i++ {
+			for j := 0; j < len(ids); j++ {
+				if i == j || (ids[i].Rank == ids[j].Rank && rng.Intn(4) != 0) {
+					continue
+				}
+				a, b := ids[i], ids[j]
+				if d.HappensBefore(a, b) != n.HappensBefore(a, b) {
+					t.Fatalf("seed %d: hb(%v,%v): clocks=%v naive=%v",
+						seed, a, b, d.HappensBefore(a, b), n.HappensBefore(a, b))
+				}
+				checks++
+			}
+		}
+		if checks == 0 {
+			t.Fatal("no pairs checked")
+		}
+	}
+}
+
+func TestNaiveBasics(t *testing.T) {
+	b := testutil.NewTraceBuilder(2)
+	s := b.Add(0, trace.Event{Kind: trace.KindSend, Comm: 0, Peer: 1, Tag: 0})
+	r := b.Add(1, trace.Event{Kind: trace.KindRecv, Comm: 0, Peer: 0, Tag: 0})
+	after := b.Add(1, trace.Event{Kind: trace.KindStore, Addr: 0, Size: 1})
+	m, _ := model.Build(b.Set())
+	ms, _ := match.Run(m)
+	n := BuildNaive(m, ms)
+	if !n.HappensBefore(s, r) || !n.HappensBefore(s, after) {
+		t.Error("naive missed send→recv ordering")
+	}
+	if n.HappensBefore(r, s) || n.Concurrent(s, s) {
+		t.Error("naive reversed ordering")
+	}
+}

@@ -1,0 +1,164 @@
+package match
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// RunNaive is the straightforward matching algorithm the paper describes
+// and rejects (§IV-C-2a): "For each synchronization call, one scans
+// through all the traces in the corresponding processes and locates its
+// matching synchronization calls. This algorithm is time-consuming ...
+// especially for large trace files."
+//
+// For every synchronization event, it scans the peer traces from the
+// beginning, skipping entries already consumed by earlier matches, to find
+// the partner call. Results are identical to Run's (the progress-counter
+// matcher of Algorithm 1); the cost is quadratic in trace length per
+// channel instead of linear. It exists as the ablation baseline for the
+// matching benchmark.
+func RunNaive(m *model.Model) (*Matches, error) {
+	set := m.Set
+	out := &Matches{}
+
+	// consumed marks events already matched (per event id).
+	consumed := map[trace.ID]bool{}
+
+	// Collectives: for each unconsumed collective event, scan every member
+	// rank's trace from the beginning for its first unconsumed event of
+	// the same scope.
+	scopeEq := func(a, b *trace.Event) bool {
+		if a.Kind != b.Kind {
+			return false
+		}
+		switch a.Kind {
+		case trace.KindWinFence, trace.KindWinCreate, trace.KindWinFree:
+			return a.Win == b.Win
+		case trace.KindCommCreate:
+			return a.Comm == b.Comm
+		default:
+			return a.Comm == b.Comm
+		}
+	}
+
+	mt := &matcher{m: m} // reuse scope resolution
+	for r := 0; r < set.Ranks(); r++ {
+		for i := range set.Traces[r].Events {
+			ev := &set.Traces[r].Events[i]
+			if !ev.Kind.IsCollective() || consumed[ev.ID()] {
+				continue
+			}
+			class, id, members, err := mt.scopeOf(ev)
+			if err != nil {
+				return nil, err
+			}
+			_ = class
+			_ = id
+			g := Group{Kind: ev.Kind, Direction: direction(ev.Kind)}
+			rootRel := ev.Peer
+			for _, member := range members {
+				found := false
+				for j := range set.Traces[member].Events {
+					cand := &set.Traces[member].Events[j]
+					if consumed[cand.ID()] || !scopeEq(ev, cand) {
+						continue
+					}
+					if direction(ev.Kind) != DirAll && cand.Peer != rootRel {
+						return nil, fmt.Errorf("match: root mismatch in %s: rank %d uses root %d, others %d",
+							ev.Kind, member, cand.Peer, rootRel)
+					}
+					consumed[cand.ID()] = true
+					g.Events = append(g.Events, cand.ID())
+					found = true
+					break
+				}
+				if !found {
+					return nil, fmt.Errorf("match: collective %s at %s matched only %d of %d ranks",
+						ev.Kind, ev.Loc(), len(g.Events), len(members))
+				}
+			}
+			if g.Direction != DirAll {
+				rootWorld := members[rootRel]
+				for _, gid := range g.Events {
+					if gid.Rank == rootWorld {
+						g.Root = gid
+						break
+					}
+				}
+			}
+			out.Groups = append(out.Groups, g)
+		}
+	}
+
+	// Point-to-point: for every send(-like) event, scan the destination's
+	// trace from the beginning for the first unconsumed matching receive
+	// completion.
+	reqKind := map[reqID]trace.Kind{}
+	for r := 0; r < set.Ranks(); r++ {
+		for i := range set.Traces[r].Events {
+			ev := &set.Traces[r].Events[i]
+			if ev.Kind == trace.KindIsend || ev.Kind == trace.KindIrecv {
+				reqKind[reqID{ev.Rank, ev.Req}] = ev.Kind
+			}
+		}
+	}
+	isRecvSide := func(ev *trace.Event) bool {
+		if ev.Kind == trace.KindRecv {
+			return true
+		}
+		return ev.Kind == trace.KindWaitReq && reqKind[reqID{ev.Rank, ev.Req}] == trace.KindIrecv
+	}
+	for r := 0; r < set.Ranks(); r++ {
+		for i := range set.Traces[r].Events {
+			ev := &set.Traces[r].Events[i]
+			if ev.Kind != trace.KindSend && ev.Kind != trace.KindIsend {
+				continue
+			}
+			ci, err := m.Comm(ev.Comm)
+			if err != nil {
+				return nil, err
+			}
+			dst, err := ci.World(ev.Peer)
+			if err != nil {
+				return nil, err
+			}
+			found := false
+			for j := range set.Traces[dst].Events {
+				cand := &set.Traces[dst].Events[j]
+				if consumed[cand.ID()] || !isRecvSide(cand) {
+					continue
+				}
+				if cand.Comm != ev.Comm || cand.Tag != ev.Tag {
+					continue
+				}
+				srcWorld, err := ci.World(cand.Peer)
+				if err != nil {
+					return nil, err
+				}
+				if srcWorld != ev.Rank {
+					continue
+				}
+				consumed[cand.ID()] = true
+				out.P2P = append(out.P2P, Pair{From: ev.ID(), To: cand.ID()})
+				found = true
+				break
+			}
+			if !found {
+				return nil, fmt.Errorf("match: unreceived message from rank %d at %s", ev.Rank, ev.Loc())
+			}
+		}
+	}
+
+	// PSCW matching reuses the progress-based implementation: the paper's
+	// naive-vs-efficient contrast concerns collectives and point-to-point
+	// scans, which dominate trace volume.
+	eff, err := Run(m)
+	if err != nil {
+		return nil, err
+	}
+	out.PostStart = eff.PostStart
+	out.CompleteWait = eff.CompleteWait
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package match
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+// canonical renders matches order-independently for comparison.
+func canonical(ms *Matches) ([]string, []Pair) {
+	var groups []string
+	for _, g := range ms.Groups {
+		evs := append([]trace.ID(nil), g.Events...)
+		sort.Slice(evs, func(i, j int) bool { return evs[i].Rank < evs[j].Rank })
+		s := g.Kind.String() + "/" + g.Direction.String()
+		for _, id := range evs {
+			s += "|" + itoa(id)
+		}
+		groups = append(groups, s)
+	}
+	sort.Strings(groups)
+	pairs := append([]Pair(nil), ms.P2P...)
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].From != pairs[j].From {
+			return less(pairs[i].From, pairs[j].From)
+		}
+		return less(pairs[i].To, pairs[j].To)
+	})
+	return groups, pairs
+}
+
+func itoa(id trace.ID) string {
+	return string(rune('0'+id.Rank)) + ":" + string(rune('0'+id.Seq%10)) + string(rune('a'+id.Seq/10))
+}
+
+func less(a, b trace.ID) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	return a.Seq < b.Seq
+}
+
+// randomTrace builds a well-formed trace with collectives, fences, and
+// FIFO p2p traffic.
+func randomTrace(seed int64, ranks int) *testutil.TraceBuilder {
+	rng := rand.New(rand.NewSource(seed))
+	b := testutil.NewTraceBuilder(ranks)
+	b.WinCreate(1, 0x1000, 256)
+	rounds := 10 + rng.Intn(10)
+	for round := 0; round < rounds; round++ {
+		switch rng.Intn(4) {
+		case 0:
+			b.Barrier()
+		case 1:
+			b.Fence(1)
+		case 2:
+			root := int32(rng.Intn(ranks))
+			for r := int32(0); r < int32(ranks); r++ {
+				b.Add(r, trace.Event{Kind: trace.KindBcast, Comm: 0, Peer: root})
+			}
+		case 3:
+			src := int32(rng.Intn(ranks))
+			dst := int32(rng.Intn(ranks))
+			if dst == src {
+				dst = (src + 1) % int32(ranks)
+			}
+			tag := int32(rng.Intn(3))
+			n := 1 + rng.Intn(3)
+			for k := 0; k < n; k++ {
+				b.Add(src, trace.Event{Kind: trace.KindSend, Comm: 0, Peer: dst, Tag: tag})
+			}
+			for k := 0; k < n; k++ {
+				b.Add(dst, trace.Event{Kind: trace.KindRecv, Comm: 0, Peer: src, Tag: tag})
+			}
+		}
+	}
+	return b
+}
+
+func TestNaiveMatchesEfficient(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		m, err := model.Build(randomTrace(seed, 4).Set())
+		if err != nil {
+			t.Fatal(err)
+		}
+		eff, err := Run(m)
+		if err != nil {
+			t.Fatalf("seed %d: efficient: %v", seed, err)
+		}
+		naive, err := RunNaive(m)
+		if err != nil {
+			t.Fatalf("seed %d: naive: %v", seed, err)
+		}
+		eg, ep := canonical(eff)
+		ng, np := canonical(naive)
+		if !reflect.DeepEqual(eg, ng) {
+			t.Errorf("seed %d: groups differ\neff:   %v\nnaive: %v", seed, eg, ng)
+		}
+		if !reflect.DeepEqual(ep, np) {
+			t.Errorf("seed %d: p2p differ\neff:   %v\nnaive: %v", seed, ep, np)
+		}
+	}
+}
+
+func TestNaiveDetectsUnmatched(t *testing.T) {
+	b := testutil.NewTraceBuilder(2)
+	b.Add(0, trace.Event{Kind: trace.KindSend, Comm: 0, Peer: 1, Tag: 0})
+	m, err := model.Build(b.Set())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunNaive(m); err == nil {
+		t.Error("naive matcher must reject unreceived sends")
+	}
+}

@@ -1,0 +1,22 @@
+// Package memory provides the simulated process address space used by the
+// MPI simulator and the checker.
+//
+// Real MC-Checker reasons about native virtual addresses captured by
+// LLVM-instrumented loads and stores. This reproduction gives every
+// simulated rank its own AddressSpace from which Buffers are allocated;
+// each Buffer occupies a unique, stable interval of simulated addresses, so
+// overlap reasoning in the analyzer works exactly as it does on native
+// addresses.
+//
+// The package also implements the analyzer's data-map representation of MPI
+// datatypes (paper §IV-C-1c): a DataMap is a sorted list of
+// (displacement, length) segments describing the bytes touched by one
+// element of a datatype, plus the type extent used when tiling multiple
+// elements.
+//
+// Buffers are "tracked": loads and stores performed through the accessor
+// methods are reported to an Observer when one is attached. This is the
+// moral equivalent of the paper's selective instrumentation — the profiler
+// attaches observers only to buffers that the ST-Analyzer report marks
+// relevant.
+package memory

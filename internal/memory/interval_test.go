@@ -1,0 +1,196 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIntervalBasics(t *testing.T) {
+	iv := Iv(100, 10)
+	if iv.Lo != 100 || iv.Hi != 110 {
+		t.Fatalf("Iv(100,10) = %v", iv)
+	}
+	if iv.Len() != 10 {
+		t.Errorf("Len = %d, want 10", iv.Len())
+	}
+	if iv.Empty() {
+		t.Error("non-empty interval reported Empty")
+	}
+	if !(Interval{}).Empty() {
+		t.Error("zero interval should be empty")
+	}
+	if (Interval{Lo: 5, Hi: 5}).Len() != 0 {
+		t.Error("degenerate interval should have zero length")
+	}
+}
+
+func TestIntervalOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want bool
+	}{
+		{Iv(0, 10), Iv(5, 10), true},
+		{Iv(0, 10), Iv(10, 10), false}, // adjacent, half-open
+		{Iv(0, 10), Iv(20, 10), false},
+		{Iv(5, 1), Iv(5, 1), true},
+		{Iv(0, 0), Iv(0, 10), false}, // empty never overlaps
+		{Iv(3, 100), Iv(50, 1), true},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("overlap not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	big := Iv(10, 100)
+	if !big.Contains(Iv(10, 100)) {
+		t.Error("interval should contain itself")
+	}
+	if !big.Contains(Iv(50, 10)) {
+		t.Error("should contain inner interval")
+	}
+	if big.Contains(Iv(5, 10)) {
+		t.Error("should not contain interval crossing the low edge")
+	}
+	if !big.Contains(Interval{}) {
+		t.Error("everything contains the empty interval")
+	}
+	if !big.ContainsAddr(10) || big.ContainsAddr(110) {
+		t.Error("ContainsAddr half-open bounds wrong")
+	}
+}
+
+func TestIntervalIntersect(t *testing.T) {
+	x, ok := Iv(0, 10).Intersect(Iv(5, 10))
+	if !ok || x != Iv(5, 5) {
+		t.Errorf("Intersect = %v,%v; want [5,10),true", x, ok)
+	}
+	if _, ok := Iv(0, 10).Intersect(Iv(10, 5)); ok {
+		t.Error("adjacent intervals must not intersect")
+	}
+}
+
+func TestIntervalOverlapEquivalentToIntersect(t *testing.T) {
+	f := func(a, b uint32, la, lb uint8) bool {
+		x := Iv(uint64(a), uint64(la))
+		y := Iv(uint64(b), uint64(lb))
+		_, ok := x.Intersect(y)
+		return ok == x.Overlaps(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntervalSetAddAndQuery(t *testing.T) {
+	var s IntervalSet
+	s.Add(Iv(0, 10))
+	s.Add(Iv(20, 10))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Overlaps(Iv(5, 1)) || !s.Overlaps(Iv(25, 100)) {
+		t.Error("missing expected overlaps")
+	}
+	if s.Overlaps(Iv(10, 10)) {
+		t.Error("gap [10,20) must not overlap")
+	}
+	// Bridge the gap; the set must coalesce to a single interval.
+	s.Add(Iv(10, 10))
+	if s.Len() != 1 {
+		t.Fatalf("after bridging, Len = %d, want 1; set=%v", s.Len(), s.Intervals())
+	}
+	if got := s.Intervals()[0]; got != Iv(0, 30) {
+		t.Errorf("coalesced = %v, want [0,30)", got)
+	}
+	if s.TotalBytes() != 30 {
+		t.Errorf("TotalBytes = %d, want 30", s.TotalBytes())
+	}
+}
+
+func TestIntervalSetAdjacentCoalesce(t *testing.T) {
+	var s IntervalSet
+	s.Add(Iv(0, 10))
+	s.Add(Iv(10, 10)) // exactly adjacent
+	if s.Len() != 1 {
+		t.Fatalf("adjacent intervals should coalesce, got %v", s.Intervals())
+	}
+}
+
+func TestIntervalSetFirstOverlap(t *testing.T) {
+	var s IntervalSet
+	s.Add(Iv(100, 50))
+	s.Add(Iv(300, 50))
+	got, ok := s.FirstOverlap(Iv(320, 5))
+	if !ok || got != Iv(300, 50) {
+		t.Errorf("FirstOverlap = %v,%v", got, ok)
+	}
+	if _, ok := s.FirstOverlap(Iv(200, 50)); ok {
+		t.Error("unexpected overlap in gap")
+	}
+	if _, ok := s.FirstOverlap(Interval{}); ok {
+		t.Error("empty query must not overlap")
+	}
+}
+
+func TestIntervalSetReset(t *testing.T) {
+	var s IntervalSet
+	s.Add(Iv(1, 2))
+	s.Reset()
+	if s.Len() != 0 || s.Overlaps(Iv(0, 100)) {
+		t.Error("Reset did not clear set")
+	}
+}
+
+// Property: IntervalSet membership matches a naive byte-set model.
+func TestIntervalSetMatchesModel(t *testing.T) {
+	f := func(adds []uint16, query uint16) bool {
+		var s IntervalSet
+		model := map[uint64]bool{}
+		for _, a := range adds {
+			lo := uint64(a % 256)
+			ln := uint64(a/256)%16 + 1
+			s.Add(Iv(lo, ln))
+			for i := lo; i < lo+ln; i++ {
+				model[i] = true
+			}
+		}
+		qlo := uint64(query % 256)
+		qln := uint64(query/256)%16 + 1
+		want := false
+		for i := qlo; i < qlo+qln; i++ {
+			if model[i] {
+				want = true
+				break
+			}
+		}
+		if s.Overlaps(Iv(qlo, qln)) != want {
+			return false
+		}
+		// Coalescing invariant: intervals sorted, disjoint, non-adjacent.
+		prev := Interval{}
+		for i, iv := range s.Intervals() {
+			if iv.Empty() {
+				return false
+			}
+			if i > 0 && iv.Lo <= prev.Hi {
+				return false
+			}
+			prev = iv
+		}
+		var total uint64
+		for k := range model {
+			_ = k
+			total++
+		}
+		return s.TotalBytes() == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,38 @@
+package memory
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Loc is a resolved source location.
+type Loc struct {
+	File string
+	Line int
+	Func string
+}
+
+var funcNameCache sync.Map // uintptr (pc) → string
+
+// CallerLoc returns the source location skip frames above the caller.
+// runtime.Caller is used for the file/line because its skip counting is
+// inlining-aware; the (comparatively expensive) function-name symbolization
+// is cached per program counter. Real instrumentation knows its source
+// location statically at zero runtime cost; the cache keeps the simulated
+// profiler's per-access cost within the same order as the access itself.
+func CallerLoc(skip int) Loc {
+	pc, file, line, ok := runtime.Caller(skip + 1)
+	if !ok {
+		return Loc{}
+	}
+	loc := Loc{File: file, Line: line}
+	if v, ok := funcNameCache.Load(pc); ok {
+		loc.Func = v.(string)
+		return loc
+	}
+	frames := runtime.CallersFrames([]uintptr{pc})
+	frame, _ := frames.Next()
+	loc.Func = frame.Function
+	funcNameCache.Store(pc, loc.Func)
+	return loc
+}

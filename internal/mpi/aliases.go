@@ -1,0 +1,23 @@
+package mpi
+
+import "repro/internal/trace"
+
+// Re-exported trace types and constants so applications can be written
+// against the mpi package alone, like MPI programs against mpi.h.
+
+// LockType selects the MPI_Win_lock mode.
+type LockType = trace.LockType
+
+// AccOp is the reduction operation for Accumulate, Reduce, and Allreduce.
+type AccOp = trace.AccOp
+
+const (
+	LockShared    = trace.LockShared
+	LockExclusive = trace.LockExclusive
+
+	OpSum     = trace.OpSum
+	OpProd    = trace.OpProd
+	OpMax     = trace.OpMax
+	OpMin     = trace.OpMin
+	OpReplace = trace.OpReplace
+)

@@ -1,0 +1,203 @@
+package mpi
+
+import (
+	"sort"
+
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// Barrier blocks until all members of c have entered it (MPI_Barrier).
+func (p *Proc) Barrier(c *Comm) {
+	rel := c.mustMember(p, "Barrier")
+	p.emit(trace.Event{Kind: trace.KindBarrier, Comm: c.id}, 1)
+	c.coll.rendezvous(p, c.Size(), rel, "Barrier", nil, func(map[int]any) any { return nil })
+}
+
+// Bcast broadcasts count elements of dtype from root's buffer to every
+// member's buffer (MPI_Bcast).
+func (p *Proc) Bcast(c *Comm, buf *memory.Buffer, off uint64, count int, dtype *Datatype, root int) {
+	rel := c.mustMember(p, "Bcast")
+	p.emit(trace.Event{
+		Kind: trace.KindBcast, Comm: c.id, Peer: int32(root),
+		OriginAddr: buf.Addr(off), OriginType: dtype.id, OriginCount: int32(count),
+	}, 1)
+	var deposit any
+	if rel == root {
+		deposit = pack(buf, off, dtype, count)
+	}
+	result := c.coll.rendezvous(p, c.Size(), rel, "Bcast", deposit, func(slots map[int]any) any {
+		return slots[root]
+	})
+	if rel != root {
+		unpack(buf, off, dtype, count, result.([]byte))
+	}
+}
+
+// Reduce combines count elements from every member with op and stores the
+// result into root's recv buffer (MPI_Reduce).
+func (p *Proc) Reduce(c *Comm, send *memory.Buffer, sendOff uint64, recv *memory.Buffer, recvOff uint64,
+	count int, dtype *Datatype, op trace.AccOp, root int) {
+	rel := c.mustMember(p, "Reduce")
+	if dtype.elem == 0 {
+		p.errorf("Reduce", "datatype %d has no arithmetic base type", dtype.id)
+	}
+	p.emit(trace.Event{
+		Kind: trace.KindReduce, Comm: c.id, Peer: int32(root), AccOp: op,
+		OriginAddr: send.Addr(sendOff), OriginType: dtype.id, OriginCount: int32(count),
+	}, 1)
+	result := c.coll.rendezvous(p, c.Size(), rel, "Reduce", pack(send, sendOff, dtype, count),
+		func(slots map[int]any) any { return reduceSlots(slots, dtype.elem, op) })
+	if rel == root {
+		unpack(recv, recvOff, dtype, count, result.([]byte))
+	}
+}
+
+// Allreduce is Reduce delivering the result to every member (MPI_Allreduce).
+func (p *Proc) Allreduce(c *Comm, send *memory.Buffer, sendOff uint64, recv *memory.Buffer, recvOff uint64,
+	count int, dtype *Datatype, op trace.AccOp) {
+	rel := c.mustMember(p, "Allreduce")
+	if dtype.elem == 0 {
+		p.errorf("Allreduce", "datatype %d has no arithmetic base type", dtype.id)
+	}
+	p.emit(trace.Event{
+		Kind: trace.KindAllreduce, Comm: c.id, AccOp: op,
+		OriginAddr: send.Addr(sendOff), OriginType: dtype.id, OriginCount: int32(count),
+	}, 1)
+	result := c.coll.rendezvous(p, c.Size(), rel, "Allreduce", pack(send, sendOff, dtype, count),
+		func(slots map[int]any) any { return reduceSlots(slots, dtype.elem, op) })
+	unpack(recv, recvOff, dtype, count, result.([]byte))
+}
+
+// reduceSlots combines deposited packed byte slices in ascending rank order.
+func reduceSlots(slots map[int]any, elem int32, op trace.AccOp) []byte {
+	ranks := make([]int, 0, len(slots))
+	for r := range slots {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	acc := append([]byte(nil), slots[ranks[0]].([]byte)...)
+	for _, r := range ranks[1:] {
+		combine(acc, slots[r].([]byte), elem, op)
+	}
+	return acc
+}
+
+// Gather collects count elements from every member into root's recv buffer,
+// placed in rank order (MPI_Gather). recv is ignored on non-root ranks.
+func (p *Proc) Gather(c *Comm, send *memory.Buffer, sendOff uint64, count int, dtype *Datatype,
+	recv *memory.Buffer, recvOff uint64, root int) {
+	rel := c.mustMember(p, "Gather")
+	p.emit(trace.Event{
+		Kind: trace.KindGather, Comm: c.id, Peer: int32(root),
+		OriginAddr: send.Addr(sendOff), OriginType: dtype.id, OriginCount: int32(count),
+	}, 1)
+	result := c.coll.rendezvous(p, c.Size(), rel, "Gather", pack(send, sendOff, dtype, count),
+		func(slots map[int]any) any { return slots })
+	if rel == root {
+		slots := result.(map[int]any)
+		stride := dtype.dm.Extent * uint64(count)
+		for r := 0; r < c.Size(); r++ {
+			unpack(recv, recvOff+uint64(r)*stride, dtype, count, slots[r].([]byte))
+		}
+	}
+}
+
+// Scatter distributes consecutive count-element chunks of root's send
+// buffer to the members in rank order (MPI_Scatter).
+func (p *Proc) Scatter(c *Comm, send *memory.Buffer, sendOff uint64, count int, dtype *Datatype,
+	recv *memory.Buffer, recvOff uint64, root int) {
+	rel := c.mustMember(p, "Scatter")
+	p.emit(trace.Event{
+		Kind: trace.KindScatter, Comm: c.id, Peer: int32(root),
+		OriginAddr: recv.Addr(recvOff), OriginType: dtype.id, OriginCount: int32(count),
+	}, 1)
+	var deposit any
+	if rel == root {
+		chunks := make([][]byte, c.Size())
+		stride := dtype.dm.Extent * uint64(count)
+		for r := 0; r < c.Size(); r++ {
+			chunks[r] = pack(send, sendOff+uint64(r)*stride, dtype, count)
+		}
+		deposit = chunks
+	}
+	result := c.coll.rendezvous(p, c.Size(), rel, "Scatter", deposit,
+		func(slots map[int]any) any { return slots[root] })
+	chunks := result.([][]byte)
+	unpack(recv, recvOff, dtype, count, chunks[rel])
+}
+
+// Allgather collects count elements from every member into every member's
+// recv buffer, in rank order (MPI_Allgather).
+func (p *Proc) Allgather(c *Comm, send *memory.Buffer, sendOff uint64, count int, dtype *Datatype,
+	recv *memory.Buffer, recvOff uint64) {
+	rel := c.mustMember(p, "Allgather")
+	p.emit(trace.Event{
+		Kind: trace.KindAllgather, Comm: c.id,
+		OriginAddr: send.Addr(sendOff), OriginType: dtype.id, OriginCount: int32(count),
+	}, 1)
+	result := c.coll.rendezvous(p, c.Size(), rel, "Allgather", pack(send, sendOff, dtype, count),
+		func(slots map[int]any) any { return slots })
+	slots := result.(map[int]any)
+	stride := dtype.dm.Extent * uint64(count)
+	for r := 0; r < c.Size(); r++ {
+		unpack(recv, recvOff+uint64(r)*stride, dtype, count, slots[r].([]byte))
+	}
+}
+
+// Scan computes the inclusive prefix reduction: member r receives the
+// combination of the contributions of ranks 0..r (MPI_Scan). It is modelled
+// as a to-root collective for ordering purposes: rank r's result depends on
+// all lower ranks, so the trace event uses the Allreduce kind's barrier-like
+// matching via its own kind entry.
+func (p *Proc) Scan(c *Comm, send *memory.Buffer, sendOff uint64, recv *memory.Buffer, recvOff uint64,
+	count int, dtype *Datatype, op trace.AccOp) {
+	rel := c.mustMember(p, "Scan")
+	if dtype.elem == 0 {
+		p.errorf("Scan", "datatype %d has no arithmetic base type", dtype.id)
+	}
+	p.emit(trace.Event{
+		Kind: trace.KindAllreduce, Comm: c.id, AccOp: op,
+		OriginAddr: send.Addr(sendOff), OriginType: dtype.id, OriginCount: int32(count),
+	}, 1)
+	result := c.coll.rendezvous(p, c.Size(), rel, "Scan", pack(send, sendOff, dtype, count),
+		func(slots map[int]any) any { return slots })
+	slots := result.(map[int]any)
+	acc := append([]byte(nil), slots[0].([]byte)...)
+	for r := 1; r <= rel; r++ {
+		combine(acc, slots[r].([]byte), dtype.elem, op)
+	}
+	unpack(recv, recvOff, dtype, count, acc)
+}
+
+// Waitall completes a set of nonblocking requests (MPI_Waitall).
+func (p *Proc) Waitall(reqs []*Request) []Status {
+	out := make([]Status, len(reqs))
+	q := p.WithCallDepth(1)
+	for i, req := range reqs {
+		out[i] = q.Wait(req)
+	}
+	return out
+}
+
+// Alltoall sends the r-th count-element chunk of each member's send buffer
+// to member r, gathering incoming chunks in rank order (MPI_Alltoall).
+func (p *Proc) Alltoall(c *Comm, send *memory.Buffer, sendOff uint64, count int, dtype *Datatype,
+	recv *memory.Buffer, recvOff uint64) {
+	rel := c.mustMember(p, "Alltoall")
+	p.emit(trace.Event{
+		Kind: trace.KindAlltoall, Comm: c.id,
+		OriginAddr: send.Addr(sendOff), OriginType: dtype.id, OriginCount: int32(count),
+	}, 1)
+	chunks := make([][]byte, c.Size())
+	stride := dtype.dm.Extent * uint64(count)
+	for r := 0; r < c.Size(); r++ {
+		chunks[r] = pack(send, sendOff+uint64(r)*stride, dtype, count)
+	}
+	result := c.coll.rendezvous(p, c.Size(), rel, "Alltoall", chunks,
+		func(slots map[int]any) any { return slots })
+	slots := result.(map[int]any)
+	for r := 0; r < c.Size(); r++ {
+		unpack(recv, recvOff+uint64(r)*stride, dtype, count, slots[r].([][]byte)[rel])
+	}
+}

@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestScan(t *testing.T) {
+	err := Run(5, Options{}, func(p *Proc) error {
+		send := p.Alloc(8, "s")
+		recv := p.Alloc(8, "r")
+		send.SetFloat64(0, float64(p.Rank()+1))
+		p.Scan(p.CommWorld(), send, 0, recv, 0, 1, Float64, trace.OpSum)
+		// Inclusive prefix sum of 1..rank+1.
+		want := float64((p.Rank() + 1) * (p.Rank() + 2) / 2)
+		if got := recv.Float64At(0); got != want {
+			t.Errorf("rank %d scan = %g, want %g", p.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanProd(t *testing.T) {
+	err := Run(4, Options{}, func(p *Proc) error {
+		send := p.Alloc(4, "s")
+		recv := p.Alloc(4, "r")
+		send.SetInt32(0, 2)
+		p.Scan(p.CommWorld(), send, 0, recv, 0, 1, Int32, trace.OpProd)
+		want := int32(1) << (p.Rank() + 1) // 2^(rank+1)
+		if got := recv.Int32At(0); got != want {
+			t.Errorf("rank %d scan prod = %d, want %d", p.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitall(t *testing.T) {
+	err := Run(2, Options{}, func(p *Proc) error {
+		buf := p.Alloc(16, "b")
+		if p.Rank() == 0 {
+			var reqs []*Request
+			buf.SetInt32(0, 10)
+			buf.SetInt32(4, 20)
+			reqs = append(reqs, p.Isend(p.CommWorld(), buf, 0, 1, Int32, 1, 1))
+			reqs = append(reqs, p.Isend(p.CommWorld(), buf, 4, 1, Int32, 1, 2))
+			p.Waitall(reqs)
+		} else {
+			r1 := p.Irecv(p.CommWorld(), buf, 0, 1, Int32, 0, 1)
+			r2 := p.Irecv(p.CommWorld(), buf, 4, 1, Int32, 0, 2)
+			sts := p.Waitall([]*Request{r1, r2})
+			if buf.Int32At(0) != 10 || buf.Int32At(4) != 20 {
+				t.Errorf("waitall payloads: %d %d", buf.Int32At(0), buf.Int32At(4))
+			}
+			if sts[0].Source != 0 || sts[1].Tag != 2 {
+				t.Errorf("statuses: %+v", sts)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PSCW epochs can be reopened repeatedly on one window.
+func TestPSCWRepeatedEpochs(t *testing.T) {
+	err := Run(2, Options{}, func(p *Proc) error {
+		win := p.Alloc(8, "win")
+		w := p.WinCreate(win, 1, p.CommWorld())
+		other := 1 - p.Rank()
+		g := NewGroup([]int{other})
+		for i := 0; i < 5; i++ {
+			w.Post(g)
+			w.Start(g)
+			if p.Rank() == 0 {
+				src := p.Alloc(8, "src")
+				src.SetInt64(0, int64(i))
+				w.Put(src, 0, 1, Int64, 1, 0, 1, Int64)
+			}
+			w.Complete()
+			w.WaitEpoch()
+			p.Barrier(p.CommWorld())
+			if p.Rank() == 1 {
+				if got := win.Int64At(0); got != int64(i) {
+					t.Errorf("epoch %d delivered %d", i, got)
+				}
+			}
+			p.Barrier(p.CommWorld())
+		}
+		w.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestBcast(t *testing.T) {
+	err := Run(4, Options{}, func(p *Proc) error {
+		buf := p.Alloc(16, "data")
+		if p.Rank() == 2 {
+			for i := uint64(0); i < 4; i++ {
+				buf.SetInt32(i*4, int32(1000+i))
+			}
+		}
+		p.Bcast(p.CommWorld(), buf, 0, 4, Int32, 2)
+		for i := uint64(0); i < 4; i++ {
+			if got := buf.Int32At(i * 4); got != int32(1000+i) {
+				t.Errorf("rank %d: buf[%d] = %d", p.Rank(), i, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	err := Run(5, Options{}, func(p *Proc) error {
+		send := p.Alloc(8, "send")
+		recv := p.Alloc(8, "recv")
+		send.SetFloat64(0, float64(p.Rank()+1))
+		p.Reduce(p.CommWorld(), send, 0, recv, 0, 1, Float64, trace.OpSum, 0)
+		if p.Rank() == 0 {
+			if got := recv.Float64At(0); got != 15 { // 1+2+3+4+5
+				t.Errorf("reduce sum = %g", got)
+			}
+		}
+		p.Allreduce(p.CommWorld(), send, 0, recv, 0, 1, Float64, trace.OpMax)
+		if got := recv.Float64At(0); got != 5 {
+			t.Errorf("rank %d allreduce max = %g", p.Rank(), got)
+		}
+		p.Allreduce(p.CommWorld(), send, 0, recv, 0, 1, Float64, trace.OpMin)
+		if got := recv.Float64At(0); got != 1 {
+			t.Errorf("allreduce min = %g", got)
+		}
+		p.Allreduce(p.CommWorld(), send, 0, recv, 0, 1, Float64, trace.OpProd)
+		if got := recv.Float64At(0); got != 120 {
+			t.Errorf("allreduce prod = %g", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceInt32(t *testing.T) {
+	err := Run(3, Options{}, func(p *Proc) error {
+		send := p.Alloc(8, "send")
+		recv := p.Alloc(8, "recv")
+		send.SetInt32(0, int32(p.Rank()))
+		send.SetInt32(4, int32(10*p.Rank()))
+		p.Allreduce(p.CommWorld(), send, 0, recv, 0, 2, Int32, trace.OpSum)
+		if recv.Int32At(0) != 3 || recv.Int32At(4) != 30 {
+			t.Errorf("int32 vector reduce: %d %d", recv.Int32At(0), recv.Int32At(4))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	const n = 4
+	err := Run(n, Options{}, func(p *Proc) error {
+		send := p.Alloc(4, "send")
+		recv := p.Alloc(4*n, "recv")
+		send.SetInt32(0, int32(p.Rank()*100))
+		p.Gather(p.CommWorld(), send, 0, 1, Int32, recv, 0, 1)
+		if p.Rank() == 1 {
+			for r := uint64(0); r < n; r++ {
+				if got := recv.Int32At(r * 4); got != int32(r*100) {
+					t.Errorf("gather[%d] = %d", r, got)
+				}
+			}
+		}
+		// Scatter back doubled values.
+		src := p.Alloc(4*n, "src")
+		dst := p.Alloc(4, "dst")
+		if p.Rank() == 1 {
+			for r := uint64(0); r < n; r++ {
+				src.SetInt32(r*4, int32(r*2))
+			}
+		}
+		p.Scatter(p.CommWorld(), src, 0, 1, Int32, dst, 0, 1)
+		if got := dst.Int32At(0); got != int32(p.Rank()*2) {
+			t.Errorf("rank %d scatter got %d", p.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 3
+	err := Run(n, Options{}, func(p *Proc) error {
+		send := p.Alloc(8, "send")
+		recv := p.Alloc(8*n, "recv")
+		send.SetFloat64(0, float64(p.Rank())+0.5)
+		p.Allgather(p.CommWorld(), send, 0, 1, Float64, recv, 0)
+		for r := uint64(0); r < n; r++ {
+			if got := recv.Float64At(r * 8); got != float64(r)+0.5 {
+				t.Errorf("rank %d allgather[%d] = %g", p.Rank(), r, got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	err := Run(n, Options{}, func(p *Proc) error {
+		send := p.Alloc(4*n, "send")
+		recv := p.Alloc(4*n, "recv")
+		for r := uint64(0); r < n; r++ {
+			send.SetInt32(r*4, int32(p.Rank()*10+int(r)))
+		}
+		p.Alltoall(p.CommWorld(), send, 0, 1, Int32, recv, 0)
+		for r := uint64(0); r < n; r++ {
+			want := int32(int(r)*10 + p.Rank())
+			if got := recv.Int32At(r * 4); got != want {
+				t.Errorf("rank %d recv[%d] = %d, want %d", p.Rank(), r, got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveOnSubComm(t *testing.T) {
+	err := Run(4, Options{}, func(p *Proc) error {
+		sub := p.CommSplit(p.CommWorld(), p.Rank()%2, p.Rank())
+		buf := p.Alloc(4, "b")
+		if sub.RankOf(p) == 0 {
+			buf.SetInt32(0, int32(100+p.Rank()%2))
+		}
+		p.Bcast(sub, buf, 0, 1, Int32, 0)
+		if got := buf.Int32At(0); got != int32(100+p.Rank()%2) {
+			t.Errorf("rank %d sub-bcast got %d", p.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierManyRanks(t *testing.T) {
+	// Stress the rendezvous with repeated barriers at 64 ranks.
+	err := Run(64, Options{}, func(p *Proc) error {
+		for i := 0; i < 25; i++ {
+			p.Barrier(p.CommWorld())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+// Package mpi is a deterministic, in-process simulator of the MPI-2.2
+// interface subset that MC-Checker instruments: point-to-point messaging,
+// collectives, communicators and groups, derived datatypes, and the full
+// one-sided (RMA) chapter with its three synchronization modes (fence,
+// post/start/complete/wait, lock/unlock).
+//
+// Each rank runs as a goroutine with its own simulated address space
+// (package memory). The simulator substitutes for the real MPI library the
+// paper ran on: what MC-Checker consumes is the per-rank event trace, and
+// the simulator produces the same event stream — and the same
+// happens-before structure — that a real MPI run produces, via the Hook
+// interface implemented by internal/profiler.
+//
+// # One-sided semantics
+//
+// Put, Get, and Accumulate are nonblocking: they are queued at the origin
+// and applied only when the epoch closes (Win_fence, Win_unlock, or
+// Win_complete), exactly the deferred-completion behaviour permitted by
+// MPI-2.2 that makes the paper's bug cases manifest. A program that loads
+// the destination of a Get before the epoch closes reads stale data; a
+// program that stores to the source of a Put before the epoch closes
+// corrupts the transfer. Pending operations are applied in deterministic
+// (origin rank, issue order) so that runs are reproducible; MPI leaves this
+// order undefined, and correct programs must not depend on it.
+//
+// # Errors
+//
+// Misuse that a real MPI library would flag or hang on (communication on a
+// rank outside the communicator, RMA without an open epoch, mismatched
+// collectives) panics with a *UsageError carrying the rank and call;
+// World.Run recovers these panics and returns them. Deadlocks are broken by
+// a configurable watchdog.
+package mpi

@@ -1,0 +1,137 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Group is an ordered set of world ranks, the MPI process-group abstraction.
+// Groups are immutable; the set operations return new groups.
+type Group struct {
+	ranks []int // world ranks in group-rank order
+}
+
+func identityGroup(n int) *Group {
+	g := &Group{ranks: make([]int, n)}
+	for i := range g.ranks {
+		g.ranks[i] = i
+	}
+	return g
+}
+
+// NewGroup builds a group from world ranks in the given order.
+// It panics if a rank repeats.
+func NewGroup(worldRanks []int) *Group {
+	seen := make(map[int]bool, len(worldRanks))
+	ranks := make([]int, len(worldRanks))
+	for i, r := range worldRanks {
+		if seen[r] {
+			panic(fmt.Sprintf("mpi: duplicate rank %d in group", r))
+		}
+		seen[r] = true
+		ranks[i] = r
+	}
+	return &Group{ranks: ranks}
+}
+
+// Size returns the number of processes in the group.
+func (g *Group) Size() int { return len(g.ranks) }
+
+// Ranks returns a copy of the member world ranks in group-rank order.
+func (g *Group) Ranks() []int {
+	out := make([]int, len(g.ranks))
+	copy(out, g.ranks)
+	return out
+}
+
+// Rank translates a world rank to the group-relative rank, or -1 if the
+// process is not a member.
+func (g *Group) Rank(world int) int {
+	for i, r := range g.ranks {
+		if r == world {
+			return i
+		}
+	}
+	return -1
+}
+
+// WorldRank translates a group-relative rank to the world rank.
+func (g *Group) WorldRank(rel int) int {
+	if rel < 0 || rel >= len(g.ranks) {
+		panic(fmt.Sprintf("mpi: group rank %d out of range [0,%d)", rel, len(g.ranks)))
+	}
+	return g.ranks[rel]
+}
+
+// Contains reports whether the world rank is a member.
+func (g *Group) Contains(world int) bool { return g.Rank(world) >= 0 }
+
+// Incl returns the subgroup of the given group-relative ranks, in that
+// order (MPI_Group_incl).
+func (g *Group) Incl(rels []int) *Group {
+	out := make([]int, len(rels))
+	for i, rel := range rels {
+		out[i] = g.WorldRank(rel)
+	}
+	return NewGroup(out)
+}
+
+// Excl returns the group without the given group-relative ranks, preserving
+// order (MPI_Group_excl).
+func (g *Group) Excl(rels []int) *Group {
+	drop := make(map[int]bool, len(rels))
+	for _, rel := range rels {
+		drop[g.WorldRank(rel)] = true
+	}
+	var out []int
+	for _, r := range g.ranks {
+		if !drop[r] {
+			out = append(out, r)
+		}
+	}
+	return NewGroup(out)
+}
+
+// Union returns members of g followed by members of o not in g
+// (MPI_Group_union ordering).
+func (g *Group) Union(o *Group) *Group {
+	out := append([]int(nil), g.ranks...)
+	for _, r := range o.ranks {
+		if !g.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	return NewGroup(out)
+}
+
+// Intersect returns members of g that are also in o, in g's order
+// (MPI_Group_intersection).
+func (g *Group) Intersect(o *Group) *Group {
+	var out []int
+	for _, r := range g.ranks {
+		if o.Contains(r) {
+			out = append(out, r)
+		}
+	}
+	return NewGroup(out)
+}
+
+// Translate maps group-relative ranks of g to the corresponding relative
+// ranks in o, with -1 for processes not in o (MPI_Group_translate_ranks).
+func (g *Group) Translate(rels []int, o *Group) []int {
+	out := make([]int, len(rels))
+	for i, rel := range rels {
+		out[i] = o.Rank(g.WorldRank(rel))
+	}
+	return out
+}
+
+// sortedCopy returns the member ranks in ascending world order; used by
+// deterministic internal iteration.
+func (g *Group) sortedCopy() []int {
+	out := g.Ranks()
+	sort.Ints(out)
+	return out
+}
+
+func (g *Group) String() string { return fmt.Sprintf("group%v", g.ranks) }

@@ -1,0 +1,76 @@
+package mpi
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGroupBasics(t *testing.T) {
+	g := NewGroup([]int{4, 2, 7})
+	if g.Size() != 3 {
+		t.Fatalf("Size = %d", g.Size())
+	}
+	if g.Rank(2) != 1 || g.Rank(5) != -1 {
+		t.Error("Rank lookup wrong")
+	}
+	if g.WorldRank(0) != 4 || g.WorldRank(2) != 7 {
+		t.Error("WorldRank wrong")
+	}
+	if !g.Contains(7) || g.Contains(0) {
+		t.Error("Contains wrong")
+	}
+	if !reflect.DeepEqual(g.Ranks(), []int{4, 2, 7}) {
+		t.Error("Ranks order not preserved")
+	}
+}
+
+func TestGroupDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate rank must panic")
+		}
+	}()
+	NewGroup([]int{1, 1})
+}
+
+func TestGroupInclExcl(t *testing.T) {
+	g := identityGroup(6)
+	sub := g.Incl([]int{5, 0, 3})
+	if !reflect.DeepEqual(sub.Ranks(), []int{5, 0, 3}) {
+		t.Errorf("Incl = %v", sub.Ranks())
+	}
+	rest := g.Excl([]int{0, 2, 4})
+	if !reflect.DeepEqual(rest.Ranks(), []int{1, 3, 5}) {
+		t.Errorf("Excl = %v", rest.Ranks())
+	}
+}
+
+func TestGroupSetOps(t *testing.T) {
+	a := NewGroup([]int{0, 1, 2})
+	b := NewGroup([]int{2, 3})
+	if !reflect.DeepEqual(a.Union(b).Ranks(), []int{0, 1, 2, 3}) {
+		t.Errorf("Union = %v", a.Union(b).Ranks())
+	}
+	if !reflect.DeepEqual(a.Intersect(b).Ranks(), []int{2}) {
+		t.Errorf("Intersect = %v", a.Intersect(b).Ranks())
+	}
+}
+
+func TestGroupTranslate(t *testing.T) {
+	a := NewGroup([]int{3, 5, 7})
+	b := NewGroup([]int{7, 3})
+	got := a.Translate([]int{0, 1, 2}, b)
+	if !reflect.DeepEqual(got, []int{1, -1, 0}) {
+		t.Errorf("Translate = %v", got)
+	}
+}
+
+func TestGroupWorldRankPanics(t *testing.T) {
+	g := identityGroup(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range WorldRank must panic")
+		}
+	}()
+	g.WorldRank(5)
+}

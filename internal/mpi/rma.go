@@ -1,0 +1,371 @@
+package mpi
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+// Win is a per-rank handle on an RMA window. The window itself (winShared)
+// is a collective object; the handle additionally tracks the rank's open
+// epochs and its pending (issued but not completed) one-sided operations —
+// the deferred-completion queue that gives the simulator MPI's nonblocking
+// RMA semantics.
+type Win struct {
+	p *Proc
+	s *winShared
+
+	fenceCount   int      // number of Win_fence calls so far
+	pendingFence []*rmaOp // ops completing at the next fence
+	lockHeld     map[int]trace.LockType
+	pendingLock  map[int][]*rmaOp // ops completing at Win_unlock(target)
+	startGroup   *Group           // open access epoch (Win_start)
+	pendingStart []*rmaOp         // ops completing at Win_complete
+	issueSeq     int              // per-handle issue counter for deterministic ordering
+
+	// MPI-3 lock_all epoch state.
+	lockAll    bool
+	pendingAll map[int][]*rmaOp // ops completing at Win_unlock_all or Flush
+}
+
+type winShared struct {
+	id     int32
+	comm   *Comm
+	locals []winLocal // indexed by comm-relative rank
+	locks  []*lockState
+	fences *collState // fence/free rendezvous, separate from comm collectives
+
+	pscwMu   sync.Mutex
+	pscwCond *sync.Cond
+	posts    map[int]*postRecord // active exposure epoch per target rank
+}
+
+type winLocal struct {
+	buf      *memory.Buffer
+	dispUnit uint32
+}
+
+type postRecord struct {
+	origins   *Group
+	remaining int // origins that have not yet called Win_complete
+}
+
+// lockState implements the passive-target lock of one target rank.
+type lockState struct {
+	world   *World
+	mu      sync.Mutex
+	cond    *sync.Cond
+	holders int
+	excl    bool
+}
+
+func newLockState(w *World) *lockState {
+	ls := &lockState{world: w}
+	ls.cond = sync.NewCond(&ls.mu)
+	w.addCond(ls.cond)
+	return ls
+}
+
+func (ls *lockState) acquire(lt trace.LockType) {
+	ls.mu.Lock()
+	if lt == trace.LockExclusive {
+		for ls.holders > 0 {
+			if ls.world.abortedNow() {
+				ls.mu.Unlock()
+				panic(abortPanic{})
+			}
+			ls.cond.Wait()
+		}
+		ls.excl = true
+	} else {
+		for ls.excl {
+			if ls.world.abortedNow() {
+				ls.mu.Unlock()
+				panic(abortPanic{})
+			}
+			ls.cond.Wait()
+		}
+	}
+	ls.holders++
+	ls.mu.Unlock()
+}
+
+func (ls *lockState) release() {
+	ls.mu.Lock()
+	ls.holders--
+	if ls.holders == 0 {
+		ls.excl = false
+	}
+	ls.cond.Broadcast()
+	ls.mu.Unlock()
+}
+
+// rmaOp is one queued one-sided operation.
+type rmaOp struct {
+	kind   trace.Kind // KindPut, KindGet, KindAccumulate
+	origin int        // world rank of origin (for deterministic ordering)
+	seq    int        // issue order within the origin handle
+
+	originBuf   *memory.Buffer
+	originOff   uint64
+	originType  *Datatype
+	originCount int
+
+	target      int // comm-relative target rank
+	targetDisp  uint64
+	targetType  *Datatype
+	targetCount int
+
+	op trace.AccOp // accumulate family only
+
+	// Fetching atomics (MPI-3): where to deliver the target's old value.
+	resultBuf   *memory.Buffer
+	resultOff   uint64
+	resultType  *Datatype
+	resultCount int
+	compare     []byte // Compare_and_swap comparison value, read at issue
+}
+
+// WinCreate exposes buf for one-sided access by all members of c
+// (MPI_Win_create). It is collective over c; every member contributes its
+// local window buffer and displacement unit.
+func (p *Proc) WinCreate(buf *memory.Buffer, dispUnit uint32, c *Comm) *Win {
+	rel := c.mustMember(p, "Win_create")
+	if dispUnit == 0 {
+		p.errorf("Win_create", "displacement unit must be positive")
+	}
+	type deposit struct {
+		buf  *memory.Buffer
+		unit uint32
+	}
+	result := c.coll.rendezvous(p, c.Size(), rel, "Win_create", deposit{buf, dispUnit},
+		func(slots map[int]any) any {
+			s := &winShared{
+				id:     p.world.allocWinID(),
+				comm:   c,
+				locals: make([]winLocal, c.Size()),
+				locks:  make([]*lockState, c.Size()),
+				fences: newCollState(p.world),
+				posts:  make(map[int]*postRecord),
+			}
+			s.pscwCond = sync.NewCond(&s.pscwMu)
+			p.world.addCond(s.pscwCond)
+			for r := 0; r < c.Size(); r++ {
+				d := slots[r].(deposit)
+				s.locals[r] = winLocal{buf: d.buf, dispUnit: d.unit}
+				s.locks[r] = newLockState(p.world)
+			}
+			return s
+		})
+	s := result.(*winShared)
+	p.emit(trace.Event{
+		Kind: trace.KindWinCreate, Win: s.id, Comm: c.id,
+		WinBase: buf.Base(), WinSize: buf.Size(), DispUnit: dispUnit,
+	}, 1)
+	return &Win{
+		p: p, s: s,
+		lockHeld:    make(map[int]trace.LockType),
+		pendingLock: make(map[int][]*rmaOp),
+		pendingAll:  make(map[int][]*rmaOp),
+	}
+}
+
+// ID returns the window id as it appears in the trace.
+func (w *Win) ID() int32 { return w.s.id }
+
+// Comm returns the communicator the window was created over.
+func (w *Win) Comm() *Comm { return w.s.comm }
+
+// LocalBuffer returns the rank's own window buffer.
+func (w *Win) LocalBuffer() *memory.Buffer {
+	return w.s.locals[w.s.comm.RankOf(w.p)].buf
+}
+
+// Free destroys the window collectively (MPI_Win_free). Pending operations
+// must have been completed by a synchronization call.
+func (w *Win) Free() {
+	p := w.p
+	rel := w.s.comm.mustMember(p, "Win_free")
+	if len(w.pendingFence) > 0 || len(w.lockHeld) > 0 || w.startGroup != nil || w.lockAll {
+		p.errorf("Win_free", "window freed with an open epoch or pending operations")
+	}
+	p.emit(trace.Event{Kind: trace.KindWinFree, Win: w.s.id, Comm: w.s.comm.id}, 1)
+	w.s.fences.rendezvous(p, w.s.comm.Size(), rel, "Win_free", nil, func(map[int]any) any { return nil })
+}
+
+// queue classifies the operation into the rank's open epoch and defers it.
+func (w *Win) queue(call string, op *rmaOp) {
+	p := w.p
+	op.origin = p.rank
+	op.seq = w.issueSeq
+	w.issueSeq++
+	switch {
+	case w.lockHeld[op.target] != trace.LockNone:
+		w.pendingLock[op.target] = append(w.pendingLock[op.target], op)
+	case w.lockAll:
+		w.pendingAll[op.target] = append(w.pendingAll[op.target], op)
+	case w.startGroup != nil && w.startGroup.Contains(w.s.comm.WorldRank(op.target)):
+		w.pendingStart = append(w.pendingStart, op)
+	case w.fenceCount > 0:
+		w.pendingFence = append(w.pendingFence, op)
+	default:
+		p.errorf(call, "one-sided operation to target %d without an open epoch (no fence, lock, or start)", op.target)
+	}
+}
+
+func (w *Win) validateTransfer(call string, target int, ot *Datatype, oc int, tt *Datatype, tc int) {
+	p := w.p
+	if target < 0 || target >= w.s.comm.Size() {
+		p.errorf(call, "target rank %d out of range for window communicator of size %d", target, w.s.comm.Size())
+	}
+	if ot.dm.TileBytes(oc) != tt.dm.TileBytes(tc) {
+		p.errorf(call, "origin transfers %d bytes but target describes %d bytes",
+			ot.dm.TileBytes(oc), tt.dm.TileBytes(tc))
+	}
+}
+
+// targetByteOff converts a displacement to a byte offset in the target's
+// window buffer.
+func (s *winShared) targetByteOff(target int, disp uint64) uint64 {
+	return disp * uint64(s.locals[target].dispUnit)
+}
+
+// Put transfers originCount elements of originType from the origin buffer
+// to targetCount elements of targetType at targetDisp in the target's
+// window (MPI_Put). The transfer is nonblocking: it is applied when the
+// enclosing epoch closes.
+func (w *Win) Put(origin *memory.Buffer, originOff uint64, originCount int, originType *Datatype,
+	target int, targetDisp uint64, targetCount int, targetType *Datatype) {
+	w.validateTransfer("Put", target, originType, originCount, targetType, targetCount)
+	w.checkTargetRange("Put", target, targetDisp, targetType, targetCount)
+	w.p.emit(trace.Event{
+		Kind: trace.KindPut, Win: w.s.id, Target: int32(target),
+		OriginAddr: origin.Addr(originOff), OriginType: originType.id, OriginCount: int32(originCount),
+		TargetDisp: targetDisp, TargetType: targetType.id, TargetCount: int32(targetCount),
+	}, 1)
+	w.queue("Put", &rmaOp{
+		kind:      trace.KindPut,
+		originBuf: origin, originOff: originOff, originType: originType, originCount: originCount,
+		target: target, targetDisp: targetDisp, targetType: targetType, targetCount: targetCount,
+	})
+}
+
+// Get transfers targetCount elements of targetType from the target's window
+// into the origin buffer (MPI_Get). Like Put, it completes only when the
+// epoch closes: loading the origin buffer before then reads stale data.
+func (w *Win) Get(origin *memory.Buffer, originOff uint64, originCount int, originType *Datatype,
+	target int, targetDisp uint64, targetCount int, targetType *Datatype) {
+	w.validateTransfer("Get", target, originType, originCount, targetType, targetCount)
+	w.checkTargetRange("Get", target, targetDisp, targetType, targetCount)
+	w.p.emit(trace.Event{
+		Kind: trace.KindGet, Win: w.s.id, Target: int32(target),
+		OriginAddr: origin.Addr(originOff), OriginType: originType.id, OriginCount: int32(originCount),
+		TargetDisp: targetDisp, TargetType: targetType.id, TargetCount: int32(targetCount),
+	}, 1)
+	w.queue("Get", &rmaOp{
+		kind:      trace.KindGet,
+		originBuf: origin, originOff: originOff, originType: originType, originCount: originCount,
+		target: target, targetDisp: targetDisp, targetType: targetType, targetCount: targetCount,
+	})
+}
+
+// Accumulate combines originCount elements of originType into the target
+// window with the reduction op (MPI_Accumulate).
+func (w *Win) Accumulate(origin *memory.Buffer, originOff uint64, originCount int, originType *Datatype,
+	target int, targetDisp uint64, targetCount int, targetType *Datatype, op trace.AccOp) {
+	w.validateTransfer("Accumulate", target, originType, originCount, targetType, targetCount)
+	w.checkTargetRange("Accumulate", target, targetDisp, targetType, targetCount)
+	if op == trace.OpNone {
+		w.p.errorf("Accumulate", "missing reduction operation")
+	}
+	if op != trace.OpReplace {
+		if originType.elem == 0 || originType.elem != targetType.elem {
+			w.p.errorf("Accumulate", "origin and target datatypes must share a predefined base type")
+		}
+		es := elemSize(originType.elem)
+		for _, s := range originType.dm.Segments {
+			if s.Len%es != 0 {
+				w.p.errorf("Accumulate", "datatype segment of %d bytes not a multiple of element size %d", s.Len, es)
+			}
+		}
+	}
+	w.p.emit(trace.Event{
+		Kind: trace.KindAccumulate, Win: w.s.id, Target: int32(target), AccOp: op,
+		OriginAddr: origin.Addr(originOff), OriginType: originType.id, OriginCount: int32(originCount),
+		TargetDisp: targetDisp, TargetType: targetType.id, TargetCount: int32(targetCount),
+	}, 1)
+	w.queue("Accumulate", &rmaOp{
+		kind:      trace.KindAccumulate,
+		originBuf: origin, originOff: originOff, originType: originType, originCount: originCount,
+		target: target, targetDisp: targetDisp, targetType: targetType, targetCount: targetCount,
+		op: op,
+	})
+}
+
+func (w *Win) checkTargetRange(call string, target int, disp uint64, tt *Datatype, tc int) {
+	tl := w.s.locals[target]
+	byteOff := w.s.targetByteOff(target, disp)
+	need := byteOff
+	if tc > 0 {
+		need = byteOff + uint64(tc-1)*tt.dm.Extent + tt.dm.Span()
+	}
+	if need > tl.buf.Size() {
+		w.p.errorf(call, "access through byte %d exceeds target %d window of %d bytes", need, target, tl.buf.Size())
+	}
+}
+
+// apply performs the deferred data movement of one operation. It runs in
+// whichever goroutine closes the epoch; buffer raw methods provide the
+// byte-level synchronization.
+func (s *winShared) apply(op *rmaOp) {
+	if op.kind.IsAccFamily() && op.kind != trace.KindAccumulate {
+		s.applyFetching(op)
+		return
+	}
+	tl := s.locals[op.target]
+	byteOff := s.targetByteOff(op.target, op.targetDisp)
+	switch op.kind {
+	case trace.KindPut:
+		packed := pack(op.originBuf, op.originOff, op.originType, op.originCount)
+		unpack(tl.buf, byteOff, op.targetType, op.targetCount, packed)
+	case trace.KindGet:
+		packed := pack(tl.buf, byteOff, op.targetType, op.targetCount)
+		unpack(op.originBuf, op.originOff, op.originType, op.originCount, packed)
+	case trace.KindAccumulate:
+		packed := pack(op.originBuf, op.originOff, op.originType, op.originCount)
+		if op.op == trace.OpReplace {
+			unpack(tl.buf, byteOff, op.targetType, op.targetCount, packed)
+			return
+		}
+		// Read-modify-write each target segment under the buffer lock.
+		pos := 0
+		for e := 0; e < op.targetCount; e++ {
+			origin := byteOff + uint64(e)*op.targetType.dm.Extent
+			for _, seg := range op.targetType.dm.Segments {
+				chunk := packed[pos : pos+int(seg.Len)]
+				tl.buf.UpdateRaw(origin+seg.Disp, seg.Len, func(data []byte) {
+					combine(data, chunk, op.targetType.elem, op.op)
+				})
+				pos += int(seg.Len)
+			}
+		}
+	}
+}
+
+// applyAll applies ops in deterministic (origin rank, issue seq) order.
+// MPI leaves the order among conflicting unordered operations undefined;
+// fixing it keeps runs reproducible without legitimizing programs that
+// depend on it.
+func (s *winShared) applyAll(ops []*rmaOp) {
+	sort.SliceStable(ops, func(i, j int) bool {
+		if ops[i].origin != ops[j].origin {
+			return ops[i].origin < ops[j].origin
+		}
+		return ops[i].seq < ops[j].seq
+	})
+	for _, op := range ops {
+		s.apply(op)
+	}
+}

@@ -1,0 +1,114 @@
+// Package profiler implements MC-Checker's online component (paper §IV-B):
+// it interposes on MPI calls and on the loads/stores of statically selected
+// variables, logging runtime events to a trace sink.
+//
+// In the paper the Profiler is an LLVM pass instrumenting the binary; here
+// it implements mpi.Hook. The selective-instrumentation decision made by
+// ST-Analyzer (paper §IV-A) arrives as a relevance predicate over buffer
+// names: the profiler attaches load/store observers only to buffers the
+// predicate accepts. Passing a nil predicate observes every tracked buffer
+// — the "no static analysis" configuration whose overhead the paper
+// contrasts with the selective one (§VII-B).
+//
+// The hot path is engineered like real instrumentation: source locations
+// resolve through a per-PC cache (static knowledge in the original), and
+// sequence numbers are per-rank counters touched only by the rank's own
+// goroutine, so emitting an event costs on the order of the instrumented
+// access itself.
+package profiler
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// Relevance decides which buffers' loads and stores are instrumented.
+// It is the runtime form of the ST-Analyzer report.
+type Relevance func(bufferName string) bool
+
+// FromNames builds a Relevance from an explicit set of variable names, the
+// shape of the report ST-Analyzer produces.
+func FromNames(names []string) Relevance {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set[n] = true
+	}
+	return func(name string) bool { return set[name] }
+}
+
+// MaxRanks bounds the number of ranks one Profiler can serve.
+const MaxRanks = 4096
+
+// Profiler collects runtime events from a simulated MPI world. One Profiler
+// serves all ranks of one run. Each rank's events are emitted from that
+// rank's own goroutine; the sink must be safe for concurrent use.
+type Profiler struct {
+	sink     trace.Sink
+	relevant Relevance // nil = instrument everything
+
+	// seq[r] is rank r's next sequence number; only rank r's goroutine
+	// touches it, so no synchronization is needed. Counters are padded to
+	// cache lines to avoid false sharing between rank goroutines.
+	seq [MaxRanks]paddedCounter
+}
+
+type paddedCounter struct {
+	v int64
+	_ [56]byte
+}
+
+var _ mpi.Hook = (*Profiler)(nil)
+
+// New returns a profiler writing to sink. relevant may be nil to
+// instrument all buffers (full instrumentation, no static analysis).
+func New(sink trace.Sink, relevant Relevance) *Profiler {
+	return &Profiler{sink: sink, relevant: relevant}
+}
+
+func (pr *Profiler) counter(rank int32) *int64 {
+	if rank < 0 || rank >= MaxRanks {
+		panic(fmt.Sprintf("profiler: rank %d exceeds MaxRanks %d", rank, MaxRanks))
+	}
+	return &pr.seq[rank].v
+}
+
+// MPICall implements mpi.Hook: every MPI call event is logged.
+func (pr *Profiler) MPICall(p *mpi.Proc, ev trace.Event) {
+	c := pr.counter(ev.Rank)
+	ev.Seq = *c
+	*c++
+	pr.sink.Emit(ev)
+}
+
+// BufferAllocated implements mpi.Hook: buffers selected by the relevance
+// predicate get a load/store observer that logs access events interleaved
+// (by sequence number) with the rank's MPI call events.
+func (pr *Profiler) BufferAllocated(p *mpi.Proc, b *memory.Buffer) {
+	if pr.relevant != nil && !pr.relevant(b.Name()) {
+		return
+	}
+	rank := int32(p.Rank())
+	c := pr.counter(rank)
+	sink := pr.sink
+	b.SetObserver(memory.ObserverFunc(func(_ *memory.Buffer, a memory.Access) {
+		kind := trace.KindLoad
+		if a.Kind == memory.Store {
+			kind = trace.KindStore
+		}
+		ev := trace.Event{
+			Kind: kind,
+			Rank: rank,
+			Seq:  *c,
+			Addr: a.Addr,
+			Size: a.Size,
+			File: a.File,
+			Line: int32(a.Line),
+			Func: a.Func,
+		}
+		*c++
+		sink.Emit(ev)
+	}))
+}

@@ -1,0 +1,138 @@
+package profiler
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/trace"
+)
+
+// runEmulateLike runs a 2-rank program with one window put and local
+// accesses on two buffers, returning the collected trace set.
+func runEmulateLike(t *testing.T, relevant Relevance) *trace.Set {
+	t.Helper()
+	sink := trace.NewMemorySink()
+	pr := New(sink, relevant)
+	err := mpi.Run(2, mpi.Options{Hook: pr}, func(p *mpi.Proc) error {
+		win := p.Alloc(16, "window")
+		scratch := p.Alloc(16, "scratch")
+		w := p.WinCreate(win, 1, p.CommWorld())
+		w.Fence(mpi.AssertNone)
+		if p.Rank() == 0 {
+			src := p.Alloc(8, "srcbuf")
+			src.SetInt64(0, 5)     // store on srcbuf
+			scratch.SetInt64(0, 1) // store on scratch
+			_ = scratch.Int64At(0) // load on scratch
+			w.Put(src, 0, 1, mpi.Int64, 1, 0, 1, mpi.Int64)
+		}
+		w.Fence(mpi.AssertNone)
+		w.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sink.Set()
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func countKind(set *trace.Set, rank int32, k trace.Kind) int {
+	n := 0
+	for _, ev := range set.Traces[rank].Events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestFullInstrumentationSeesAllAccesses(t *testing.T) {
+	set := runEmulateLike(t, nil)
+	if got := countKind(set, 0, trace.KindStore); got != 2 {
+		t.Errorf("stores = %d, want 2", got)
+	}
+	if got := countKind(set, 0, trace.KindLoad); got != 1 {
+		t.Errorf("loads = %d, want 1", got)
+	}
+}
+
+func TestSelectiveInstrumentationFilters(t *testing.T) {
+	// ST-Analyzer-style report: only the window and the put origin matter.
+	set := runEmulateLike(t, FromNames([]string{"window", "srcbuf"}))
+	if got := countKind(set, 0, trace.KindStore); got != 1 {
+		t.Errorf("stores = %d, want 1 (scratch must be filtered)", got)
+	}
+	if got := countKind(set, 0, trace.KindLoad); got != 0 {
+		t.Errorf("loads = %d, want 0", got)
+	}
+	// MPI call events are always logged regardless of relevance.
+	if got := countKind(set, 0, trace.KindPut); got != 1 {
+		t.Errorf("puts = %d", got)
+	}
+	if got := countKind(set, 1, trace.KindWinFence); got != 2 {
+		t.Errorf("fences on rank 1 = %d", got)
+	}
+}
+
+func TestEventOrderInterleavesCallsAndAccesses(t *testing.T) {
+	set := runEmulateLike(t, nil)
+	// On rank 0 the program order is:
+	// WinCreate, Fence, store(srcbuf), store(scratch), load(scratch), Put, Fence, Free.
+	var kinds []trace.Kind
+	for _, ev := range set.Traces[0].Events {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []trace.Kind{
+		trace.KindWinCreate, trace.KindWinFence,
+		trace.KindStore, trace.KindStore, trace.KindLoad,
+		trace.KindPut, trace.KindWinFence, trace.KindWinFree,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("event %d = %v, want %v (all: %v)", i, kinds[i], want[i], kinds)
+		}
+	}
+}
+
+func TestAccessEventsCarryLocation(t *testing.T) {
+	set := runEmulateLike(t, nil)
+	for _, ev := range set.Traces[0].Events {
+		if ev.Kind.IsLocalAccess() {
+			if !strings.HasSuffix(ev.File, "profiler_test.go") || ev.Line == 0 {
+				t.Errorf("access without app location: %v", ev.String())
+			}
+		}
+	}
+}
+
+func TestFromNames(t *testing.T) {
+	r := FromNames([]string{"a", "b"})
+	if !r("a") || !r("b") || r("c") || r("") {
+		t.Error("FromNames predicate wrong")
+	}
+}
+
+func TestCountingSinkIntegration(t *testing.T) {
+	sink := trace.NewCountingSink(nil)
+	pr := New(sink, nil)
+	err := mpi.Run(2, mpi.Options{Hook: pr}, func(p *mpi.Proc) error {
+		b := p.Alloc(8, "x")
+		b.SetInt64(0, 1)
+		p.Barrier(p.CommWorld())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sink.Stats()
+	if st.LoadStore != 2 || st.Collect != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,448 @@
+// Package stanalyzer implements ST-Analyzer (paper §IV-A): a static
+// analysis that identifies the variables whose loads and stores the
+// profiler must instrument, so that instrumentation cost is paid only for
+// memory that can participate in one-sided communication.
+//
+// The paper's ST-Analyzer runs on C via Clang; this one runs on the Go
+// source of applications written against the simulator's MPI interface,
+// with the same design: it identifies all variables that belong to window
+// buffers or are passed to one-sided communication calls, labels them
+// "relevant", and propagates the labels through assignments (aliases) and
+// function calls involving those variables, to a fixpoint. Like the
+// original it is insensitive to branches and loops — conservative: it may
+// over-mark, but it does not miss variables that need instrumentation.
+//
+// The report lists the relevant variables with their positions, and — for
+// variables bound to tracked allocations (p.Alloc(size, "name")) — the
+// runtime buffer names the profiler should observe.
+package stanalyzer
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// rmaSeedCalls maps method names to the argument indexes of the buffers
+// that become relevant when the method is called (origin, result, and
+// compare buffers of the MPI-3 fetching atomics included).
+var rmaSeedCalls = map[string][]int{
+	"Put":            {0}, // origin buffer
+	"Get":            {0},
+	"Accumulate":     {0},
+	"WinCreate":      {0},       // window buffer
+	"GetAccumulate":  {0, 4},    // origin, result
+	"FetchAndOp":     {0, 2},    // origin, result
+	"CompareAndSwap": {0, 2, 4}, // origin, compare, result
+}
+
+// allocCalls maps allocation method names to the argument index of the
+// buffer-name string literal.
+var allocCalls = map[string]int{
+	"Alloc":        1,
+	"AllocFloat64": 1,
+	"AllocInt32":   1,
+	"WinAllocate":  3,
+}
+
+// Var is one relevant variable in the report.
+type Var struct {
+	Name      string // scoped name: "func.var" or "pkg.var" for globals
+	Pos       token.Position
+	Reason    string // why it became relevant
+	AllocName string // runtime buffer name, if bound to a tracked allocation
+}
+
+// Report is ST-Analyzer's output: the variables to instrument.
+type Report struct {
+	Relevant []Var
+}
+
+// BufferNames returns the runtime buffer names of the relevant variables,
+// sorted and deduplicated — the input to profiler.FromNames.
+func (r *Report) BufferNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range r.Relevant {
+		if v.AllocName != "" && !seen[v.AllocName] {
+			seen[v.AllocName] = true
+			out = append(out, v.AllocName)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Names returns the scoped variable names, sorted.
+func (r *Report) Names() []string {
+	out := make([]string, len(r.Relevant))
+	for i, v := range r.Relevant {
+		out[i] = v.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "ST-Analyzer: %d relevant variable(s)\n", len(r.Relevant))
+	vs := append([]Var(nil), r.Relevant...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Name < vs[j].Name })
+	for _, v := range vs {
+		fmt.Fprintf(&sb, "  %-24s %s", v.Name, v.Reason)
+		if v.AllocName != "" {
+			fmt.Fprintf(&sb, " [buffer %q]", v.AllocName)
+		}
+		fmt.Fprintf(&sb, " (%s:%d)\n", filepath.Base(v.Pos.Filename), v.Pos.Line)
+	}
+	return sb.String()
+}
+
+// node is one variable in the alias graph.
+type node struct {
+	pos       token.Pos
+	allocName string
+	reason    string // non-empty once seeded
+}
+
+type analyzer struct {
+	fset  *token.FileSet
+	nodes map[string]*node
+	edges map[string]map[string]bool
+	seeds []string
+
+	funcs map[string]*ast.FuncDecl // same-package functions by name
+}
+
+// AnalyzeFiles runs the analysis over parsed files sharing one fileset.
+func AnalyzeFiles(fset *token.FileSet, files []*ast.File) (*Report, error) {
+	a := &analyzer{
+		fset:  fset,
+		nodes: map[string]*node{},
+		edges: map[string]map[string]bool{},
+		funcs: map[string]*ast.FuncDecl{},
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil {
+				a.funcs[fd.Name.Name] = fd
+			}
+		}
+	}
+	for _, f := range files {
+		a.walkFile(f)
+	}
+	a.propagate()
+	return a.report(), nil
+}
+
+// AnalyzeDir parses the non-test Go files of a directory and analyzes them.
+func AnalyzeDir(dir string) (*Report, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("stanalyzer: no Go files in %s", dir)
+	}
+	return AnalyzeFiles(fset, files)
+}
+
+// AnalyzeSource analyzes a single source string (for tests and the CLI's
+// stdin mode).
+func AnalyzeSource(src string) (*Report, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "input.go", src, 0)
+	if err != nil {
+		return nil, err
+	}
+	return AnalyzeFiles(fset, []*ast.File{f})
+}
+
+func (a *analyzer) getNode(name string, pos token.Pos) *node {
+	n, ok := a.nodes[name]
+	if !ok {
+		n = &node{pos: pos}
+		a.nodes[name] = n
+	}
+	return n
+}
+
+func (a *analyzer) addEdge(x, y string) {
+	if x == y {
+		return
+	}
+	if a.edges[x] == nil {
+		a.edges[x] = map[string]bool{}
+	}
+	if a.edges[y] == nil {
+		a.edges[y] = map[string]bool{}
+	}
+	a.edges[x][y] = true
+	a.edges[y][x] = true
+}
+
+func (a *analyzer) seed(name string, pos token.Pos, reason string) {
+	n := a.getNode(name, pos)
+	if n.reason == "" {
+		n.reason = reason
+		a.seeds = append(a.seeds, name)
+	}
+}
+
+// baseIdent reduces an expression to its base identifier: &x → x,
+// x[i] → x, x.f → x, (x) → x.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (a *analyzer) walkFile(f *ast.File) {
+	// Package-level variables get package scope.
+	for _, d := range f.Decls {
+		switch decl := d.(type) {
+		case *ast.GenDecl:
+			for _, spec := range decl.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						a.getNode("pkg."+name.Name, name.Pos())
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			a.walkFunc(decl)
+		}
+	}
+}
+
+// scopedName qualifies a local variable with its function.
+func scopedName(fn, v string) string { return fn + "." + v }
+
+func (a *analyzer) walkFunc(fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	fn := fd.Name.Name
+	resolve := func(id *ast.Ident) string {
+		// Locals shadow globals; without full type information we choose
+		// the local scope (conservative for propagation because seeds and
+		// edges stay within matching scopes).
+		return scopedName(fn, id.Name)
+	}
+
+	// Parameters are nodes.
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				a.getNode(resolve(name), name.Pos())
+			}
+		}
+	}
+
+	var retCount int
+	ast.Inspect(fd.Body, func(nd ast.Node) bool {
+		switch v := nd.(type) {
+		case *ast.AssignStmt:
+			a.handleAssign(fn, resolve, v)
+		case *ast.CallExpr:
+			a.handleCall(fn, resolve, v)
+		case *ast.ReturnStmt:
+			for i, res := range v.Results {
+				if id := baseIdent(res); id != nil {
+					a.addEdge(resolve(id), fmt.Sprintf("%s.__ret%d", fn, i))
+				}
+			}
+			retCount++
+		}
+		return true
+	})
+}
+
+func (a *analyzer) handleAssign(fn string, resolve func(*ast.Ident) string, st *ast.AssignStmt) {
+	// x := call(...) forms are handled in handleCall via __ret nodes and
+	// allocation binding here.
+	if len(st.Rhs) == 1 {
+		if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+			a.bindCallResults(fn, resolve, st.Lhs, call)
+			return
+		}
+	}
+	n := len(st.Lhs)
+	if len(st.Rhs) != n {
+		return
+	}
+	for i := 0; i < n; i++ {
+		lhs := baseIdent(st.Lhs[i])
+		rhs := baseIdent(st.Rhs[i])
+		if lhs == nil || rhs == nil || lhs.Name == "_" {
+			continue
+		}
+		ln := resolve(lhs)
+		rn := resolve(rhs)
+		a.getNode(ln, lhs.Pos())
+		a.getNode(rn, rhs.Pos())
+		a.addEdge(ln, rn)
+	}
+}
+
+// bindCallResults connects assignment LHS variables to a call: tracked
+// allocations record the buffer name; same-package calls connect to the
+// callee's return nodes.
+func (a *analyzer) bindCallResults(fn string, resolve func(*ast.Ident) string, lhs []ast.Expr, call *ast.CallExpr) {
+	name := calleeName(call)
+	if nameIdx, ok := allocCalls[name]; ok && len(call.Args) > nameIdx {
+		if lit, ok := call.Args[nameIdx].(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			if bufName, err := strconv.Unquote(lit.Value); err == nil && len(lhs) >= 1 {
+				// WinAllocate returns (window, buffer): both results refer
+				// to the same tracked allocation, which is the window —
+				// relevant by definition.
+				for _, l := range lhs {
+					if id := baseIdent(l); id != nil && id.Name != "_" {
+						n := a.getNode(resolve(id), id.Pos())
+						n.allocName = bufName
+						if name == "WinAllocate" {
+							a.seed(resolve(id), id.Pos(), "allocated by WinAllocate")
+						}
+					}
+				}
+			}
+		}
+	}
+	if callee, ok := a.funcs[name]; ok && callee.Name.Name != fn {
+		for i, l := range lhs {
+			if id := baseIdent(l); id != nil && id.Name != "_" {
+				a.getNode(resolve(id), id.Pos())
+				a.addEdge(resolve(id), fmt.Sprintf("%s.__ret%d", callee.Name.Name, i))
+			}
+		}
+	}
+	// The call itself may also seed/propagate through its arguments.
+	a.handleCall(fn, resolve, call)
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+func (a *analyzer) handleCall(fn string, resolve func(*ast.Ident) string, call *ast.CallExpr) {
+	name := calleeName(call)
+
+	// Seed: buffers passed to one-sided communication calls.
+	if argIdxs, ok := rmaSeedCalls[name]; ok {
+		for _, argIdx := range argIdxs {
+			if len(call.Args) <= argIdx {
+				continue
+			}
+			if id := baseIdent(call.Args[argIdx]); id != nil {
+				a.seed(resolve(id), id.Pos(), "passed to "+name)
+			}
+		}
+	}
+
+	// Propagation: arguments flowing into same-package function parameters.
+	if callee, ok := a.funcs[name]; ok && callee.Type.Params != nil {
+		paramNames := flattenParams(callee)
+		for i, arg := range call.Args {
+			if i >= len(paramNames) {
+				break
+			}
+			id := baseIdent(arg)
+			if id == nil {
+				continue
+			}
+			a.getNode(resolve(id), id.Pos())
+			a.addEdge(resolve(id), scopedName(callee.Name.Name, paramNames[i]))
+		}
+	}
+}
+
+func flattenParams(fd *ast.FuncDecl) []string {
+	var out []string
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, "_")
+			continue
+		}
+		for _, n := range field.Names {
+			out = append(out, n.Name)
+		}
+	}
+	return out
+}
+
+// propagate spreads relevance along alias edges to a fixpoint (BFS).
+func (a *analyzer) propagate() {
+	queue := append([]string(nil), a.seeds...)
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		reason := a.nodes[cur].reason
+		for nb := range a.edges[cur] {
+			n := a.getNode(nb, token.NoPos)
+			if n.reason == "" {
+				n.reason = "aliases " + cur + " (" + reason + ")"
+				queue = append(queue, nb)
+			}
+		}
+	}
+}
+
+func (a *analyzer) report() *Report {
+	r := &Report{}
+	for name, n := range a.nodes {
+		if n.reason == "" || strings.Contains(name, ".__ret") {
+			continue
+		}
+		r.Relevant = append(r.Relevant, Var{
+			Name:      name,
+			Pos:       a.fset.Position(n.pos),
+			Reason:    n.reason,
+			AllocName: n.allocName,
+		})
+	}
+	sort.Slice(r.Relevant, func(i, j int) bool { return r.Relevant[i].Name < r.Relevant[j].Name })
+	return r
+}

@@ -1,0 +1,267 @@
+package stanalyzer
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const quickSrc = `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc) error {
+	win := p.Alloc(64, "window")
+	scratch := p.Alloc(64, "scratch")
+	_ = scratch
+	w := p.WinCreate(win, 1, p.CommWorld())
+	w.Fence(0)
+	src := p.Alloc(8, "srcbuf")
+	w.Put(src, 0, 1, mpi.Int64, 1, 0, 1, mpi.Int64)
+	w.Fence(0)
+	return nil
+}
+`
+
+func TestSeedsFromRMACalls(t *testing.T) {
+	rep, err := AnalyzeSource(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := rep.BufferNames()
+	want := []string{"srcbuf", "window"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("BufferNames = %v, want %v\n%s", names, want, rep)
+	}
+	// scratch is allocated but never reaches an RMA call: not relevant.
+	for _, v := range rep.Relevant {
+		if v.AllocName == "scratch" {
+			t.Error("scratch must not be relevant")
+		}
+	}
+}
+
+func TestPropagationThroughAssignment(t *testing.T) {
+	src := `package app
+func body(p *P) {
+	buf := p.Alloc(8, "realbuf")
+	alias := buf
+	w.Put(alias, 0)
+}
+`
+	rep, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.BufferNames(), []string{"realbuf"}) {
+		t.Errorf("alias not propagated: %v\n%s", rep.BufferNames(), rep)
+	}
+	// Both the alias and the original are marked.
+	names := rep.Names()
+	if !contains(names, "body.alias") || !contains(names, "body.buf") {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestPropagationThroughFunctionCall(t *testing.T) {
+	src := `package app
+func helper(dst *B) {
+	w.Put(dst, 0)
+}
+func body(p *P) {
+	buf := p.Alloc(8, "passed")
+	helper(buf)
+	other := p.Alloc(8, "unrelated")
+	_ = other
+}
+`
+	rep, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.BufferNames(), []string{"passed"}) {
+		t.Errorf("call propagation failed: %v\n%s", rep.BufferNames(), rep)
+	}
+}
+
+func TestPropagationThroughReturnValue(t *testing.T) {
+	src := `package app
+func makeBuf(p *P) *B {
+	b := p.Alloc(8, "made")
+	return b
+}
+func body(p *P) {
+	buf := makeBuf(p)
+	w.Get(buf, 0)
+}
+`
+	rep, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.BufferNames(), []string{"made"}) {
+		t.Errorf("return propagation failed: %v\n%s", rep.BufferNames(), rep)
+	}
+}
+
+func TestConservativeOverBranches(t *testing.T) {
+	// The analysis is branch-insensitive: a buffer passed to Put in a dead
+	// branch is still marked (paper: "conservative in that it is
+	// insensitive to branch and loop").
+	src := `package app
+func body(p *P) {
+	buf := p.Alloc(8, "deadbranch")
+	if false {
+		w.Put(buf, 0)
+	}
+}
+`
+	rep, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.BufferNames(), []string{"deadbranch"}) {
+		t.Errorf("branch-insensitivity violated: %v", rep.BufferNames())
+	}
+}
+
+func TestScopingSeparatesFunctions(t *testing.T) {
+	// A variable named buf in an unrelated function must not be marked.
+	src := `package app
+func body(p *P) {
+	buf := p.Alloc(8, "hot")
+	w.Put(buf, 0)
+}
+func other(p *P) {
+	buf := p.Alloc(8, "cold")
+	_ = buf
+}
+`
+	rep, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.BufferNames(), []string{"hot"}) {
+		t.Errorf("scoping failed: %v\n%s", rep.BufferNames(), rep)
+	}
+}
+
+func TestIndexAndAddressOfUnwrap(t *testing.T) {
+	src := `package app
+func body(p *P) {
+	bufs := p.Alloc(8, "vec")
+	w.Accumulate(&bufs, 0)
+}
+`
+	rep, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.BufferNames(), []string{"vec"}) {
+		t.Errorf("unwrap failed: %v", rep.BufferNames())
+	}
+}
+
+func TestMPI3Seeds(t *testing.T) {
+	src := `package app
+func body(p *P) {
+	w, cnt := p.WinAllocate(8, 8, c, "cnt")
+	one := p.Alloc(8, "one")
+	old := p.Alloc(8, "old")
+	other := p.Alloc(8, "other")
+	_ = cnt
+	_ = other
+	w.FetchAndOp(one, 0, old, 0, 0, 0, T, Sum)
+}
+`
+	rep, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := rep.BufferNames()
+	want := map[string]bool{"cnt": true, "one": true, "old": true}
+	for _, n := range names {
+		if n == "other" {
+			t.Error("'other' must not be relevant")
+		}
+		delete(want, n)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing relevant buffers %v; got %v\n%s", want, names, rep)
+	}
+}
+
+func TestCompareAndSwapSeeds(t *testing.T) {
+	src := `package app
+func body(p *P) {
+	nv := p.Alloc(8, "nv")
+	cmp := p.Alloc(8, "cmp")
+	res := p.Alloc(8, "res")
+	w.CompareAndSwap(nv, 0, cmp, 0, res, 0, 1, 0, T)
+}
+`
+	rep, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.BufferNames(), []string{"cmp", "nv", "res"}) {
+		t.Errorf("CAS seeds = %v", rep.BufferNames())
+	}
+}
+
+func TestAnalyzeDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "main.go"), []byte(quickSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Test files must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "main_test.go"), []byte("package app\nfunc t(p *P){x:=p.Alloc(1,\"testonly\");w.Put(x,0)}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := AnalyzeDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if contains(rep.BufferNames(), "testonly") {
+		t.Error("test file analyzed")
+	}
+	if !contains(rep.BufferNames(), "window") {
+		t.Errorf("dir analysis missed window: %v", rep.BufferNames())
+	}
+}
+
+func TestAnalyzeDirEmpty(t *testing.T) {
+	if _, err := AnalyzeDir(t.TempDir()); err == nil {
+		t.Error("empty dir must error")
+	}
+}
+
+func TestAnalyzeSourceSyntaxError(t *testing.T) {
+	if _, err := AnalyzeSource("package x\nfunc {"); err == nil {
+		t.Error("syntax error must surface")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep, err := AnalyzeSource(quickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"relevant variable", "passed to Put", "window"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

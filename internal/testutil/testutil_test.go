@@ -1,0 +1,46 @@
+package testutil
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestTraceBuilder(t *testing.T) {
+	b := NewTraceBuilder(3)
+	id := b.Add(1, trace.Event{Kind: trace.KindStore, Addr: 4, Size: 4})
+	if id.Rank != 1 || id.Seq != 0 {
+		t.Errorf("id = %+v", id)
+	}
+	ids := b.Barrier()
+	if len(ids) != 3 || ids[1].Seq != 1 || ids[0].Seq != 0 {
+		t.Errorf("barrier ids = %v", ids)
+	}
+	b.WinCreate(7, 0x100, 32)
+	b.Fence(7)
+	set := b.Set()
+	if err := set.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if set.Ranks() != 3 {
+		t.Errorf("ranks = %d", set.Ranks())
+	}
+	// Rank 1 has: store, barrier, wincreate, fence.
+	kinds := []trace.Kind{trace.KindStore, trace.KindBarrier, trace.KindWinCreate, trace.KindWinFence}
+	for i, k := range kinds {
+		if set.Traces[1].Events[i].Kind != k {
+			t.Errorf("event %d = %v, want %v", i, set.Traces[1].Events[i].Kind, k)
+		}
+	}
+}
+
+func TestTraceBuilderPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid built trace must panic at Set()")
+		}
+	}()
+	b := NewTraceBuilder(1)
+	b.Add(0, trace.Event{Kind: trace.KindInvalid})
+	b.Set()
+}

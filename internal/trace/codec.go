@@ -1,0 +1,373 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/memory"
+)
+
+// Binary stream format, per rank:
+//
+//	magic "MCCT" | version u8 | rank varint
+//	repeated records:
+//	  0x01 strdef  | id uvarint | len uvarint | bytes   (file-name intern)
+//	  0x02 event   | field-encoded Event (see below)
+//	  0x00 end
+//
+// Events are encoded as kind byte followed by varint fields in a fixed
+// order; slices/data-maps are length-prefixed. Seq is not stored (it is the
+// record index); Rank is stored once in the header.
+
+const (
+	codecMagic   = "MCCT"
+	codecVersion = 1
+
+	recEnd    = 0x00
+	recStrDef = 0x01
+	recEvent  = 0x02
+)
+
+// Writer encodes one rank's events to an io.Writer.
+type Writer struct {
+	w       *bufio.Writer
+	rank    int32
+	nextSeq int64
+	strs    map[string]uint64
+	err     error
+}
+
+// NewWriter writes the stream header for rank and returns the Writer.
+func NewWriter(w io.Writer, rank int32) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(codecMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(codecVersion); err != nil {
+		return nil, err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], int64(rank))
+	if _, err := bw.Write(tmp[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, rank: rank, strs: map[string]uint64{"": 0}}, nil
+}
+
+func (w *Writer) uvarint(v uint64) {
+	if w.err != nil {
+		return
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	_, w.err = w.w.Write(tmp[:n])
+}
+
+func (w *Writer) varint(v int64) {
+	if w.err != nil {
+		return
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	_, w.err = w.w.Write(tmp[:n])
+}
+
+func (w *Writer) byte1(b byte) {
+	if w.err != nil {
+		return
+	}
+	w.err = w.w.WriteByte(b)
+}
+
+func (w *Writer) internString(s string) uint64 {
+	if id, ok := w.strs[s]; ok {
+		return id
+	}
+	id := uint64(len(w.strs))
+	w.strs[s] = id
+	w.byte1(recStrDef)
+	w.uvarint(id)
+	w.uvarint(uint64(len(s)))
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+	return id
+}
+
+// Emit implements Sink: it appends ev to the stream. The event's Rank must
+// match the writer's rank and Seq must be the next dense sequence number;
+// a zero Seq/Rank event is stamped automatically.
+func (w *Writer) Emit(ev Event) {
+	if w.err != nil {
+		return
+	}
+	if ev.Rank == 0 && ev.Seq == 0 {
+		ev.Rank, ev.Seq = w.rank, w.nextSeq
+	}
+	if ev.Rank != w.rank || ev.Seq != w.nextSeq {
+		w.err = fmt.Errorf("trace: event %v out of order for rank %d writer (want seq %d)",
+			ev.ID(), w.rank, w.nextSeq)
+		return
+	}
+	w.nextSeq++
+
+	fileID := w.internString(ev.File)
+	funcID := w.internString(ev.Func)
+	w.byte1(recEvent)
+	w.byte1(byte(ev.Kind))
+	w.uvarint(fileID)
+	w.uvarint(funcID)
+	w.varint(int64(ev.Line))
+	w.varint(int64(ev.Comm))
+	w.varint(int64(ev.Peer))
+	w.varint(int64(ev.Tag))
+	w.varint(int64(ev.Req))
+	w.varint(int64(ev.Win))
+	w.varint(int64(ev.Target))
+	w.byte1(byte(ev.Lock))
+	w.byte1(byte(ev.AccOp))
+	w.uvarint(ev.OriginAddr)
+	w.varint(int64(ev.OriginType))
+	w.varint(int64(ev.OriginCount))
+	w.uvarint(ev.TargetDisp)
+	w.varint(int64(ev.TargetType))
+	w.varint(int64(ev.TargetCount))
+	w.uvarint(ev.ResultAddr)
+	w.varint(int64(ev.ResultType))
+	w.varint(int64(ev.ResultCount))
+	w.varint(int64(ev.Assert))
+	w.uvarint(ev.Addr)
+	w.uvarint(ev.Size)
+	w.varint(int64(ev.TypeID))
+	w.uvarint(uint64(len(ev.TypeMap.Segments)))
+	for _, s := range ev.TypeMap.Segments {
+		w.uvarint(s.Disp)
+		w.uvarint(s.Len)
+	}
+	w.uvarint(ev.TypeMap.Extent)
+	w.uvarint(uint64(len(ev.Members)))
+	for _, m := range ev.Members {
+		w.varint(int64(m))
+	}
+	w.uvarint(ev.WinBase)
+	w.uvarint(ev.WinSize)
+	w.uvarint(uint64(ev.DispUnit))
+}
+
+// Close terminates and flushes the stream.
+func (w *Writer) Close() error {
+	w.byte1(recEnd)
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Err returns the first write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+type reader struct {
+	r    *bufio.Reader
+	strs []string
+}
+
+func (rd *reader) uvarint() (uint64, error) { return binary.ReadUvarint(rd.r) }
+func (rd *reader) varint() (int64, error)   { return binary.ReadVarint(rd.r) }
+
+func (rd *reader) varint32(dst *int32, err *error) {
+	if *err != nil {
+		return
+	}
+	v, e := rd.varint()
+	if e != nil {
+		*err = e
+		return
+	}
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		*err = fmt.Errorf("trace: field value %d overflows int32", v)
+		return
+	}
+	*dst = int32(v)
+}
+
+func (rd *reader) uvarint64(dst *uint64, err *error) {
+	if *err != nil {
+		return
+	}
+	v, e := rd.uvarint()
+	if e != nil {
+		*err = e
+		return
+	}
+	*dst = v
+}
+
+// ReadTrace decodes one rank stream produced by Writer.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	rd := &reader{r: bufio.NewReader(r), strs: []string{""}}
+	hdr := make([]byte, len(codecMagic)+1)
+	if _, err := io.ReadFull(rd.r, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:len(codecMagic)]) != codecMagic {
+		return nil, errors.New("trace: bad magic")
+	}
+	if hdr[len(codecMagic)] != codecVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[len(codecMagic)])
+	}
+	rank64, err := rd.varint()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading rank: %w", err)
+	}
+	t := &Trace{Rank: int32(rank64)}
+
+	for {
+		tag, err := rd.r.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading record tag: %w", err)
+		}
+		switch tag {
+		case recEnd:
+			return t, nil
+		case recStrDef:
+			id, err := rd.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			n, err := rd.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			if n > 1<<20 {
+				return nil, fmt.Errorf("trace: string of %d bytes too long", n)
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(rd.r, buf); err != nil {
+				return nil, err
+			}
+			if id != uint64(len(rd.strs)) {
+				return nil, fmt.Errorf("trace: string id %d out of order", id)
+			}
+			rd.strs = append(rd.strs, string(buf))
+		case recEvent:
+			ev, err := rd.readEvent(t.Rank, int64(len(t.Events)))
+			if err != nil {
+				return nil, fmt.Errorf("trace: rank %d event %d: %w", t.Rank, len(t.Events), err)
+			}
+			t.Events = append(t.Events, ev)
+		default:
+			return nil, fmt.Errorf("trace: unknown record tag %#x", tag)
+		}
+	}
+}
+
+func (rd *reader) readEvent(rank int32, seq int64) (Event, error) {
+	var ev Event
+	ev.Rank, ev.Seq = rank, seq
+	kb, err := rd.r.ReadByte()
+	if err != nil {
+		return ev, err
+	}
+	ev.Kind = Kind(kb)
+	if ev.Kind == KindInvalid || ev.Kind >= kindMax {
+		return ev, fmt.Errorf("invalid kind %d", kb)
+	}
+
+	fileID, err := rd.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	if fileID >= uint64(len(rd.strs)) {
+		return ev, fmt.Errorf("undefined string id %d", fileID)
+	}
+	ev.File = rd.strs[fileID]
+	funcID, err := rd.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	if funcID >= uint64(len(rd.strs)) {
+		return ev, fmt.Errorf("undefined string id %d", funcID)
+	}
+	ev.Func = rd.strs[funcID]
+
+	rd.varint32(&ev.Line, &err)
+	rd.varint32(&ev.Comm, &err)
+	rd.varint32(&ev.Peer, &err)
+	rd.varint32(&ev.Tag, &err)
+	rd.varint32(&ev.Req, &err)
+	rd.varint32(&ev.Win, &err)
+	rd.varint32(&ev.Target, &err)
+	if err != nil {
+		return ev, err
+	}
+	lb, err := rd.r.ReadByte()
+	if err != nil {
+		return ev, err
+	}
+	ev.Lock = LockType(lb)
+	ab, err := rd.r.ReadByte()
+	if err != nil {
+		return ev, err
+	}
+	ev.AccOp = AccOp(ab)
+
+	rd.uvarint64(&ev.OriginAddr, &err)
+	rd.varint32(&ev.OriginType, &err)
+	rd.varint32(&ev.OriginCount, &err)
+	rd.uvarint64(&ev.TargetDisp, &err)
+	rd.varint32(&ev.TargetType, &err)
+	rd.varint32(&ev.TargetCount, &err)
+	rd.uvarint64(&ev.ResultAddr, &err)
+	rd.varint32(&ev.ResultType, &err)
+	rd.varint32(&ev.ResultCount, &err)
+	rd.varint32(&ev.Assert, &err)
+	rd.uvarint64(&ev.Addr, &err)
+	rd.uvarint64(&ev.Size, &err)
+	rd.varint32(&ev.TypeID, &err)
+	if err != nil {
+		return ev, err
+	}
+
+	nseg, err := rd.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	if nseg > 1<<16 {
+		return ev, fmt.Errorf("datatype with %d segments too large", nseg)
+	}
+	if nseg > 0 {
+		ev.TypeMap.Segments = make([]memory.Segment, nseg)
+		for i := range ev.TypeMap.Segments {
+			rd.uvarint64(&ev.TypeMap.Segments[i].Disp, &err)
+			rd.uvarint64(&ev.TypeMap.Segments[i].Len, &err)
+		}
+	}
+	rd.uvarint64(&ev.TypeMap.Extent, &err)
+	if err != nil {
+		return ev, err
+	}
+
+	nmem, err := rd.uvarint()
+	if err != nil {
+		return ev, err
+	}
+	if nmem > 1<<20 {
+		return ev, fmt.Errorf("communicator with %d members too large", nmem)
+	}
+	if nmem > 0 {
+		ev.Members = make([]int32, nmem)
+		for i := range ev.Members {
+			rd.varint32(&ev.Members[i], &err)
+		}
+	}
+	rd.uvarint64(&ev.WinBase, &err)
+	rd.uvarint64(&ev.WinSize, &err)
+	var unit uint64
+	rd.uvarint64(&unit, &err)
+	ev.DispUnit = uint32(unit)
+	return ev, err
+}

@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+func sampleEvents(rank int32, n int, rng *rand.Rand) []Event {
+	kinds := []Kind{KindLoad, KindStore, KindPut, KindGet, KindAccumulate,
+		KindWinFence, KindWinLock, KindWinUnlock, KindSend, KindRecv,
+		KindBarrier, KindBcast, KindCommCreate, KindTypeCreate, KindWinCreate}
+	files := []string{"/src/app.go", "/src/lib/halo.go", "/src/app.go", ""}
+	evs := make([]Event, n)
+	for i := range evs {
+		k := kinds[rng.Intn(len(kinds))]
+		ev := Event{
+			Kind: k, Rank: rank, Seq: int64(i),
+			File: files[rng.Intn(len(files))], Line: int32(rng.Intn(500)),
+			Comm: int32(rng.Intn(3)), Peer: int32(rng.Intn(8)), Tag: int32(rng.Intn(100)),
+			Req: int32(rng.Intn(50)), Win: int32(rng.Intn(4)), Target: int32(rng.Intn(8)),
+			Lock: LockType(rng.Intn(3)), AccOp: AccOp(rng.Intn(6)),
+			OriginAddr: rng.Uint64() >> 16, OriginType: TypeInt32, OriginCount: int32(rng.Intn(1000)),
+			TargetDisp: uint64(rng.Intn(4096)), TargetType: TypeFloat64, TargetCount: int32(rng.Intn(1000)),
+			Assert: int32(rng.Intn(4)), Addr: rng.Uint64() >> 20, Size: uint64(rng.Intn(64)),
+		}
+		if k == KindTypeCreate {
+			ev.TypeID = TypeUserBase + int32(rng.Intn(10))
+			ev.TypeMap = memory.DataMap{
+				Segments: []memory.Segment{{Disp: 0, Len: 4}, {Disp: 12, Len: 4}},
+				Extent:   16,
+			}
+		}
+		if k == KindCommCreate {
+			ev.Members = []int32{0, 2, 5}
+		}
+		if k == KindWinCreate {
+			ev.WinBase = 0x10000
+			ev.WinSize = 8192
+			ev.DispUnit = 8
+		}
+		evs[i] = ev
+	}
+	return evs
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	evs := sampleEvents(7, 200, rng)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		w.Emit(ev)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rank != 7 {
+		t.Fatalf("rank = %d", got.Rank)
+	}
+	if len(got.Events) != len(evs) {
+		t.Fatalf("decoded %d events, want %d", len(got.Events), len(evs))
+	}
+	for i := range evs {
+		if !reflect.DeepEqual(normalize(evs[i]), normalize(got.Events[i])) {
+			t.Fatalf("event %d mismatch:\n got %#v\nwant %#v", i, got.Events[i], evs[i])
+		}
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form for comparison.
+func normalize(ev Event) Event {
+	if len(ev.TypeMap.Segments) == 0 {
+		ev.TypeMap.Segments = nil
+	}
+	if len(ev.Members) == 0 {
+		ev.Members = nil
+	}
+	return ev
+}
+
+func TestCodecAutoStamp(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 3)
+	w.Emit(Event{Kind: KindBarrier}) // rank/seq zero: stamped
+	w.Emit(Event{Kind: KindBarrier, Rank: 3, Seq: 1})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Events[0].Rank != 3 || got.Events[0].Seq != 0 || got.Events[1].Seq != 1 {
+		t.Errorf("stamping wrong: %+v", got.Events[:2])
+	}
+}
+
+func TestCodecRejectsOutOfOrder(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.Emit(Event{Kind: KindBarrier, Rank: 0, Seq: 5})
+	if w.Err() == nil {
+		t.Error("expected out-of-order error")
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Error("expected error for bad magic")
+	}
+	if _, err := ReadTrace(bytes.NewReader([]byte("MCCT\x63\x00\x00"))); err == nil {
+		t.Error("expected error for bad version")
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	w.Emit(Event{Kind: KindBarrier})
+	_ = w.Close()
+	data := buf.Bytes()
+	if _, err := ReadTrace(bytes.NewReader(data[:len(data)-3])); err == nil {
+		t.Error("expected error for truncated stream")
+	}
+}
+
+func TestStringInterningSharesTable(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, 0)
+	for i := 0; i < 100; i++ {
+		w.Emit(Event{Kind: KindLoad, Rank: 0, Seq: int64(i), File: "/very/long/path/to/the/source/file.go", Line: int32(i)})
+	}
+	_ = w.Close()
+	// Each event encodes ~25 mostly-zero varint fields (~30 bytes); without
+	// interning the 38-byte path would add ~38 bytes per event on top.
+	if buf.Len() > 100*40 {
+		t.Errorf("stream is %d bytes; interning appears broken", buf.Len())
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Events[99].File != "/very/long/path/to/the/source/file.go" {
+		t.Error("interned string not restored")
+	}
+}

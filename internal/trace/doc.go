@@ -1,0 +1,18 @@
+// Package trace defines the runtime event model of MC-Checker and its
+// on-disk encoding.
+//
+// The Profiler (paper §IV-B) logs four classes of MPI calls — one-sided
+// communication and synchronization, datatype manipulation, general
+// synchronization, and support routines — plus the loads and stores of
+// statically selected variables. Each logged call or access is one Event;
+// the per-rank event streams are the input of DN-Analyzer (paper §IV-C).
+//
+// Events carry communicator-relative ranks exactly as the application
+// passed them; translating them to absolute (world) ranks using the logged
+// communicator-creation events is the analyzer's preprocessing job
+// (paper §IV-C-1a), reproduced in internal/core.
+//
+// The binary encoding is a compact per-rank stream with an interned string
+// table for source file names; a human-readable String form is provided for
+// debugging and reports.
+package trace

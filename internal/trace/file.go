@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Trace files are named trace.<rank>.bin inside a trace directory, one per
+// rank, mirroring the paper's per-process local trace files.
+
+// FileName returns the trace file name for a rank.
+func FileName(rank int32) string { return fmt.Sprintf("trace.%d.bin", rank) }
+
+// WriteDir writes each rank's trace into dir (created if needed).
+func WriteDir(dir string, s *Set) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range s.Traces {
+		if err := writeFile(filepath.Join(dir, FileName(t.Rank)), t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w, err := NewWriter(f, t.Rank)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for i := range t.Events {
+		w.Emit(t.Events[i])
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadDir loads all trace.<rank>.bin files from dir into a Set. All ranks
+// [0, n) must be present.
+func ReadDir(dir string) (*Set, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var parts []*Trace
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "trace.") || !strings.HasSuffix(name, ".bin") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rankStr := strings.TrimSuffix(strings.TrimPrefix(name, "trace."), ".bin")
+		wantRank, err := strconv.Atoi(rankStr)
+		if err != nil {
+			continue // not a trace file
+		}
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		t, err := ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", name, err)
+		}
+		if int(t.Rank) != wantRank {
+			return nil, fmt.Errorf("%s contains rank %d", name, t.Rank)
+		}
+		parts = append(parts, t)
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("trace: no trace files in %s", dir)
+	}
+	return Merge(parts...)
+}
+
+// FileSink is a Sink that writes each rank's events directly to its trace
+// file as they are emitted — the paper's Profiler "logs the runtime events
+// into the local disk independently for each process" (§VII-B). Each rank
+// has its own writer and lock, so ranks do not contend on the hot path;
+// the sink-level lock guards only writer creation.
+type FileSink struct {
+	dir     string
+	mu      sync.RWMutex // guards the writers map structure
+	writers map[int32]*fileWriter
+	errOnce sync.Once
+	err     error
+}
+
+type fileWriter struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *Writer
+}
+
+// NewFileSink creates dir (if needed) and returns a sink writing into it.
+func NewFileSink(dir string) (*FileSink, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileSink{dir: dir, writers: make(map[int32]*fileWriter)}, nil
+}
+
+func (s *FileSink) writer(rank int32) (*fileWriter, error) {
+	s.mu.RLock()
+	fw, ok := s.writers[rank]
+	s.mu.RUnlock()
+	if ok {
+		return fw, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fw, ok = s.writers[rank]; ok {
+		return fw, nil
+	}
+	f, err := os.Create(filepath.Join(s.dir, FileName(rank)))
+	if err != nil {
+		return nil, err
+	}
+	w, err := NewWriter(f, rank)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	fw = &fileWriter{f: f, w: w}
+	s.writers[rank] = fw
+	return fw, nil
+}
+
+// Emit implements Sink. I/O errors are sticky and surfaced by Close.
+func (s *FileSink) Emit(ev Event) {
+	fw, err := s.writer(ev.Rank)
+	if err != nil {
+		s.errOnce.Do(func() { s.err = err })
+		return
+	}
+	fw.mu.Lock()
+	fw.w.Emit(ev)
+	fw.mu.Unlock()
+}
+
+// Close flushes and closes all per-rank files, returning the first error
+// encountered during emission or closing.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	first := s.err
+	for _, fw := range s.writers {
+		fw.mu.Lock()
+		if err := fw.w.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := fw.f.Close(); err != nil && first == nil {
+			first = err
+		}
+		fw.mu.Unlock()
+	}
+	s.writers = make(map[int32]*fileWriter)
+	return first
+}

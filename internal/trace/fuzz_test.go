@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadTrace hardens the binary decoder against corrupt and adversarial
+// inputs: it must return an error or a valid trace, never panic and never
+// allocate unboundedly.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with valid streams of growing complexity.
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{0, 1, 10, 100} {
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 3)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for _, ev := range sampleEvents(3, n, rng) {
+			w.Emit(ev)
+		}
+		if err := w.Close(); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("MCCT"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded trace must be internally consistent.
+		for i := range tr.Events {
+			ev := &tr.Events[i]
+			if ev.Rank != tr.Rank || ev.Seq != int64(i) {
+				t.Fatalf("inconsistent decode: event %d = %v", i, ev.ID())
+			}
+			if ev.Kind == KindInvalid || ev.Kind >= kindMax {
+				t.Fatalf("invalid kind decoded: %d", ev.Kind)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip: any event assembled from fuzzed fields must survive
+// encode/decode unchanged.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(3), int32(1), int32(2), int64(99), uint64(0x1000), "file.go")
+	f.Fuzz(func(t *testing.T, kind uint8, comm, target int32, disp int64, addr uint64, file string) {
+		k := Kind(kind)
+		if k == KindInvalid || k >= kindMax {
+			return
+		}
+		if disp < 0 {
+			disp = -disp
+		}
+		ev := Event{
+			Kind: k, Rank: 5, Seq: 0, File: file, Comm: comm, Target: target,
+			TargetDisp: uint64(disp), Addr: addr,
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Emit(ev)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadTrace(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(got.Events) != 1 {
+			t.Fatalf("decoded %d events", len(got.Events))
+		}
+		d := got.Events[0]
+		if d.Kind != k || d.Comm != comm || d.Target != target ||
+			d.TargetDisp != uint64(disp) || d.Addr != addr || d.File != file {
+			t.Fatalf("mismatch: %+v vs input", d)
+		}
+	})
+}

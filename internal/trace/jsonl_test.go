@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s := NewSet(3)
+	for r := range s.Traces {
+		s.Traces[r].Events = sampleEvents(int32(r), 40, rng)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ranks() != 3 || got.TotalEvents() != 120 {
+		t.Fatalf("ranks=%d events=%d", got.Ranks(), got.TotalEvents())
+	}
+	for r := range s.Traces {
+		for i := range s.Traces[r].Events {
+			a := normalize(s.Traces[r].Events[i])
+			b := normalize(got.Traces[r].Events[i])
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("rank %d event %d:\n got %#v\nwant %#v", r, i, b, a)
+			}
+		}
+	}
+}
+
+func TestJSONLHumanReadable(t *testing.T) {
+	s := NewSet(1)
+	s.Traces[0].Events = []Event{{
+		Kind: KindPut, Rank: 0, Seq: 0, Win: 1, Target: 2,
+		AccOp: OpSum, Lock: LockShared, File: "x.go", Line: 7,
+	}}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	for _, want := range []string{`"kind":"Put"`, `"accop":"SUM"`, `"lock":"shared"`, `"file":"x.go"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("jsonl missing %s:\n%s", want, line)
+		}
+	}
+}
+
+func TestJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"NoSuchCall","rank":0,"seq":0}`)); err == nil {
+		t.Error("unknown kind must error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{broken`)); err == nil {
+		t.Error("malformed json must error")
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"Barrier","rank":0,"seq":5}`)); err == nil {
+		t.Error("non-dense seq must fail validation")
+	}
+}
+
+func TestJSONLEmpty(t *testing.T) {
+	got, err := ReadJSONL(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ranks() != 0 {
+		t.Errorf("ranks = %d", got.Ranks())
+	}
+}

@@ -1,0 +1,186 @@
+package trace
+
+import (
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet(3)
+	if s.Ranks() != 3 || s.TotalEvents() != 0 {
+		t.Fatalf("fresh set: ranks=%d events=%d", s.Ranks(), s.TotalEvents())
+	}
+	s.Traces[1].Events = append(s.Traces[1].Events, Event{Kind: KindBarrier, Rank: 1, Seq: 0})
+	if s.TotalEvents() != 1 {
+		t.Error("TotalEvents wrong")
+	}
+	ev := s.Get(ID{Rank: 1, Seq: 0})
+	if ev.Kind != KindBarrier {
+		t.Error("Get returned wrong event")
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestSetValidateCatchesCorruption(t *testing.T) {
+	s := NewSet(2)
+	s.Traces[0].Events = []Event{{Kind: KindBarrier, Rank: 0, Seq: 1}} // bad seq
+	if s.Validate() == nil {
+		t.Error("expected seq error")
+	}
+	s = NewSet(2)
+	s.Traces[0].Events = []Event{{Kind: KindBarrier, Rank: 1, Seq: 0}} // bad rank
+	if s.Validate() == nil {
+		t.Error("expected rank error")
+	}
+	s = NewSet(1)
+	s.Traces[0].Events = []Event{{Kind: KindInvalid, Rank: 0, Seq: 0}}
+	if s.Validate() == nil {
+		t.Error("expected kind error")
+	}
+}
+
+func TestMemorySinkConcurrent(t *testing.T) {
+	sink := NewMemorySink()
+	var wg sync.WaitGroup
+	const ranks, per = 8, 100
+	for r := int32(0); r < ranks; r++ {
+		wg.Add(1)
+		go func(r int32) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sink.Emit(Event{Kind: KindLoad, Rank: r, Seq: int64(i), Addr: uint64(i)})
+			}
+		}(r)
+	}
+	wg.Wait()
+	s := sink.Set()
+	if s.Ranks() != ranks || s.TotalEvents() != ranks*per {
+		t.Fatalf("ranks=%d events=%d", s.Ranks(), s.TotalEvents())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-rank order preserved.
+	for i, ev := range s.Traces[3].Events {
+		if ev.Addr != uint64(i) {
+			t.Fatalf("rank 3 event %d addr=%d", i, ev.Addr)
+		}
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	c := NewCountingSink(nil)
+	for _, k := range []Kind{KindLoad, KindStore, KindPut, KindWinFence, KindSend, KindBarrier, KindTypeCreate, KindWaitReq} {
+		c.Emit(Event{Kind: k})
+	}
+	st := c.Stats()
+	if st.LoadStore != 2 || st.RMAComm != 1 || st.RMASync != 1 || st.P2P != 2 || st.Collect != 1 || st.Other != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Total() != 8 || st.MPIEvents() != 6 {
+		t.Errorf("totals: %d %d", st.Total(), st.MPIEvents())
+	}
+	// Wrapping another sink forwards events.
+	mem := NewMemorySink()
+	c2 := NewCountingSink(mem)
+	c2.Emit(Event{Kind: KindBarrier, Rank: 0, Seq: 0})
+	if mem.Set().TotalEvents() != 1 {
+		t.Error("inner sink did not receive event")
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, err := Merge(&Trace{Rank: 0}, &Trace{Rank: 0}); err == nil {
+		t.Error("duplicate rank must error")
+	}
+	if _, err := Merge(&Trace{Rank: 1}); err == nil {
+		t.Error("missing rank 0 must error")
+	}
+	s, err := Merge(&Trace{Rank: 1}, &Trace{Rank: 0})
+	if err != nil || s.Ranks() != 2 {
+		t.Errorf("merge failed: %v", err)
+	}
+}
+
+func TestWriteReadDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	rng := rand.New(rand.NewSource(2))
+	s := NewSet(4)
+	for r := range s.Traces {
+		s.Traces[r].Events = sampleEvents(int32(r), 50, rng)
+	}
+	if err := WriteDir(dir, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ranks() != 4 || got.TotalEvents() != 200 {
+		t.Fatalf("ranks=%d events=%d", got.Ranks(), got.TotalEvents())
+	}
+	for r := range s.Traces {
+		for i := range s.Traces[r].Events {
+			if !reflect.DeepEqual(normalize(s.Traces[r].Events[i]), normalize(got.Traces[r].Events[i])) {
+				t.Fatalf("rank %d event %d differs", r, i)
+			}
+		}
+	}
+}
+
+func TestReadDirEmpty(t *testing.T) {
+	if _, err := ReadDir(t.TempDir()); err == nil {
+		t.Error("empty dir must error")
+	}
+}
+
+func TestFileSink(t *testing.T) {
+	dir := t.TempDir()
+	sink, err := NewFileSink(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for r := int32(0); r < 4; r++ {
+		wg.Add(1)
+		go func(r int32) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				sink.Emit(Event{Kind: KindStore, Rank: r, Seq: int64(i), Addr: uint64(r*1000 + int32(i))})
+			}
+		}(r)
+	}
+	wg.Wait()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ranks() != 4 || s.TotalEvents() != 100 {
+		t.Fatalf("ranks=%d events=%d", s.Ranks(), s.TotalEvents())
+	}
+	if s.Traces[2].Events[10].Addr != 2010 {
+		t.Error("file sink mangled event order")
+	}
+}
+
+func TestSortedKinds(t *testing.T) {
+	s := NewSet(1)
+	s.Traces[0].Events = []Event{
+		{Kind: KindStore, Rank: 0, Seq: 0},
+		{Kind: KindLoad, Rank: 0, Seq: 1},
+		{Kind: KindStore, Rank: 0, Seq: 2},
+	}
+	got := s.SortedKinds()
+	want := []Kind{KindLoad, KindStore}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortedKinds = %v, want %v", got, want)
+	}
+}

@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench fuzz experiments table2 fig8 fig9 clean
+.PHONY: all build test check race cover bench fuzz experiments table2 fig8 fig9 clean
 
-all: build test
+all: build test check
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# Full gate: vet plus the test suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
 
 race:
 	$(GO) test -race ./...

@@ -8,6 +8,7 @@
 //	mcbench -exp fig8   [-ranks N] [-scale S] [-repeats R]
 //	mcbench -exp fig9   [-lu-n N] [-repeats R]   # also prints fig10 data
 //	mcbench -exp fig10  [-lu-n N] [-repeats R]
+//	mcbench -exp phases [-ranks N] [-scale S]    # analysis phase breakdown
 //	mcbench -exp ablation                    # linear vs quadratic detector
 //	mcbench -exp synccheck                   # SyncChecker comparison
 //	mcbench -exp all
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig8|fig9|fig10|ablation|synccheck|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig8|fig9|fig10|phases|ablation|synccheck|all")
 	ranks := flag.Int("ranks", 64, "rank count for fig8 (paper: 64)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor for fig8")
 	repeats := flag.Int("repeats", 3, "timing repetitions (minimum kept)")
@@ -56,6 +57,7 @@ func main() {
 		}
 		return fig9and10(*luN, *repeats, false, true)
 	})
+	run("phases", func() error { return phases(*ranks, *scale) })
 	run("weak", func() error { return weakScaling(*repeats) })
 	run("ablation", ablation)
 	run("synccheck", synccheck)
@@ -153,6 +155,24 @@ func fig9and10(luN, repeats int, printFig9, printFig10 bool) error {
 		w.Flush()
 	}
 	return nil
+}
+
+func phases(ranks int, scale float64) error {
+	header(fmt.Sprintf("Analysis phase breakdown, %d ranks (observability spans)", ranks))
+	rows, err := experiments.PhaseBreakdown(ranks, scale)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "App\tEvents\tModel\tMatch\tDAG\tEpochs\tIntra\tCross\tAnalysis\tEvents/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%v\t%v\t%v\t%v\t%v\t%v\t%v\t%.0f\n",
+			r.App, r.Events,
+			r.Model.Round(10_000), r.Match.Round(10_000), r.DAG.Round(10_000),
+			r.Epochs.Round(10_000), r.DetectIntra.Round(10_000), r.DetectCross.Round(10_000),
+			r.Analysis.Round(10_000), r.EventsPerSec)
+	}
+	return w.Flush()
 }
 
 func weakScaling(repeats int) error {

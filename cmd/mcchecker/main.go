@@ -8,13 +8,24 @@
 //	    List the bundled applications (the paper's bug suite).
 //
 //	mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR] [-full] [-intra-only]
+//	              [-online] [-json] [-stats] [-stats-format text|prom|json]
 //	    Run an application on the simulated MPI with the Profiler attached
 //	    and analyze the trace. By default the buggy variant runs with the
 //	    application's ST-Analyzer instrumentation set; -full instruments
-//	    every buffer; -intra-only reproduces the SyncChecker baseline.
+//	    every buffer; -intra-only reproduces the SyncChecker baseline;
+//	    -online analyzes concurrent regions while the program still runs
+//	    (streaming mode); -json prints the report as JSON; -stats collects
+//	    and prints run metrics (per-phase wall times, simulator/profiler
+//	    counters) in the chosen -stats-format.
 //
-//	mcchecker analyze -trace DIR
+//	mcchecker analyze -trace DIR [-intra-only] [-json] [-stats] [-stats-format F]
 //	    Run DN-Analyzer offline over per-rank trace files.
+//
+//	mcchecker dump -trace DIR [-rank N] [-limit N] [-format text|jsonl]
+//	    Pretty-print trace files for debugging instrumented runs.
+//
+// With -json, the stats snapshot is embedded in the report's "stats"
+// field instead of being printed separately.
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/profiler"
 	"repro/internal/stream"
 	"repro/internal/trace"
@@ -61,8 +73,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   mcchecker apps
-  mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR] [-full] [-intra-only] [-online] [-json]
-  mcchecker analyze -trace DIR [-intra-only] [-json]
+  mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR] [-full] [-intra-only] [-online] [-json] [-stats] [-stats-format text|prom|json]
+  mcchecker analyze -trace DIR [-intra-only] [-json] [-stats] [-stats-format text|prom|json]
   mcchecker dump -trace DIR [-rank N] [-limit N]`)
 }
 
@@ -103,7 +115,13 @@ func runCmd(args []string) error {
 	intraOnly := fs.Bool("intra-only", false, "intra-epoch detection only (SyncChecker baseline)")
 	online := fs.Bool("online", false, "analyze regions while the program runs (streaming mode)")
 	jsonOut := fs.Bool("json", false, "print the report as JSON")
+	stats := fs.Bool("stats", false, "collect and print run metrics")
+	statsFormat := fs.String("stats-format", "text", "stats output format: text, prom, or json")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg, err := statsRegistry(*stats, *statsFormat)
+	if err != nil {
 		return err
 	}
 	bc, ok := findApp(*appName)
@@ -126,52 +144,80 @@ func runCmd(args []string) error {
 		rel = profiler.FromNames(bc.RelevantBuffers)
 		mode = fmt.Sprintf("selective instrumentation %v", bc.RelevantBuffers)
 	}
-	fmt.Printf("running %s (%s) on %d simulated ranks, %s\n", bc.Name, variant, n, mode)
+	// Progress goes to stderr under -json so stdout stays parseable.
+	progress := os.Stdout
+	if *jsonOut {
+		progress = os.Stderr
+	}
+	fmt.Fprintf(progress, "running %s (%s) on %d simulated ranks, %s\n", bc.Name, variant, n, mode)
 
 	if *online {
 		sc := stream.New(n, func(v *core.Violation) {
-			fmt.Printf("[online] %s\n", v)
+			fmt.Fprintf(progress, "[online] %s\n", v)
 		})
-		pr := profiler.New(sc, rel)
-		if err := mpi.Run(n, mpi.Options{Hook: pr}, body); err != nil {
+		sc.SetObs(reg)
+		pr := profiler.NewObs(sc, rel, reg)
+		if err := mpi.Run(n, mpi.Options{Hook: pr, Obs: reg}, body); err != nil {
 			return fmt.Errorf("run failed: %w", err)
 		}
 		rep, err := sc.Finish()
 		if err != nil {
 			return err
 		}
-		fmt.Printf("analyzed %d slab(s) online\n", sc.Slabs())
-		return printReport(rep, *jsonOut)
+		fmt.Fprintf(progress, "analyzed %d slab(s) online\n", sc.Slabs())
+		return printReport(rep, *jsonOut, reg, *statsFormat)
 	}
 
 	sink := trace.NewMemorySink()
-	pr := profiler.New(sink, rel)
-	if err := mpi.Run(n, mpi.Options{Hook: pr}, body); err != nil {
+	pr := profiler.NewObs(sink, rel, reg)
+	if err := mpi.Run(n, mpi.Options{Hook: pr, Obs: reg}, body); err != nil {
 		return fmt.Errorf("run failed: %w", err)
 	}
 	set := sink.Set()
 	if *traceDir != "" {
-		if err := trace.WriteDir(*traceDir, set); err != nil {
+		if err := trace.WriteDirObs(*traceDir, set, reg); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %d events to %s\n", set.TotalEvents(), *traceDir)
+		fmt.Fprintf(progress, "wrote %d events to %s\n", set.TotalEvents(), *traceDir)
 	}
 
 	opts := core.DefaultOptions()
 	if *intraOnly {
 		opts.CrossProcess = false
 	}
+	opts.Obs = reg
 	rep, err := core.AnalyzeWith(set, opts)
 	if err != nil {
 		return fmt.Errorf("analysis failed: %w", err)
 	}
-	return printReport(rep, *jsonOut)
+	return printReport(rep, *jsonOut, reg, *statsFormat)
+}
+
+// statsRegistry validates the -stats flags and returns the registry to
+// thread through the run — nil (metrics disabled) unless -stats was given.
+func statsRegistry(enabled bool, format string) (*obs.Registry, error) {
+	switch format {
+	case "text", "prom", "json":
+	default:
+		return nil, fmt.Errorf("unknown -stats-format %q (want text, prom, or json)", format)
+	}
+	if !enabled {
+		return nil, nil
+	}
+	return obs.NewRegistry(), nil
 }
 
 // printReport renders the report (text or JSON) and exits with status 3
 // when errors were found, like compilers and linters signal findings.
-func printReport(rep *core.Report, asJSON bool) error {
+// When reg is non-nil its snapshot is printed before any error exit: as a
+// separate section in text mode, embedded in the report in JSON mode.
+func printReport(rep *core.Report, asJSON bool, reg *obs.Registry, statsFormat string) error {
+	var snap *obs.Snapshot
+	if reg != nil {
+		snap = reg.Snapshot()
+	}
 	if asJSON {
+		rep.Stats = snap
 		data, err := rep.JSON()
 		if err != nil {
 			return err
@@ -179,6 +225,21 @@ func printReport(rep *core.Report, asJSON bool) error {
 		fmt.Println(string(data))
 	} else {
 		fmt.Print(rep)
+		if snap != nil {
+			fmt.Println("--- run stats ---")
+			var err error
+			switch statsFormat {
+			case "prom":
+				err = snap.WritePrometheus(os.Stdout)
+			case "json":
+				err = snap.WriteJSON(os.Stdout)
+			default:
+				err = snap.WriteText(os.Stdout)
+			}
+			if err != nil {
+				return err
+			}
+		}
 	}
 	if len(rep.Errors()) > 0 {
 		os.Exit(3)
@@ -191,13 +252,19 @@ func analyzeCmd(args []string) error {
 	traceDir := fs.String("trace", "", "trace directory written by `mcchecker run -trace`")
 	intraOnly := fs.Bool("intra-only", false, "intra-epoch detection only")
 	jsonOut := fs.Bool("json", false, "print the report as JSON")
+	stats := fs.Bool("stats", false, "collect and print analysis metrics")
+	statsFormat := fs.String("stats-format", "text", "stats output format: text, prom, or json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *traceDir == "" {
 		return fmt.Errorf("-trace is required")
 	}
-	set, err := trace.ReadDir(*traceDir)
+	reg, err := statsRegistry(*stats, *statsFormat)
+	if err != nil {
+		return err
+	}
+	set, err := trace.ReadDirObs(*traceDir, reg)
 	if err != nil {
 		return err
 	}
@@ -205,11 +272,12 @@ func analyzeCmd(args []string) error {
 	if *intraOnly {
 		opts.CrossProcess = false
 	}
+	opts.Obs = reg
 	rep, err := core.AnalyzeWith(set, opts)
 	if err != nil {
 		return err
 	}
-	return printReport(rep, *jsonOut)
+	return printReport(rep, *jsonOut, reg, *statsFormat)
 }
 
 // dumpCmd pretty-prints trace files for debugging instrumented runs.

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/mpi"
@@ -64,6 +68,117 @@ func TestAnalyzeCmdCleanTrace(t *testing.T) {
 	}
 	if err := analyzeCmd([]string{"-trace", dir, "-intra-only"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureStdout runs f with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	ferr := f()
+	os.Stdout = old
+	w.Close()
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestRunCmdStats(t *testing.T) {
+	// The fixed variant reports no errors, so printReport does not exit.
+	out := captureStdout(t, func() error {
+		return runCmd([]string{"-app", "emulate", "-fixed", "-stats"})
+	})
+	// Per-phase wall times and simulator/profiler counters must be printed.
+	for _, want := range []string{
+		"--- run stats ---",
+		`mcchecker_phase_seconds{phase="model"}`,
+		`mcchecker_phase_seconds{phase="match"}`,
+		`mcchecker_phase_seconds{phase="detect_cross"}`,
+		"mcchecker_sim_messages_total",
+		"mcchecker_profiler_events_total",
+		"mcchecker_analysis_events_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q", want)
+		}
+	}
+}
+
+func TestRunCmdStatsProm(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return runCmd([]string{"-app", "emulate", "-fixed", "-stats", "-stats-format", "prom"})
+	})
+	if !strings.Contains(out, "# TYPE mcchecker_phase_seconds summary") {
+		t.Errorf("prom output missing phase summary:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE mcchecker_sim_epochs_total counter") {
+		t.Errorf("prom output missing epoch counter family:\n%s", out)
+	}
+}
+
+func TestRunCmdStatsJSONEmbeds(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return runCmd([]string{"-app", "emulate", "-fixed", "-json", "-stats"})
+	})
+	var rep struct {
+		Stats *struct {
+			Counters []struct {
+				Name  string `json:"name"`
+				Value int64  `json:"value"`
+			} `json:"counters"`
+			Spans []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if rep.Stats == nil || len(rep.Stats.Counters) == 0 || len(rep.Stats.Spans) == 0 {
+		t.Errorf("stats not embedded in JSON report:\n%s", out)
+	}
+}
+
+func TestStatsRegistryValidation(t *testing.T) {
+	if _, err := statsRegistry(true, "yaml"); err == nil {
+		t.Error("bad format must be rejected")
+	}
+	if reg, err := statsRegistry(false, "text"); err != nil || reg != nil {
+		t.Error("disabled stats must yield a nil registry")
+	}
+	if reg, err := statsRegistry(true, "prom"); err != nil || reg == nil {
+		t.Error("enabled stats must yield a registry")
+	}
+}
+
+func TestAnalyzeCmdStats(t *testing.T) {
+	dir := writeDemoTrace(t)
+	out := captureStdout(t, func() error {
+		return analyzeCmd([]string{"-trace", dir, "-stats"})
+	})
+	for _, want := range []string{
+		`mcchecker_phase_seconds{phase="model"}`,
+		"mcchecker_trace_decoded_events_total",
+		"mcchecker_analysis_events_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze stats output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -26,26 +26,43 @@ import (
 	"repro/internal/trace"
 )
 
+// PhaseSpanName is the span family under which the pipeline phases record
+// their wall time, one sample per phase label: model, match, dag, epochs,
+// detect_intra, detect_cross.
+const PhaseSpanName = "mcchecker_phase_seconds"
+
 // Analyze runs the full MC-Checker offline pipeline on a trace set.
 func Analyze(set *trace.Set) (*Report, error) {
 	return AnalyzeWith(set, DefaultOptions())
 }
 
-// AnalyzeWith runs the pipeline with explicit detector options.
+// AnalyzeWith runs the pipeline with explicit detector options. With
+// opts.Obs set, each phase (model build, sync matching, DAG construction,
+// epoch extraction, detection) records a wall-time span — the per-phase
+// breakdown of the paper's evaluation (§VII).
 func AnalyzeWith(set *trace.Set, opts Options) (*Report, error) {
+	reg := opts.Obs
+	sp := reg.StartSpan(PhaseSpanName, "phase", "model")
 	m, err := model.Build(set)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = reg.StartSpan(PhaseSpanName, "phase", "match")
 	ms, err := match.Run(m)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = reg.StartSpan(PhaseSpanName, "phase", "dag")
 	d, err := dag.Build(m, ms)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = reg.StartSpan(PhaseSpanName, "phase", "epochs")
 	epochs, opEpoch, err := ExtractEpochs(m)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/memory"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -25,6 +26,11 @@ type Options struct {
 	// programming"). 0 or 1 analyzes serially; results are identical and
 	// deterministically ordered either way.
 	Workers int
+
+	// Obs, when non-nil, receives per-phase wall-time spans and analysis
+	// volume counters (events, regions, epochs). Nil disables the
+	// accounting entirely.
+	Obs *obs.Registry
 }
 
 // DefaultOptions runs the full MC-Checker analysis.
@@ -53,18 +59,29 @@ func NewAnalyzer(m *model.Model, d *dag.DAG, epochs []*Epoch, opEpoch map[trace.
 
 // Run executes the enabled detectors and returns the report.
 func (a *Analyzer) Run() (*Report, error) {
+	reg := a.opts.Obs
 	a.report.EventsAnalyzed = a.m.Set.TotalEvents()
 	if a.opts.IntraEpoch {
-		if err := a.detectIntraEpoch(); err != nil {
+		sp := reg.StartSpan(PhaseSpanName, "phase", "detect_intra")
+		err := a.detectIntraEpoch()
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
 	if a.opts.CrossProcess {
-		if err := a.detectCrossProcess(); err != nil {
+		sp := reg.StartSpan(PhaseSpanName, "phase", "detect_cross")
+		err := a.detectCrossProcess()
+		sp.End()
+		if err != nil {
 			return nil, err
 		}
 	}
 	a.report.Sort()
+	reg.Counter("mcchecker_analysis_events_total").Add(int64(a.report.EventsAnalyzed))
+	reg.Counter("mcchecker_analysis_regions_total").Add(int64(a.report.Regions))
+	reg.Counter("mcchecker_analysis_epochs_total").Add(int64(a.report.EpochsChecked))
+	reg.Counter("mcchecker_analysis_violations_total").Add(int64(len(a.report.Violations)))
 	return a.report, nil
 }
 

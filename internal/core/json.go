@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/json"
 	"path"
+
+	"repro/internal/obs"
 )
 
 // JSON representations for tooling: a stable, flat schema independent of
@@ -41,6 +43,7 @@ type reportJSON struct {
 	EventsAnalyzed int             `json:"events_analyzed"`
 	Regions        int             `json:"regions"`
 	Epochs         int             `json:"epochs"`
+	Stats          *obs.Snapshot   `json:"stats,omitempty"`
 }
 
 // JSON renders the report as indented JSON with a stable schema.
@@ -52,6 +55,7 @@ func (r *Report) JSON() ([]byte, error) {
 		EventsAnalyzed: r.EventsAnalyzed,
 		Regions:        r.Regions,
 		Epochs:         r.EpochsChecked,
+		Stats:          r.Stats,
 	}
 	for _, v := range r.Violations {
 		vj := violationJSON{

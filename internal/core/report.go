@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -135,6 +136,12 @@ type Report struct {
 	EventsAnalyzed int
 	Regions        int
 	EpochsChecked  int
+
+	// Stats, when set, is the observability snapshot of the run that
+	// produced this report (per-phase wall times, simulator and profiler
+	// counters). It is carried through the JSON rendering; the text
+	// rendering leaves it to the caller (`mcchecker ... -stats`).
+	Stats *obs.Snapshot
 }
 
 // add records a violation, folding duplicates.

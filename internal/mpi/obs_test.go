@@ -1,0 +1,70 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestSimMetrics pins the simulator-side counters: messages, collectives,
+// RMA deferral/application, and epoch transitions per sync mode.
+func TestSimMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	err := Run(2, Options{Obs: reg}, func(p *Proc) error {
+		buf := p.Alloc(8, "x")
+		if p.Rank() == 0 {
+			p.Send(p.CommWorld(), buf, 0, 1, Int64, 1, 7)
+		} else {
+			p.Recv(p.CommWorld(), buf, 0, 1, Int64, 0, 7)
+		}
+		p.Barrier(p.CommWorld())
+
+		win := p.Alloc(64, "win")
+		w := p.WinCreate(win, 1, p.CommWorld())
+		// Fence epoch with one Put per rank.
+		w.Fence(AssertNone)
+		src := p.Alloc(8, "src")
+		w.Put(src, 0, 1, Int64, (p.Rank()+1)%2, 0, 1, Int64)
+		w.Fence(AssertNone)
+		// Lock epoch.
+		w.Lock(LockShared, 0)
+		w.Unlock(0)
+		w.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	check := func(name string, want int64, kv ...string) {
+		t.Helper()
+		if got := snap.CounterValue(name, kv...); got != want {
+			t.Errorf("%s{%v} = %d, want %d", name, kv, got, want)
+		}
+	}
+	check("mcchecker_sim_messages_total", 1, "dir", "sent")
+	check("mcchecker_sim_messages_total", 1, "dir", "received")
+	check("mcchecker_sim_collectives_total", 2, "op", "Barrier")
+	check("mcchecker_sim_collectives_total", 2, "op", "Win_create")
+	check("mcchecker_sim_collectives_total", 4, "op", "Win_fence")
+	// Both Puts are deferred, then applied at the closing fence.
+	check("mcchecker_sim_rma_ops_total", 2, "state", "deferred")
+	check("mcchecker_sim_rma_ops_total", 2, "state", "applied")
+	// First fence opens an epoch per rank; second closes and reopens;
+	// Win_free does not count as a fence epoch event.
+	check("mcchecker_sim_epochs_total", 4, "mode", "fence", "event", "opened")
+	check("mcchecker_sim_epochs_total", 2, "mode", "fence", "event", "closed")
+	check("mcchecker_sim_epochs_total", 2, "mode", "lock", "event", "opened")
+	check("mcchecker_sim_epochs_total", 2, "mode", "lock", "event", "closed")
+}
+
+// TestRunNilObs checks the disabled configuration stays inert.
+func TestRunNilObs(t *testing.T) {
+	err := Run(2, Options{}, func(p *Proc) error {
+		p.Barrier(p.CommWorld())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -201,6 +201,7 @@ func (w *Win) queue(call string, op *rmaOp) {
 	op.origin = p.rank
 	op.seq = w.issueSeq
 	w.issueSeq++
+	p.world.metrics.rmaQueued(int32(p.rank))
 	switch {
 	case w.lockHeld[op.target] != trace.LockNone:
 		w.pendingLock[op.target] = append(w.pendingLock[op.target], op)
@@ -359,6 +360,7 @@ func (s *winShared) apply(op *rmaOp) {
 // fixing it keeps runs reproducible without legitimizing programs that
 // depend on it.
 func (s *winShared) applyAll(ops []*rmaOp) {
+	s.comm.world.metrics.rmaFlushed(len(ops))
 	sort.SliceStable(ops, func(i, j int) bool {
 		if ops[i].origin != ops[j].origin {
 			return ops[i].origin < ops[j].origin

@@ -46,6 +46,7 @@ func (w *Win) LockAll() {
 		w.s.locks[t].acquire(trace.LockShared)
 	}
 	w.lockAll = true
+	p.world.metrics.epochOpen(epochLockAll)
 }
 
 // UnlockAll closes the lock_all epoch (MPI_Win_unlock_all), completing all
@@ -65,6 +66,7 @@ func (w *Win) UnlockAll() {
 		w.s.locks[t].release()
 	}
 	w.lockAll = false
+	p.world.metrics.epochClose(epochLockAll)
 	p.emit(trace.Event{Kind: trace.KindWinUnlockAll, Win: w.s.id}, 1)
 }
 

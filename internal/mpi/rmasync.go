@@ -24,6 +24,10 @@ func (w *Win) Fence(assert int) {
 	p.emit(trace.Event{
 		Kind: trace.KindWinFence, Win: w.s.id, Comm: w.s.comm.id, Assert: int32(assert),
 	}, 1)
+	if w.fenceCount > 0 {
+		p.world.metrics.epochClose(epochFence)
+	}
+	p.world.metrics.epochOpen(epochFence)
 	mine := w.pendingFence
 	w.pendingFence = nil
 	w.fenceCount++
@@ -61,6 +65,7 @@ func (w *Win) Lock(lt trace.LockType, target int) {
 	w.s.locks[target].acquire(lt)
 	release()
 	w.lockHeld[target] = lt
+	p.world.metrics.epochOpen(epochLock)
 }
 
 // Unlock closes the passive-target epoch on target (MPI_Win_unlock),
@@ -76,6 +81,7 @@ func (w *Win) Unlock(target int) {
 	w.s.applyAll(ops)
 	w.s.locks[target].release()
 	delete(w.lockHeld, target)
+	p.world.metrics.epochClose(epochLock)
 	p.emit(trace.Event{
 		Kind: trace.KindWinUnlock, Win: w.s.id, Target: int32(target),
 	}, 1)
@@ -96,6 +102,7 @@ func (w *Win) Post(group *Group) {
 	w.s.posts[rel] = &postRecord{origins: group, remaining: group.Size()}
 	w.s.pscwCond.Broadcast()
 	w.s.pscwMu.Unlock()
+	p.world.metrics.epochOpen(epochPSCWExposure)
 }
 
 // Start opens an access epoch to the target processes in group
@@ -132,6 +139,7 @@ func (w *Win) Start(group *Group) {
 	}
 	w.s.pscwMu.Unlock()
 	w.startGroup = group
+	p.world.metrics.epochOpen(epochPSCWAccess)
 }
 
 // Complete closes the access epoch (MPI_Win_complete), applying all
@@ -146,6 +154,7 @@ func (w *Win) Complete() {
 	w.s.applyAll(ops)
 	group := w.startGroup
 	w.startGroup = nil
+	p.world.metrics.epochClose(epochPSCWAccess)
 	p.emit(trace.Event{Kind: trace.KindWinComplete, Win: w.s.id}, 1)
 	w.s.pscwMu.Lock()
 	for _, tw := range group.Ranks() {
@@ -180,5 +189,6 @@ func (w *Win) WaitEpoch() {
 	}
 	delete(w.s.posts, rel)
 	w.s.pscwMu.Unlock()
+	p.world.metrics.epochClose(epochPSCWExposure)
 	p.emit(trace.Event{Kind: trace.KindWinWait, Win: w.s.id}, 1)
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/memory"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -37,6 +38,12 @@ type Options struct {
 
 	// Timeout breaks deadlocked runs; zero means DefaultTimeout.
 	Timeout time.Duration
+
+	// Obs, when non-nil, receives the simulator's runtime metrics
+	// (messages, collectives, RMA operations deferred and applied, epochs
+	// opened and closed per sync mode). Nil disables the accounting with
+	// no per-call cost beyond one pointer check.
+	Obs *obs.Registry
 }
 
 // DefaultTimeout bounds a run when Options.Timeout is zero. Buggy MPI
@@ -46,8 +53,9 @@ const DefaultTimeout = 2 * time.Minute
 
 // World is one simulated MPI job.
 type World struct {
-	procs []*Proc
-	hook  Hook
+	procs   []*Proc
+	hook    Hook
+	metrics *simMetrics // nil when Options.Obs is nil
 
 	mu         sync.Mutex
 	nextCommID int32
@@ -100,7 +108,7 @@ func Run(n int, opts Options, body func(p *Proc) error) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: world size %d must be positive", n)
 	}
-	w := &World{hook: opts.Hook, nextCommID: 1} // comm id 0 is the world
+	w := &World{hook: opts.Hook, metrics: newSimMetrics(opts.Obs), nextCommID: 1} // comm id 0 is the world
 	w.procs = make([]*Proc, n)
 	worldGroup := identityGroup(n)
 	worldComm := newComm(w, 0, worldGroup)
@@ -294,6 +302,7 @@ func (p *Proc) errorf(call, format string, args ...any) {
 // hook. skip is the number of frames between the application call site and
 // emit's caller.
 func (p *Proc) emit(ev trace.Event, skip int) {
+	p.world.metrics.record(ev.Kind, int32(p.rank))
 	if p.world.hook == nil {
 		return
 	}

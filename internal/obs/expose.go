@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Snapshot is a stable, point-in-time view of a registry: every metric
+// family sorted by (name, labels). It is the exchange format of the three
+// expositions (text, Prometheus, JSON) and of Report.Stats.
+type Snapshot struct {
+	Counters   []GaugeValue     `json:"counters,omitempty"`
+	Gauges     []GaugeValue     `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+	Spans      []SpanValue      `json:"spans,omitempty"`
+}
+
+// GaugeValue is one scalar sample (used for both counters and gauges).
+type GaugeValue struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"` // rendered `k="v",...`
+	Value  int64  `json:"value"`
+}
+
+// BucketValue is one cumulative histogram bucket.
+type BucketValue struct {
+	Le    string `json:"le"` // upper bound as decimal, or "+Inf"
+	Count int64  `json:"count"`
+}
+
+// HistogramValue is one histogram sample with cumulative buckets.
+type HistogramValue struct {
+	Name    string        `json:"name"`
+	Labels  string        `json:"labels,omitempty"`
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	Buckets []BucketValue `json:"buckets"`
+}
+
+// SpanValue is the accumulated wall time of one phase.
+type SpanValue struct {
+	Name       string `json:"name"`
+	Labels     string `json:"labels,omitempty"`
+	Count      int64  `json:"count"`
+	TotalNanos int64  `json:"total_nanos"`
+	MaxNanos   int64  `json:"max_nanos"`
+}
+
+// Total returns the span's accumulated duration.
+func (s SpanValue) Total() time.Duration { return time.Duration(s.TotalNanos) }
+
+// Snapshot captures the current state of every registered metric. Counters
+// and rank counters land in the same Counters section (rank counters
+// summed across shards). On a nil registry it returns an empty snapshot.
+func (r *Registry) Snapshot() *Snapshot {
+	snap := &Snapshot{}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counters := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		counters = append(counters, c)
+	}
+	rankCtrs := make([]*RankCounter, 0, len(r.rankCtrs))
+	for _, c := range r.rankCtrs {
+		rankCtrs = append(rankCtrs, c)
+	}
+	gauges := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hists = append(hists, h)
+	}
+	spans := make([]*SpanStats, 0, len(r.spans))
+	for _, s := range r.spans {
+		spans = append(spans, s)
+	}
+	collectors := append([]func() []GaugeValue(nil), r.collectors...)
+	r.mu.Unlock()
+
+	for _, c := range counters {
+		snap.Counters = append(snap.Counters, GaugeValue{c.name, c.labels, c.Value()})
+	}
+	for _, c := range rankCtrs {
+		snap.Counters = append(snap.Counters, GaugeValue{c.name, c.labels, c.Value()})
+	}
+	for _, g := range gauges {
+		snap.Gauges = append(snap.Gauges, GaugeValue{g.name, g.labels, g.Value()})
+	}
+	for _, f := range collectors {
+		snap.Gauges = append(snap.Gauges, f()...)
+	}
+	for _, h := range hists {
+		hv := HistogramValue{Name: h.name, Labels: h.labels, Count: h.count.Load(), Sum: h.sum.Load()}
+		cum := int64(0)
+		for i := 0; i < histBuckets; i++ {
+			n := h.buckets[i].Load()
+			cum += n
+			if n == 0 && i != histBuckets-1 {
+				continue // sparse: only buckets that moved, plus +Inf
+			}
+			le := "+Inf"
+			if up := BucketUpper(i); up >= 0 {
+				le = strconv.FormatInt(up, 10)
+			}
+			hv.Buckets = append(hv.Buckets, BucketValue{Le: le, Count: cum})
+		}
+		snap.Histograms = append(snap.Histograms, hv)
+	}
+	for _, s := range spans {
+		snap.Spans = append(snap.Spans, SpanValue{
+			Name: s.name, Labels: s.labels,
+			Count: s.count.Load(), TotalNanos: s.totalNs.Load(), MaxNanos: s.maxNs.Load(),
+		})
+	}
+
+	sortGV := func(vs []GaugeValue) {
+		sort.Slice(vs, func(i, j int) bool {
+			if vs[i].Name != vs[j].Name {
+				return vs[i].Name < vs[j].Name
+			}
+			return vs[i].Labels < vs[j].Labels
+		})
+	}
+	sortGV(snap.Counters)
+	sortGV(snap.Gauges)
+	sort.Slice(snap.Histograms, func(i, j int) bool {
+		if snap.Histograms[i].Name != snap.Histograms[j].Name {
+			return snap.Histograms[i].Name < snap.Histograms[j].Name
+		}
+		return snap.Histograms[i].Labels < snap.Histograms[j].Labels
+	})
+	sort.Slice(snap.Spans, func(i, j int) bool {
+		if snap.Spans[i].Name != snap.Spans[j].Name {
+			return snap.Spans[i].Name < snap.Spans[j].Name
+		}
+		return snap.Spans[i].Labels < snap.Spans[j].Labels
+	})
+	return snap
+}
+
+// Span returns the span value with the given name and rendered labels, or
+// a zero SpanValue if absent.
+func (s *Snapshot) Span(name string, kv ...string) SpanValue {
+	labels := renderLabels(kv)
+	for _, sp := range s.Spans {
+		if sp.Name == name && sp.Labels == labels {
+			return sp
+		}
+	}
+	return SpanValue{}
+}
+
+// CounterValue returns the value of the counter with the given name and
+// labels (0 if absent).
+func (s *Snapshot) CounterValue(name string, kv ...string) int64 {
+	labels := renderLabels(kv)
+	for _, c := range s.Counters {
+		if c.Name == name && c.Labels == labels {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// GaugeValue returns the value of the gauge with the given name and labels
+// (0 if absent).
+func (s *Snapshot) GaugeValue(name string, kv ...string) int64 {
+	labels := renderLabels(kv)
+	for _, g := range s.Gauges {
+		if g.Name == name && g.Labels == labels {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(data))
+	return err
+}
+
+func promSample(name, labels string, suffix, extraLabel string) string {
+	all := labels
+	if extraLabel != "" {
+		if all != "" {
+			all += ","
+		}
+		all += extraLabel
+	}
+	if all == "" {
+		return name + suffix
+	}
+	return name + suffix + "{" + all + "}"
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as scalar samples, spans as
+// summaries over seconds, histograms with cumulative le buckets.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	var sb strings.Builder
+	lastType := func() func(name, typ string) {
+		prev := ""
+		return func(name, typ string) {
+			if name != prev {
+				fmt.Fprintf(&sb, "# TYPE %s %s\n", name, typ)
+				prev = name
+			}
+		}
+	}
+
+	ct := lastType()
+	for _, c := range s.Counters {
+		ct(c.Name, "counter")
+		fmt.Fprintf(&sb, "%s %d\n", promSample(c.Name, c.Labels, "", ""), c.Value)
+	}
+	gt := lastType()
+	for _, g := range s.Gauges {
+		gt(g.Name, "gauge")
+		fmt.Fprintf(&sb, "%s %d\n", promSample(g.Name, g.Labels, "", ""), g.Value)
+	}
+	ht := lastType()
+	for _, h := range s.Histograms {
+		ht(h.Name, "histogram")
+		for _, b := range h.Buckets {
+			fmt.Fprintf(&sb, "%s %d\n", promSample(h.Name, h.Labels, "_bucket", `le="`+b.Le+`"`), b.Count)
+		}
+		fmt.Fprintf(&sb, "%s %d\n", promSample(h.Name, h.Labels, "_sum", ""), h.Sum)
+		fmt.Fprintf(&sb, "%s %d\n", promSample(h.Name, h.Labels, "_count", ""), h.Count)
+	}
+	st := lastType()
+	for _, sp := range s.Spans {
+		st(sp.Name, "summary")
+		fmt.Fprintf(&sb, "%s %g\n", promSample(sp.Name, sp.Labels, "_sum", ""),
+			time.Duration(sp.TotalNanos).Seconds())
+		fmt.Fprintf(&sb, "%s %d\n", promSample(sp.Name, sp.Labels, "_count", ""), sp.Count)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// WriteText renders a human-readable breakdown: phases first (the per-phase
+// wall times of the paper's evaluation), then counters, gauges, and
+// histogram summaries.
+func (s *Snapshot) WriteText(w io.Writer) error {
+	var sb strings.Builder
+	if len(s.Spans) > 0 {
+		sb.WriteString("phases:\n")
+		for _, sp := range s.Spans {
+			name := sp.Name
+			if sp.Labels != "" {
+				name += "{" + sp.Labels + "}"
+			}
+			fmt.Fprintf(&sb, "  %-60s %12v", name, time.Duration(sp.TotalNanos).Round(time.Microsecond))
+			if sp.Count != 1 {
+				fmt.Fprintf(&sb, "  (%d runs, max %v)", sp.Count,
+					time.Duration(sp.MaxNanos).Round(time.Microsecond))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	writeGV := func(title string, vs []GaugeValue) {
+		if len(vs) == 0 {
+			return
+		}
+		sb.WriteString(title + ":\n")
+		for _, v := range vs {
+			name := v.Name
+			if v.Labels != "" {
+				name += "{" + v.Labels + "}"
+			}
+			fmt.Fprintf(&sb, "  %-60s %12d\n", name, v.Value)
+		}
+	}
+	writeGV("counters", s.Counters)
+	writeGV("gauges", s.Gauges)
+	if len(s.Histograms) > 0 {
+		sb.WriteString("histograms:\n")
+		for _, h := range s.Histograms {
+			name := h.Name
+			if h.Labels != "" {
+				name += "{" + h.Labels + "}"
+			}
+			mean := int64(0)
+			if h.Count > 0 {
+				mean = h.Sum / h.Count
+			}
+			fmt.Fprintf(&sb, "  %-60s count %d, sum %d, mean %d\n", name, h.Count, h.Sum, mean)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}

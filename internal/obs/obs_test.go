@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_total")
+	rc := reg.RankCounter("t_rank_total")
+	h := reg.Histogram("t_sizes")
+	g := reg.Gauge("t_peak")
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(rank int32) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				rc.Inc(rank)
+				h.Observe(int64(i))
+				g.SetMax(int64(i))
+			}
+		}(int32(w))
+	}
+	// Snapshots are safe concurrently with updates.
+	for i := 0; i < 10; i++ {
+		reg.Snapshot()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != workers*per {
+		t.Errorf("Counter = %d, want %d", got, workers*per)
+	}
+	if got := rc.Value(); got != workers*per {
+		t.Errorf("RankCounter = %d, want %d", got, workers*per)
+	}
+	if got := h.Count(); got != workers*per {
+		t.Errorf("Histogram count = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != per-1 {
+		t.Errorf("Gauge SetMax = %d, want %d", got, per-1)
+	}
+}
+
+func TestRankCounterWraps(t *testing.T) {
+	reg := NewRegistry()
+	rc := reg.RankCounter("t_total")
+	// Ranks beyond the shard count share slots but must not lose counts.
+	for rank := int32(0); rank < 3*rankShards; rank++ {
+		rc.Inc(rank)
+	}
+	if got := rc.Value(); got != 3*rankShards {
+		t.Errorf("Value = %d, want %d", got, 3*rankShards)
+	}
+}
+
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{0, 0}, {1, 0}, // le="1"
+		{2, 1},         // le="2"
+		{3, 2}, {4, 2}, // le="4"
+		{5, 3}, {8, 3}, // le="8"
+		{1 << 26, 26},                             // last finite bucket
+		{1<<26 + 1, histBuckets - 1},              // clamps to +Inf
+		{1 << 40, histBuckets - 1},                // way past the top
+		{int64(^uint64(0) >> 1), histBuckets - 1}, // MaxInt64
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if BucketUpper(0) != 1 || BucketUpper(1) != 2 || BucketUpper(26) != 1<<26 {
+		t.Error("BucketUpper finite bounds wrong")
+	}
+	if BucketUpper(histBuckets-1) != -1 {
+		t.Error("last bucket must be +Inf")
+	}
+}
+
+func TestRenderLabels(t *testing.T) {
+	if got := renderLabels(nil); got != "" {
+		t.Errorf("empty labels = %q", got)
+	}
+	// Keys sort, values quote.
+	got := renderLabels([]string{"z", "1", "a", `x"y`})
+	want := `a="x\"y",z="1"`
+	if got != want {
+		t.Errorf("renderLabels = %q, want %q", got, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd label count must panic")
+		}
+	}()
+	renderLabels([]string{"only-key"})
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var reg *Registry
+	reg.Counter("a").Inc()
+	reg.Counter("a").Add(5)
+	reg.RankCounter("b").Inc(3)
+	reg.RankCounter("b").Add(3, 5)
+	reg.Gauge("c").Set(1)
+	reg.Gauge("c").SetMax(2)
+	reg.Histogram("d").Observe(9)
+	reg.StartSpan("e", "phase", "x").End()
+	reg.Span("e").Start().End()
+	reg.AddCollector(func() []GaugeValue { return nil })
+
+	if reg.Counter("a").Value() != 0 || reg.Gauge("c").Value() != 0 ||
+		reg.Histogram("d").Count() != 0 || reg.Span("e").Count() != 0 {
+		t.Error("nil handles must read as zero")
+	}
+	snap := reg.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms)+len(snap.Spans) != 0 {
+		t.Error("nil registry snapshot must be empty")
+	}
+}
+
+func TestRegistryDedupsByNameAndLabels(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("t", "k", "v")
+	b := reg.Counter("t", "k", "v")
+	other := reg.Counter("t", "k", "w")
+	if a != b {
+		t.Error("same name+labels must return the same counter")
+	}
+	if a == other {
+		t.Error("different labels must return distinct counters")
+	}
+}
+
+func TestSpanAccounting(t *testing.T) {
+	reg := NewRegistry()
+	sp := reg.StartSpan("t_phase_seconds", "phase", "model")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	reg.StartSpan("t_phase_seconds", "phase", "model").End()
+
+	s := reg.Span("t_phase_seconds", "phase", "model")
+	if s.Count() != 2 {
+		t.Fatalf("span count = %d, want 2", s.Count())
+	}
+	if s.Total() < time.Millisecond {
+		t.Errorf("span total = %v, want >= 1ms", s.Total())
+	}
+	snap := reg.Snapshot()
+	sv := snap.Span("t_phase_seconds", "phase", "model")
+	if sv.Count != 2 || sv.TotalNanos != s.Total().Nanoseconds() || sv.MaxNanos <= 0 {
+		t.Errorf("snapshot span = %+v", sv)
+	}
+}
+
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("t_events_total", "kind", "put").Add(3)
+	reg.Counter("t_events_total", "kind", "get").Inc()
+	reg.RankCounter("t_msgs_total").Add(0, 10)
+	reg.Gauge("t_peak").Set(7)
+	h := reg.Histogram("t_sizes")
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(300)
+	return reg
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE t_events_total counter
+t_events_total{kind="get"} 1
+t_events_total{kind="put"} 3
+# TYPE t_msgs_total counter
+t_msgs_total 10
+# TYPE t_peak gauge
+t_peak 7
+# TYPE t_sizes histogram
+t_sizes_bucket{le="1"} 1
+t_sizes_bucket{le="4"} 2
+t_sizes_bucket{le="512"} 3
+t_sizes_bucket{le="+Inf"} 3
+t_sizes_sum 304
+t_sizes_count 3
+`
+	if buf.String() != want {
+		t.Errorf("prometheus output:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// promLine matches one sample of the text exposition format: a metric name,
+// an optional label body, and a value.
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+
+// ValidatePrometheus checks every line of a text exposition: samples match
+// the format and every # TYPE family is declared before its samples.
+func validatePrometheus(t *testing.T, text string) {
+	t.Helper()
+	declared := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.Fields(rest)
+			if len(parts) != 2 {
+				t.Errorf("bad TYPE line %q", line)
+				continue
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary":
+			default:
+				t.Errorf("bad metric type in %q", line)
+			}
+			declared[parts[0]] = true
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("invalid exposition line %q", line)
+		}
+	}
+	if len(declared) == 0 {
+		t.Error("no TYPE declarations")
+	}
+}
+
+func TestPrometheusValidExposition(t *testing.T) {
+	reg := goldenRegistry()
+	reg.StartSpan("t_phase_seconds", "phase", "model").End()
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	validatePrometheus(t, buf.String())
+}
+
+func TestJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if got.CounterValue("t_events_total", "kind", "put") != 3 ||
+		got.CounterValue("t_msgs_total") != 10 {
+		t.Errorf("counters did not round-trip: %+v", got.Counters)
+	}
+	if got.GaugeValue("t_peak") != 7 {
+		t.Errorf("gauge did not round-trip: %+v", got.Gauges)
+	}
+	if len(got.Histograms) != 1 || got.Histograms[0].Count != 3 || got.Histograms[0].Sum != 304 {
+		t.Errorf("histogram did not round-trip: %+v", got.Histograms)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	reg := goldenRegistry()
+	reg.StartSpan("t_phase_seconds", "phase", "model").End()
+	var buf bytes.Buffer
+	if err := reg.Snapshot().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"phases:", `t_phase_seconds{phase="model"}`,
+		"counters:", `t_events_total{kind="put"}`,
+		"gauges:", "t_peak",
+		"histograms:", "count 3, sum 304, mean 101",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollector(t *testing.T) {
+	reg := NewRegistry()
+	reg.AddCollector(func() []GaugeValue {
+		return []GaugeValue{{Name: "t_collected", Value: 42}}
+	})
+	if got := reg.Snapshot().GaugeValue("t_collected"); got != 42 {
+		t.Errorf("collector gauge = %d, want 42", got)
+	}
+}

@@ -19,9 +19,11 @@ package profiler
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/memory"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -29,8 +31,17 @@ import (
 // It is the runtime form of the ST-Analyzer report.
 type Relevance func(bufferName string) bool
 
+// All instruments every tracked buffer — the "no static analysis"
+// configuration. It is equivalent to passing a nil Relevance, but explicit:
+// note that FromNames(nil) is the opposite (an empty relevant set that
+// instruments nothing), so callers wanting full instrumentation should use
+// All rather than rebuilding the every-buffer predicate by hand.
+var All Relevance = func(string) bool { return true }
+
 // FromNames builds a Relevance from an explicit set of variable names, the
-// shape of the report ST-Analyzer produces.
+// shape of the report ST-Analyzer produces. An empty or nil list yields a
+// predicate that accepts nothing; use All (or nil) for full
+// instrumentation.
 func FromNames(names []string) Relevance {
 	set := make(map[string]bool, len(names))
 	for _, n := range names {
@@ -53,6 +64,14 @@ type Profiler struct {
 	// touches it, so no synchronization is needed. Counters are padded to
 	// cache lines to avoid false sharing between rank goroutines.
 	seq [MaxRanks]paddedCounter
+
+	// Observability handles (all nil when no registry is attached, making
+	// the disabled path one nil check per event with no allocation).
+	// events is indexed by trace.Kind; the counters are rank-sharded so the
+	// instrumentation does not serialize the rank goroutines it measures.
+	events  [trace.KindCount]*obs.RankCounter
+	relHit  *obs.Counter
+	relMiss *obs.Counter
 }
 
 type paddedCounter struct {
@@ -62,10 +81,48 @@ type paddedCounter struct {
 
 var _ mpi.Hook = (*Profiler)(nil)
 
-// New returns a profiler writing to sink. relevant may be nil to
+// New returns a profiler writing to sink. relevant may be nil (or All) to
 // instrument all buffers (full instrumentation, no static analysis).
 func New(sink trace.Sink, relevant Relevance) *Profiler {
-	return &Profiler{sink: sink, relevant: relevant}
+	return NewObs(sink, relevant, nil)
+}
+
+// NewObs is New with an observability registry attached: the profiler
+// records events emitted per kind, exact per-rank event counts, and
+// relevance-filter hits and misses (ST-Analyzer's selectivity, the lever
+// behind the paper's Figure 8 overhead comparison). reg may be nil, which
+// is exactly New.
+func NewObs(sink trace.Sink, relevant Relevance, reg *obs.Registry) *Profiler {
+	pr := &Profiler{sink: sink, relevant: relevant}
+	if reg == nil {
+		return pr
+	}
+	for k := 1; k < trace.KindCount; k++ {
+		pr.events[k] = reg.RankCounter("mcchecker_profiler_events_total", "kind", trace.Kind(k).String())
+	}
+	pr.relHit = reg.Counter("mcchecker_profiler_relevance_total", "result", "hit")
+	pr.relMiss = reg.Counter("mcchecker_profiler_relevance_total", "result", "miss")
+	reg.AddCollector(pr.rankEventCounts)
+	return pr
+}
+
+// rankEventCounts exposes the exact events-per-rank tallies (the per-rank
+// sequence counters) as gauges at snapshot time, at zero hot-path cost.
+// The sequence counters are rank-local and unsynchronized, so a snapshot
+// taken while ranks are still running may read mid-update values; take
+// snapshots after mpi.Run returns for exact counts.
+func (pr *Profiler) rankEventCounts() []obs.GaugeValue {
+	var out []obs.GaugeValue
+	for r := 0; r < MaxRanks; r++ {
+		if n := pr.seq[r].v; n > 0 {
+			out = append(out, obs.GaugeValue{
+				Name:   "mcchecker_profiler_rank_events",
+				Labels: `rank="` + strconv.Itoa(r) + `"`,
+				Value:  n,
+			})
+		}
+	}
+	return out
 }
 
 func (pr *Profiler) counter(rank int32) *int64 {
@@ -80,6 +137,7 @@ func (pr *Profiler) MPICall(p *mpi.Proc, ev trace.Event) {
 	c := pr.counter(ev.Rank)
 	ev.Seq = *c
 	*c++
+	pr.events[ev.Kind].Inc(ev.Rank)
 	pr.sink.Emit(ev)
 }
 
@@ -88,16 +146,22 @@ func (pr *Profiler) MPICall(p *mpi.Proc, ev trace.Event) {
 // (by sequence number) with the rank's MPI call events.
 func (pr *Profiler) BufferAllocated(p *mpi.Proc, b *memory.Buffer) {
 	if pr.relevant != nil && !pr.relevant(b.Name()) {
+		pr.relMiss.Inc()
 		return
 	}
+	pr.relHit.Inc()
 	rank := int32(p.Rank())
 	c := pr.counter(rank)
 	sink := pr.sink
+	loadCtr, storeCtr := pr.events[trace.KindLoad], pr.events[trace.KindStore]
 	b.SetObserver(memory.ObserverFunc(func(_ *memory.Buffer, a memory.Access) {
 		kind := trace.KindLoad
+		ctr := loadCtr
 		if a.Kind == memory.Store {
 			kind = trace.KindStore
+			ctr = storeCtr
 		}
+		ctr.Inc(rank)
 		ev := trace.Event{
 			Kind: kind,
 			Rank: rank,

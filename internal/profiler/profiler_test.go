@@ -1,10 +1,12 @@
 package profiler
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -116,6 +118,88 @@ func TestFromNames(t *testing.T) {
 	r := FromNames([]string{"a", "b"})
 	if !r("a") || !r("b") || r("c") || r("") {
 		t.Error("FromNames predicate wrong")
+	}
+}
+
+func TestAllInstrumentsEveryBuffer(t *testing.T) {
+	if !All("anything") || !All("") {
+		t.Error("All must accept every buffer name")
+	}
+	// All is equivalent to a nil Relevance — unlike FromNames(nil), which
+	// instruments nothing.
+	none := FromNames(nil)
+	if none("anything") {
+		t.Error("FromNames(nil) must accept nothing")
+	}
+	set := runEmulateLike(t, All)
+	if got := countKind(set, 0, trace.KindStore); got != 2 {
+		t.Errorf("stores under All = %d, want 2", got)
+	}
+	if got := countKind(set, 0, trace.KindLoad); got != 1 {
+		t.Errorf("loads under All = %d, want 1", got)
+	}
+}
+
+// TestMPICallNoAllocWithoutRegistry guards the emit hot path: with no
+// observability registry attached, logging an MPI call event must not
+// allocate (the disabled instrumentation is a nil check, nothing more).
+func TestMPICallNoAllocWithoutRegistry(t *testing.T) {
+	pr := New(trace.NewCountingSink(nil), nil)
+	ev := trace.Event{Kind: trace.KindBarrier, Rank: 0}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		pr.MPICall(nil, ev)
+	}); allocs != 0 {
+		t.Errorf("MPICall allocates %.1f times per event with nil registry, want 0", allocs)
+	}
+}
+
+func TestObsCountersMatchTrace(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := trace.NewMemorySink()
+	pr := NewObs(sink, FromNames([]string{"window", "srcbuf"}), reg)
+	err := mpi.Run(2, mpi.Options{Hook: pr}, func(p *mpi.Proc) error {
+		win := p.Alloc(16, "window")
+		scratch := p.Alloc(16, "scratch")
+		w := p.WinCreate(win, 1, p.CommWorld())
+		w.Fence(mpi.AssertNone)
+		if p.Rank() == 0 {
+			src := p.Alloc(8, "srcbuf")
+			src.SetInt64(0, 5)
+			scratch.SetInt64(0, 1)
+			w.Put(src, 0, 1, mpi.Int64, 1, 0, 1, mpi.Int64)
+		}
+		w.Fence(mpi.AssertNone)
+		w.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := sink.Set()
+	snap := reg.Snapshot()
+
+	// Per-kind counters must agree with the trace the sink collected.
+	for _, k := range []trace.Kind{trace.KindWinFence, trace.KindPut, trace.KindStore} {
+		want := int64(countKind(set, 0, k) + countKind(set, 1, k))
+		if got := snap.CounterValue("mcchecker_profiler_events_total", "kind", k.String()); got != want {
+			t.Errorf("events_total{kind=%q} = %d, want %d", k, got, want)
+		}
+	}
+	// Relevance: window+srcbuf hit (window twice: once per rank), scratch
+	// misses on both ranks.
+	if hits := snap.CounterValue("mcchecker_profiler_relevance_total", "result", "hit"); hits != 3 {
+		t.Errorf("relevance hits = %d, want 3", hits)
+	}
+	if misses := snap.CounterValue("mcchecker_profiler_relevance_total", "result", "miss"); misses != 2 {
+		t.Errorf("relevance misses = %d, want 2", misses)
+	}
+	// Exact per-rank totals come from the collector.
+	for rank := int32(0); rank < 2; rank++ {
+		want := int64(len(set.Traces[rank].Events))
+		got := snap.GaugeValue("mcchecker_profiler_rank_events", "rank", strconv.Itoa(int(rank)))
+		if got != want {
+			t.Errorf("rank_events{rank=%d} = %d, want %d", rank, got, want)
+		}
 	}
 }
 

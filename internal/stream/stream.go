@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -72,6 +73,19 @@ type Checker struct {
 	report        *core.Report
 	vindex        map[string]*core.Violation
 	err           error
+
+	// Observability. buffered/peakBuffered track the events held across
+	// all ranks — the memory-boundedness claim of online analysis, made
+	// checkable. The metric handles are nil without a registry.
+	opts          core.Options // analysis options for slabs (Obs rides here)
+	buffered      int          // events currently pending across ranks
+	peakBuffered  int
+	mSlabs        *obs.Counter
+	mSlabEvents   *obs.Histogram
+	mBoundClean   *obs.Counter
+	mBoundUnclean *obs.Counter
+	mCoalesced    *obs.Counter
+	mPeakBuffered *obs.Gauge
 }
 
 type chanKey struct {
@@ -109,8 +123,28 @@ func New(ranks int, onViolation func(v *core.Violation)) *Checker {
 		freed:        map[int32]bool{},
 		report:       &core.Report{},
 		vindex:       map[string]*core.Violation{},
+		opts:         core.DefaultOptions(),
 	}
 	return c
+}
+
+// SetObs attaches an observability registry: slab sizes, clean vs unclean
+// boundary decisions, coalesced regions, and the peak number of buffered
+// events all become measurable, and the per-slab analysis records its
+// phase spans into the same registry. Call before the first Emit.
+func (c *Checker) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.opts.Obs = reg
+	c.mSlabs = reg.Counter("mcchecker_stream_slabs_total")
+	c.mSlabEvents = reg.Histogram("mcchecker_stream_slab_events")
+	c.mBoundClean = reg.Counter("mcchecker_stream_boundaries_total", "result", "clean")
+	c.mBoundUnclean = reg.Counter("mcchecker_stream_boundaries_total", "result", "unclean")
+	c.mCoalesced = reg.Counter("mcchecker_stream_coalesced_regions_total")
+	c.mPeakBuffered = reg.Gauge("mcchecker_stream_peak_buffered_events")
 }
 
 // Emit implements trace.Sink. It is safe for concurrent use by the rank
@@ -130,6 +164,10 @@ func (c *Checker) Emit(ev trace.Event) {
 	c.track(&ev)
 	r := ev.Rank
 	c.pending[r] = append(c.pending[r], ev)
+	c.buffered++
+	if c.buffered > c.peakBuffered {
+		c.peakBuffered = c.buffered
+	}
 	if c.isGlobalSync(&ev) {
 		c.globalPos[r] = append(c.globalPos[r], len(c.pending[r])-1)
 		c.maybeAnalyze()
@@ -270,11 +308,14 @@ func (c *Checker) maybeAnalyze() {
 		// require current cleanliness. If unclean, coalesce: drop this
 		// boundary and retry at the next one.
 		if !c.clean() {
+			c.mBoundUnclean.Inc()
+			c.mCoalesced.Inc()
 			for r := 0; r < c.ranks; r++ {
 				c.globalPos[r] = c.globalPos[r][1:]
 			}
 			continue
 		}
+		c.mBoundClean.Inc()
 		if err := c.analyzeSlab(); err != nil {
 			c.err = err
 			return
@@ -330,13 +371,27 @@ func (c *Checker) analyzeSlab() error {
 		}
 	}
 	c.slabsAnalyzed++
+	c.recountBuffered()
+	c.mSlabs.Inc()
+	c.mSlabEvents.Observe(int64(set.TotalEvents()))
+	c.mPeakBuffered.SetMax(int64(c.peakBuffered))
 
-	rep, err := core.Analyze(set)
+	rep, err := core.AnalyzeWith(set, c.opts)
 	if err != nil {
 		return fmt.Errorf("stream: slab %d: %w", c.slabsAnalyzed, err)
 	}
 	c.merge(rep)
 	return nil
+}
+
+// recountBuffered refreshes the buffered-event tally after a slab trimmed
+// the pending queues.
+func (c *Checker) recountBuffered() {
+	n := 0
+	for r := 0; r < c.ranks; r++ {
+		n += len(c.pending[r])
+	}
+	c.buffered = n
 }
 
 // liveFencedWins lists windows that have seen a fence and are not freed,
@@ -442,12 +497,16 @@ func (c *Checker) Finish() (*core.Report, error) {
 			c.globalPos[r] = nil
 		}
 		c.slabsAnalyzed++
-		rep, err := core.Analyze(set)
+		c.buffered = 0
+		c.mSlabs.Inc()
+		c.mSlabEvents.Observe(int64(set.TotalEvents()))
+		rep, err := core.AnalyzeWith(set, c.opts)
 		if err != nil {
 			return nil, fmt.Errorf("stream: final slab: %w", err)
 		}
 		c.merge(rep)
 	}
+	c.mPeakBuffered.SetMax(int64(c.peakBuffered))
 	c.report.Sort()
 	return c.report, nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/profiler"
 	"repro/internal/trace"
 )
@@ -258,6 +259,115 @@ func TestStreamSubCommWindow(t *testing.T) {
 	}
 	if slabs < 2 {
 		t.Errorf("slabs = %d; boundary with live sub-comm window should still be clean", slabs)
+	}
+}
+
+func TestStreamObsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc := New(4, nil)
+	sc.SetObs(reg)
+	pr := profiler.NewObs(sc, nil, reg)
+	err := mpi.Run(4, mpi.Options{Hook: pr, Obs: reg}, func(p *mpi.Proc) error {
+		buf := p.Alloc(64, "win")
+		w := p.WinCreate(buf, 1, p.CommWorld())
+		for i := 0; i < 6; i++ {
+			w.Fence(mpi.AssertNone)
+			if p.Rank() == 0 {
+				src := p.Alloc(8, "src")
+				w.Put(src, 0, 1, mpi.Int64, 1, 0, 1, mpi.Int64)
+			}
+			w.Fence(mpi.AssertNone)
+			p.Barrier(p.CommWorld())
+		}
+		w.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sc.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("clean program flagged:\n%s", rep)
+	}
+	snap := reg.Snapshot()
+
+	if got := snap.CounterValue("mcchecker_stream_slabs_total"); got != int64(sc.Slabs()) {
+		t.Errorf("slabs_total = %d, want %d (sc.Slabs())", got, sc.Slabs())
+	}
+	clean := snap.CounterValue("mcchecker_stream_boundaries_total", "result", "clean")
+	unclean := snap.CounterValue("mcchecker_stream_boundaries_total", "result", "unclean")
+	if clean < 3 {
+		t.Errorf("clean boundaries = %d, want >= 3 (barrier-heavy program)", clean)
+	}
+	if unclean != 0 {
+		t.Errorf("unclean boundaries = %d on a fence-synchronized program", unclean)
+	}
+	if got := snap.GaugeValue("mcchecker_stream_peak_buffered_events"); got <= 0 {
+		t.Errorf("peak_buffered_events = %d, want > 0", got)
+	}
+	// The slab-size histogram saw one observation per slab, and the total
+	// events distributed over slabs equal the analyzer's event count.
+	var hist *obs.HistogramValue
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "mcchecker_stream_slab_events" {
+			hist = &snap.Histograms[i]
+		}
+	}
+	if hist == nil {
+		t.Fatal("slab_events histogram missing")
+	}
+	if hist.Count != int64(sc.Slabs()) {
+		t.Errorf("slab_events count = %d, want %d", hist.Count, sc.Slabs())
+	}
+	if hist.Sum != int64(rep.EventsAnalyzed) {
+		t.Errorf("slab_events sum = %d, want %d (events analyzed)", hist.Sum, rep.EventsAnalyzed)
+	}
+	// The streaming checker runs the analyzer per slab, so phase spans
+	// accumulate across slabs.
+	if sp := snap.Span(core.PhaseSpanName, "phase", "match"); sp.Count != int64(sc.Slabs()) {
+		t.Errorf("match span count = %d, want %d", sp.Count, sc.Slabs())
+	}
+}
+
+func TestStreamObsCountsCoalescedBoundaries(t *testing.T) {
+	reg := obs.NewRegistry()
+	sc := New(2, nil)
+	sc.SetObs(reg)
+	pr := profiler.NewObs(sc, nil, reg)
+	err := mpi.Run(2, mpi.Options{Hook: pr, Obs: reg}, func(p *mpi.Proc) error {
+		buf := p.Alloc(64, "win")
+		w := p.WinCreate(buf, 1, p.CommWorld())
+		p.Barrier(p.CommWorld())
+		if p.Rank() == 0 {
+			src := p.Alloc(8, "src")
+			w.Lock(mpi.LockShared, 1)
+			w.Put(src, 0, 1, mpi.Int64, 1, 0, 1, mpi.Int64)
+			p.Barrier(p.CommWorld()) // epoch open across the barrier: unclean
+			w.Unlock(1)
+		} else {
+			p.Barrier(p.CommWorld())
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	unclean := snap.CounterValue("mcchecker_stream_boundaries_total", "result", "unclean")
+	coalesced := snap.CounterValue("mcchecker_stream_coalesced_regions_total")
+	if unclean == 0 {
+		t.Error("open lock epoch across a barrier must count an unclean boundary")
+	}
+	if coalesced != unclean {
+		t.Errorf("coalesced = %d, unclean = %d; every unclean boundary coalesces", coalesced, unclean)
 	}
 }
 

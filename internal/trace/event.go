@@ -67,6 +67,10 @@ const (
 	kindMax // sentinel
 )
 
+// KindCount is one past the largest valid Kind, for building per-kind
+// lookup tables (e.g. the observability layer's per-kind event counters).
+const KindCount = int(kindMax)
+
 var kindNames = [...]string{
 	KindInvalid:     "invalid",
 	KindLoad:        "load",

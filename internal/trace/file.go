@@ -18,45 +18,24 @@ func FileName(rank int32) string { return fmt.Sprintf("trace.%d.bin", rank) }
 
 // WriteDir writes each rank's trace into dir (created if needed).
 func WriteDir(dir string, s *Set) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	for _, t := range s.Traces {
-		if err := writeFile(filepath.Join(dir, FileName(t.Rank)), t); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func writeFile(path string, t *Trace) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	w, err := NewWriter(f, t.Rank)
-	if err != nil {
-		f.Close()
-		return err
-	}
-	for i := range t.Events {
-		w.Emit(t.Events[i])
-	}
-	if err := w.Close(); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return WriteDirObs(dir, s, nil)
 }
 
 // ReadDir loads all trace.<rank>.bin files from dir into a Set. All ranks
 // [0, n) must be present.
 func ReadDir(dir string) (*Set, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, err
-	}
-	var parts []*Trace
+	return readDirWith(dir, func(f *os.File) (*Trace, error) { return ReadTrace(f) })
+}
+
+// nameRank pairs a trace file name with the rank its name claims.
+type nameRank struct {
+	name string
+	rank int
+}
+
+// traceFileNames filters and sorts the trace.<rank>.bin entries of a
+// directory listing.
+func traceFileNames(entries []os.DirEntry) []nameRank {
 	var names []string
 	for _, e := range entries {
 		name := e.Name()
@@ -66,30 +45,16 @@ func ReadDir(dir string) (*Set, error) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	var out []nameRank
 	for _, name := range names {
 		rankStr := strings.TrimSuffix(strings.TrimPrefix(name, "trace."), ".bin")
-		wantRank, err := strconv.Atoi(rankStr)
+		rank, err := strconv.Atoi(rankStr)
 		if err != nil {
 			continue // not a trace file
 		}
-		f, err := os.Open(filepath.Join(dir, name))
-		if err != nil {
-			return nil, err
-		}
-		t, err := ReadTrace(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("reading %s: %w", name, err)
-		}
-		if int(t.Rank) != wantRank {
-			return nil, fmt.Errorf("%s contains rank %d", name, t.Rank)
-		}
-		parts = append(parts, t)
+		out = append(out, nameRank{name: name, rank: rank})
 	}
-	if len(parts) == 0 {
-		return nil, fmt.Errorf("trace: no trace files in %s", dir)
-	}
-	return Merge(parts...)
+	return out
 }
 
 // FileSink is a Sink that writes each rank's events directly to its trace

@@ -1,0 +1,158 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// Observability wrappers around the trace codec: byte and event volumes of
+// encoding and decoding, the "trace volume" axis of the paper's overhead
+// evaluation (§VII-B). The codec itself stays untouched; the counting
+// happens in thin io wrappers at the file boundary.
+
+// codecMetrics resolves the codec's counters from a registry; a nil
+// receiver (nil registry) makes every record call a no-op.
+type codecMetrics struct {
+	encodedEvents *obs.Counter
+	encodedBytes  *obs.Counter
+	decodedEvents *obs.Counter
+	decodedBytes  *obs.Counter
+}
+
+func newCodecMetrics(reg *obs.Registry) *codecMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &codecMetrics{
+		encodedEvents: reg.Counter("mcchecker_trace_encoded_events_total"),
+		encodedBytes:  reg.Counter("mcchecker_trace_encoded_bytes_total"),
+		decodedEvents: reg.Counter("mcchecker_trace_decoded_events_total"),
+		decodedBytes:  reg.Counter("mcchecker_trace_decoded_bytes_total"),
+	}
+}
+
+// countingWriter tallies bytes flowing to the underlying writer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// countingReader tallies bytes consumed from the underlying reader.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// WriteDirObs is WriteDir with codec metrics recorded into reg (events and
+// bytes encoded per rank file). reg may be nil, which is exactly WriteDir.
+func WriteDirObs(dir string, s *Set, reg *obs.Registry) error {
+	m := newCodecMetrics(reg)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range s.Traces {
+		if err := writeFileObs(filepath.Join(dir, FileName(t.Rank)), t, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFileObs(path string, t *Trace, m *codecMetrics) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var out io.Writer = f
+	var cw *countingWriter
+	if m != nil {
+		cw = &countingWriter{w: f}
+		out = cw
+	}
+	w, err := NewWriter(out, t.Rank)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	for i := range t.Events {
+		w.Emit(t.Events[i])
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return err
+	}
+	if m != nil {
+		m.encodedEvents.Add(int64(len(t.Events)))
+		m.encodedBytes.Add(cw.n)
+	}
+	return f.Close()
+}
+
+// ReadDirObs is ReadDir with codec metrics recorded into reg (events and
+// bytes decoded per rank file). reg may be nil, which is exactly ReadDir.
+func ReadDirObs(dir string, reg *obs.Registry) (*Set, error) {
+	m := newCodecMetrics(reg)
+	if m == nil {
+		return ReadDir(dir)
+	}
+	set, err := readDirWith(dir, func(f *os.File) (*Trace, error) {
+		cr := &countingReader{r: f}
+		t, err := ReadTrace(cr)
+		if err != nil {
+			return nil, err
+		}
+		m.decodedEvents.Add(int64(len(t.Events)))
+		m.decodedBytes.Add(cr.n)
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return set, nil
+}
+
+// readDirWith is the directory-scanning body of ReadDir with the per-file
+// decode step parameterized.
+func readDirWith(dir string, readOne func(f *os.File) (*Trace, error)) (*Set, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := traceFileNames(entries)
+	var parts []*Trace
+	for _, nr := range names {
+		f, err := os.Open(filepath.Join(dir, nr.name))
+		if err != nil {
+			return nil, err
+		}
+		t, err := readOne(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", nr.name, err)
+		}
+		if int(t.Rank) != nr.rank {
+			return nil, fmt.Errorf("%s contains rank %d", nr.name, t.Rank)
+		}
+		parts = append(parts, t)
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("trace: no trace files in %s", dir)
+	}
+	return Merge(parts...)
+}

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mpi"
+	"repro/internal/obs"
 	"repro/internal/profiler"
 	"repro/internal/stanalyzer"
 	"repro/internal/stream"
@@ -77,6 +78,12 @@ type Config struct {
 	// IntraEpochOnly disables cross-process detection, reproducing the
 	// SyncChecker baseline.
 	IntraEpochOnly bool
+
+	// CollectStats enables the observability layer for the run: simulator,
+	// profiler, and analyzer metrics (per-phase wall times, event and epoch
+	// counts) are collected and attached to Report.Stats. Off by default;
+	// the disabled path costs one pointer check per instrumented site.
+	CollectStats bool
 }
 
 // Run executes the program on Config.Ranks simulated MPI ranks with the
@@ -84,7 +91,11 @@ type Config struct {
 // A run error (deadlock, MPI misuse, or the body's own error) is returned
 // without analysis.
 func Run(cfg Config, body func(p *mpi.Proc) error) (*Report, error) {
-	set, err := Trace(cfg, body)
+	var reg *obs.Registry
+	if cfg.CollectStats {
+		reg = obs.NewRegistry()
+	}
+	set, err := traceWith(cfg, body, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -92,12 +103,24 @@ func Run(cfg Config, body func(p *mpi.Proc) error) (*Report, error) {
 	if cfg.IntraEpochOnly {
 		opts.CrossProcess = false
 	}
-	return core.AnalyzeWith(set, opts)
+	opts.Obs = reg
+	rep, err := core.AnalyzeWith(set, opts)
+	if err != nil {
+		return nil, err
+	}
+	if reg != nil {
+		rep.Stats = reg.Snapshot()
+	}
+	return rep, nil
 }
 
 // Trace executes the program with the profiler attached and returns the
 // collected trace set without analyzing it.
 func Trace(cfg Config, body func(p *mpi.Proc) error) (*trace.Set, error) {
+	return traceWith(cfg, body, nil)
+}
+
+func traceWith(cfg Config, body func(p *mpi.Proc) error, reg *obs.Registry) (*trace.Set, error) {
 	if cfg.Ranks <= 0 {
 		return nil, fmt.Errorf("mcchecker: Config.Ranks must be positive")
 	}
@@ -106,13 +129,13 @@ func Trace(cfg Config, body func(p *mpi.Proc) error) (*trace.Set, error) {
 	if cfg.Relevant != nil {
 		rel = profiler.FromNames(cfg.Relevant)
 	}
-	pr := profiler.New(sink, rel)
-	if err := mpi.Run(cfg.Ranks, mpi.Options{Hook: pr}, body); err != nil {
+	pr := profiler.NewObs(sink, rel, reg)
+	if err := mpi.Run(cfg.Ranks, mpi.Options{Hook: pr, Obs: reg}, body); err != nil {
 		return nil, err
 	}
 	set := sink.Set()
 	if cfg.TraceDir != "" {
-		if err := trace.WriteDir(cfg.TraceDir, set); err != nil {
+		if err := trace.WriteDirObs(cfg.TraceDir, set, reg); err != nil {
 			return nil, fmt.Errorf("mcchecker: writing traces: %w", err)
 		}
 	}
@@ -134,16 +157,28 @@ func RunOnline(cfg Config, body func(p *mpi.Proc) error, onViolation func(v *Vio
 	if cfg.Ranks <= 0 {
 		return nil, fmt.Errorf("mcchecker: Config.Ranks must be positive")
 	}
+	var reg *obs.Registry
+	if cfg.CollectStats {
+		reg = obs.NewRegistry()
+	}
 	sc := stream.New(cfg.Ranks, onViolation)
+	sc.SetObs(reg)
 	var rel profiler.Relevance
 	if cfg.Relevant != nil {
 		rel = profiler.FromNames(cfg.Relevant)
 	}
-	pr := profiler.New(sc, rel)
-	if err := mpi.Run(cfg.Ranks, mpi.Options{Hook: pr}, body); err != nil {
+	pr := profiler.NewObs(sc, rel, reg)
+	if err := mpi.Run(cfg.Ranks, mpi.Options{Hook: pr, Obs: reg}, body); err != nil {
 		return nil, err
 	}
-	return sc.Finish()
+	rep, err := sc.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if reg != nil {
+		rep.Stats = reg.Snapshot()
+	}
+	return rep, nil
 }
 
 // AnalyzeTraceDir loads the per-rank trace files from dir (as written by a

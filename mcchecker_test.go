@@ -41,6 +41,43 @@ func TestRunValidatesConfig(t *testing.T) {
 	}
 }
 
+func TestRunCollectStats(t *testing.T) {
+	rep, err := Run(Config{Ranks: 2, CollectStats: true}, buggyBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats == nil {
+		t.Fatal("CollectStats did not attach a snapshot")
+	}
+	if got := rep.Stats.CounterValue("mcchecker_analysis_events_total"); got != int64(rep.EventsAnalyzed) {
+		t.Errorf("stats events = %d, report says %d", got, rep.EventsAnalyzed)
+	}
+	if rep.Stats.Span("mcchecker_phase_seconds", "phase", "match").Count != 1 {
+		t.Error("phase spans missing from snapshot")
+	}
+	// Off by default.
+	plain, err := Run(Config{Ranks: 2}, buggyBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Stats != nil {
+		t.Error("stats attached without CollectStats")
+	}
+}
+
+func TestRunOnlineCollectStats(t *testing.T) {
+	rep, err := RunOnline(Config{Ranks: 2, CollectStats: true}, buggyBody, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats == nil {
+		t.Fatal("CollectStats did not attach a snapshot")
+	}
+	if rep.Stats.CounterValue("mcchecker_stream_slabs_total") == 0 {
+		t.Error("stream slab metrics missing from online snapshot")
+	}
+}
+
 func TestTraceDirAndOfflineAnalysis(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "traces")
 	set, err := Trace(Config{Ranks: 2, TraceDir: dir}, buggyBody)

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race cover bench fuzz experiments table2 fig8 fig9 clean
+.PHONY: all build test check race cover bench fuzz soak experiments table2 fig8 fig9 clean
 
 all: build test check
 
@@ -13,10 +13,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Full gate: vet plus the test suite under the race detector.
-check:
+# Full gate: vet, the test suite under the race detector, and the
+# determinism soak.
+check: soak
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Determinism soak: repeat example apps under seed-varied perturbations
+# (scheduler yields, legal RMA completion reordering) and fail if any
+# iteration's report diverges from the first.
+soak:
+	$(GO) run ./cmd/mcchecker run -app emulate -fixed -soak 9
+	$(GO) run ./cmd/mcchecker run -app ping-pong -fixed -soak 8
+	$(GO) run ./cmd/mcchecker run -app jacobi -fixed -soak 8
 
 race:
 	$(GO) test -race ./...

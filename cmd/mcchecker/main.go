@@ -9,6 +9,7 @@
 //
 //	mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR] [-full] [-intra-only]
 //	              [-online] [-json] [-stats] [-stats-format text|prom|json]
+//	              [-faults PLAN] [-failstop] [-timeout D] [-soak N]
 //	    Run an application on the simulated MPI with the Profiler attached
 //	    and analyze the trace. By default the buggy variant runs with the
 //	    application's ST-Analyzer instrumentation set; -full instruments
@@ -17,6 +18,15 @@
 //	    (streaming mode); -json prints the report as JSON; -stats collects
 //	    and prints run metrics (per-phase wall times, simulator/profiler
 //	    counters) in the chosen -stats-format.
+//
+//	    -faults injects a deterministic fault plan, e.g.
+//	    "seed=7,crash=1@120,trunc=0.5,reorder,yield=20" (see internal/faults).
+//	    Crashes default to the fault-tolerant survival model (-failstop
+//	    selects job-wide abort instead); truncated or crash-shortened traces
+//	    are analyzed in degraded mode, and the report lists what was lost.
+//	    -timeout adjusts the deadlock watchdog. -soak N repeats the run N
+//	    times under seed-varied perturbations and fails on any report
+//	    divergence.
 //
 //	mcchecker analyze -trace DIR [-intra-only] [-json] [-stats] [-stats-format F]
 //	    Run DN-Analyzer offline over per-rank trace files.
@@ -29,12 +39,17 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/profiler"
@@ -74,6 +89,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   mcchecker apps
   mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR] [-full] [-intra-only] [-online] [-json] [-stats] [-stats-format text|prom|json]
+                [-faults PLAN] [-failstop] [-timeout D] [-soak N]
   mcchecker analyze -trace DIR [-intra-only] [-json] [-stats] [-stats-format text|prom|json]
   mcchecker dump -trace DIR [-rank N] [-limit N]`)
 }
@@ -105,6 +121,21 @@ func findApp(name string) (apps.BugCase, bool) {
 	return apps.BugCase{}, false
 }
 
+// runConfig carries one end-to-end run's settings, shared between the
+// single-run path and the soak loop.
+type runConfig struct {
+	body      func(p *mpi.Proc) error
+	n         int
+	rel       profiler.Relevance
+	intraOnly bool
+	plan      *faults.Plan
+	failstop  bool
+	timeout   time.Duration
+	traceDir  string
+	reg       *obs.Registry
+	progress  io.Writer
+}
+
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ExitOnError)
 	appName := fs.String("app", "", "application name (see `mcchecker apps`)")
@@ -117,10 +148,18 @@ func runCmd(args []string) error {
 	jsonOut := fs.Bool("json", false, "print the report as JSON")
 	stats := fs.Bool("stats", false, "collect and print run metrics")
 	statsFormat := fs.String("stats-format", "text", "stats output format: text, prom, or json")
+	faultsFlag := fs.String("faults", "", `deterministic fault plan, e.g. "seed=7,crash=1@120,trunc=0.5"`)
+	failstop := fs.Bool("failstop", false, "abort the whole job on an injected crash (default: fault-tolerant survival)")
+	timeout := fs.Duration("timeout", 0, "deadlock watchdog (0 = default 2m)")
+	soak := fs.Int("soak", 0, "repeat the run N times under seed-varied perturbations, failing on report divergence")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	reg, err := statsRegistry(*stats, *statsFormat)
+	if err != nil {
+		return err
+	}
+	plan, err := faults.Parse(*faultsFlag)
 	if err != nil {
 		return err
 	}
@@ -149,6 +188,19 @@ func runCmd(args []string) error {
 	if *jsonOut {
 		progress = os.Stderr
 	}
+	cfg := runConfig{
+		body: body, n: n, rel: rel, intraOnly: *intraOnly,
+		plan: plan, failstop: *failstop, timeout: *timeout,
+		traceDir: *traceDir, reg: reg, progress: progress,
+	}
+
+	if *soak > 0 {
+		if *online || *traceDir != "" || *stats {
+			return fmt.Errorf("-soak runs offline in memory (drop -online, -trace, and -stats)")
+		}
+		fmt.Fprintf(progress, "soaking %s (%s) on %d simulated ranks, %d iterations\n", bc.Name, variant, n, *soak)
+		return soakRun(cfg, *soak, *jsonOut, *statsFormat)
+	}
 	fmt.Fprintf(progress, "running %s (%s) on %d simulated ranks, %s\n", bc.Name, variant, n, mode)
 
 	if *online {
@@ -156,41 +208,177 @@ func runCmd(args []string) error {
 			fmt.Fprintf(progress, "[online] %s\n", v)
 		})
 		sc.SetObs(reg)
+		sc.SetTolerant(cfg.tolerant())
 		pr := profiler.NewObs(sc, rel, reg)
-		if err := mpi.Run(n, mpi.Options{Hook: pr, Obs: reg}, body); err != nil {
-			return fmt.Errorf("run failed: %w", err)
+		var notes []string
+		if err := mpi.Run(n, cfg.mpiOptions(pr), body); err != nil {
+			if !mpi.Degraded(err) {
+				return fmt.Errorf("run failed: %w", err)
+			}
+			fmt.Fprintf(progress, "warning: run degraded: %v\n", err)
+			notes = flattenErrs(err)
 		}
 		rep, err := sc.Finish()
 		if err != nil {
 			return err
 		}
+		rep.Degraded = append(notes, rep.Degraded...)
 		fmt.Fprintf(progress, "analyzed %d slab(s) online\n", sc.Slabs())
 		return printReport(rep, *jsonOut, reg, *statsFormat)
 	}
 
-	sink := trace.NewMemorySink()
-	pr := profiler.NewObs(sink, rel, reg)
-	if err := mpi.Run(n, mpi.Options{Hook: pr, Obs: reg}, body); err != nil {
-		return fmt.Errorf("run failed: %w", err)
-	}
-	set := sink.Set()
-	if *traceDir != "" {
-		if err := trace.WriteDirObs(*traceDir, set, reg); err != nil {
-			return err
-		}
-		fmt.Fprintf(progress, "wrote %d events to %s\n", set.TotalEvents(), *traceDir)
-	}
-
-	opts := core.DefaultOptions()
-	if *intraOnly {
-		opts.CrossProcess = false
-	}
-	opts.Obs = reg
-	rep, err := core.AnalyzeWith(set, opts)
+	rep, err := runOffline(cfg)
 	if err != nil {
-		return fmt.Errorf("analysis failed: %w", err)
+		return err
 	}
 	return printReport(rep, *jsonOut, reg, *statsFormat)
+}
+
+// tolerant reports whether injected crashes use the survival model.
+func (cfg *runConfig) tolerant() bool {
+	return cfg.plan.HasCrash() && !cfg.failstop
+}
+
+func (cfg *runConfig) mpiOptions(hook mpi.Hook) mpi.Options {
+	return mpi.Options{
+		Hook: hook, Obs: cfg.reg, Timeout: cfg.timeout,
+		Faults: cfg.plan, FaultTolerant: cfg.tolerant(),
+	}
+}
+
+// runOffline executes one offline run → trace → analyze pass. With an
+// active fault plan (or a degraded simulation) the analysis runs in
+// degraded mode and the report carries the loss diagnostics; without one
+// the strict path is used unchanged.
+func runOffline(cfg runConfig) (*core.Report, error) {
+	sink := trace.NewMemorySink()
+	pr := profiler.NewObs(sink, cfg.rel, cfg.reg)
+	var notes []string
+	if err := mpi.Run(cfg.n, cfg.mpiOptions(pr), cfg.body); err != nil {
+		if !mpi.Degraded(err) {
+			return nil, fmt.Errorf("run failed: %w", err)
+		}
+		fmt.Fprintf(cfg.progress, "warning: run degraded: %v\n", err)
+		notes = flattenErrs(err)
+	}
+	set := padSet(sink.Set(), cfg.n)
+	if cfg.traceDir != "" {
+		// A failed trace write must be a visible warning, not a lost
+		// report: analysis continues from the in-memory events.
+		if err := trace.WriteDirObs(cfg.traceDir, set, cfg.reg); err != nil {
+			fmt.Fprintf(cfg.progress, "warning: writing trace files: %v\n", err)
+		} else {
+			fmt.Fprintf(cfg.progress, "wrote %d events to %s\n", set.TotalEvents(), cfg.traceDir)
+			truncateTraceFiles(cfg.traceDir, cfg.plan, cfg.n, cfg.progress)
+		}
+	}
+	set, tnotes, err := trace.ApplyTruncFaults(set, cfg.plan, cfg.reg)
+	if err != nil {
+		return nil, err
+	}
+	notes = append(notes, tnotes...)
+
+	opts := core.DefaultOptions()
+	if cfg.intraOnly {
+		opts.CrossProcess = false
+	}
+	opts.Obs = cfg.reg
+	if cfg.plan.Active() || len(notes) > 0 {
+		return core.AnalyzeDegraded(set, opts, notes)
+	}
+	rep, err := core.AnalyzeWith(set, opts)
+	if err != nil {
+		return nil, fmt.Errorf("analysis failed: %w", err)
+	}
+	return rep, nil
+}
+
+// padSet widens a memory-collected set to the full world size: a rank
+// that crashed before emitting anything still occupies its slot (with an
+// empty trace) so the analyzer sees the true rank count.
+func padSet(s *trace.Set, n int) *trace.Set {
+	if len(s.Traces) >= n {
+		return s
+	}
+	out := trace.NewSet(n)
+	copy(out.Traces, s.Traces)
+	return out
+}
+
+// flattenErrs splits a joined error tree into one note per leaf.
+func flattenErrs(err error) []string {
+	if err == nil {
+		return nil
+	}
+	if j, ok := err.(interface{ Unwrap() []error }); ok {
+		var notes []string
+		for _, sub := range j.Unwrap() {
+			notes = append(notes, flattenErrs(sub)...)
+		}
+		return notes
+	}
+	return []string{err.Error()}
+}
+
+// truncateTraceFiles applies the plan's truncation faults to the on-disk
+// trace files, so a later `mcchecker analyze` faces the same damage the
+// in-memory pipeline simulated.
+func truncateTraceFiles(dir string, plan *faults.Plan, n int, progress io.Writer) {
+	for r := 0; r < n; r++ {
+		frac, ok := plan.TruncFor(r)
+		if !ok || frac >= 1 {
+			continue
+		}
+		path := filepath.Join(dir, trace.FileName(int32(r)))
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = os.WriteFile(path, faults.TruncateBytes(data, frac), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(progress, "warning: truncation fault on %s: %v\n", path, err)
+			continue
+		}
+		fmt.Fprintf(progress, "fault: truncated %s to fraction %g\n", path, frac)
+	}
+}
+
+// soakRun repeats the offline run under seed-varied perturbations and
+// verifies the report is invariant: scheduling and legal completion
+// reordering must not change what MC-Checker finds. Structural faults
+// (crashes, truncations) keep their places across iterations; only the
+// seed varies. It returns an error on the first diverging iteration.
+func soakRun(cfg runConfig, iters int, jsonOut bool, statsFormat string) error {
+	plan := cfg.plan
+	if plan == nil {
+		// Default perturbation: legal reordering plus frequent yields.
+		plan = &faults.Plan{Seed: 1, Reorder: true, Yield: 25}
+	}
+	var first *core.Report
+	var want []byte
+	for i := 0; i < iters; i++ {
+		cfg.plan = plan.WithSeed(plan.Seed + uint64(i))
+		rep, err := runOffline(cfg)
+		if err != nil {
+			return fmt.Errorf("soak iteration %d: %w", i, err)
+		}
+		// Seed-dependent diagnostics (e.g. which call a salvage cut hit)
+		// are not part of the invariant; the violations and coverage are.
+		rep.Degraded = nil
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if i == 0 {
+			first, want = rep, data
+			continue
+		}
+		if !bytes.Equal(data, want) {
+			return fmt.Errorf("soak: iteration %d (seed %d) diverged from iteration 0:\n--- iteration 0 ---\n%s\n--- iteration %d ---\n%s",
+				i, cfg.plan.Seed, want, i, data)
+		}
+	}
+	fmt.Fprintf(cfg.progress, "soak: %d iterations, reports identical\n", iters)
+	return printReport(first, jsonOut, nil, statsFormat)
 }
 
 // statsRegistry validates the -stats flags and returns the registry to
@@ -264,15 +452,29 @@ func analyzeCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	set, err := trace.ReadDirObs(*traceDir, reg)
-	if err != nil {
-		return err
-	}
 	opts := core.DefaultOptions()
 	if *intraOnly {
 		opts.CrossProcess = false
 	}
 	opts.Obs = reg
+
+	set, err := trace.ReadDirObs(*traceDir, reg)
+	if err != nil {
+		// Strict reading failed (truncated or damaged files): salvage the
+		// valid per-rank prefixes and produce a degraded report instead of
+		// nothing.
+		fmt.Fprintf(os.Stderr, "mcchecker: strict trace read failed (%v); salvaging\n", err)
+		salvaged, notes, serr := trace.ReadDirSalvage(*traceDir, reg)
+		if serr != nil {
+			return serr
+		}
+		notes = append([]string{fmt.Sprintf("strict read failed: %v", err)}, notes...)
+		rep, derr := core.AnalyzeDegraded(salvaged, opts, notes)
+		if derr != nil {
+			return derr
+		}
+		return printReport(rep, *jsonOut, reg, *statsFormat)
+	}
 	rep, err := core.AnalyzeWith(set, opts)
 	if err != nil {
 		return err

@@ -191,6 +191,93 @@ func TestAnalyzeCmdErrors(t *testing.T) {
 	}
 }
 
+// Two runs with the same fault seed must print byte-identical JSON
+// reports — the determinism contract of the fault plan.
+func TestRunCmdFaultsDeterministic(t *testing.T) {
+	args := []string{"-app", "jacobi", "-fixed", "-json", "-faults", "seed=7,yield=30,reorder"}
+	a := captureStdout(t, func() error { return runCmd(args) })
+	b := captureStdout(t, func() error { return runCmd(args) })
+	if a != b {
+		t.Fatalf("same seed, different reports:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	if !strings.Contains(a, `"violations"`) {
+		t.Fatalf("no JSON report printed:\n%s", a)
+	}
+}
+
+// An injected crash under the fault-tolerant model still yields a report,
+// marked degraded.
+func TestRunCmdCrashFaultDegrades(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return runCmd([]string{"-app", "emulate", "-fixed", "-faults", "seed=1,crash=0@10"})
+	})
+	for _, want := range []string{"run degraded", "crashed by fault injection", "DEGRADED"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("crash-fault output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// A truncation fault cuts both the analyzed set and the written files, so
+// a later offline analyze faces the same damage — and salvages it.
+func TestRunCmdTruncFaultAndAnalyzeSalvage(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "traces")
+	out := captureStdout(t, func() error {
+		return runCmd([]string{"-app", "emulate", "-fixed", "-trace", dir,
+			"-faults", "trunc=0.5@1"})
+	})
+	if !strings.Contains(out, "DEGRADED") {
+		t.Fatalf("truncated run not marked degraded:\n%s", out)
+	}
+	out = captureStdout(t, func() error {
+		return analyzeCmd([]string{"-trace", dir})
+	})
+	if !strings.Contains(out, "DEGRADED") {
+		t.Fatalf("analyze of truncated files not marked degraded:\n%s", out)
+	}
+}
+
+func TestRunCmdSoak(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return runCmd([]string{"-app", "emulate", "-fixed", "-soak", "4"})
+	})
+	if !strings.Contains(out, "soak: 4 iterations, reports identical") {
+		t.Fatalf("soak output:\n%s", out)
+	}
+}
+
+func TestRunCmdFlagValidation(t *testing.T) {
+	if err := runCmd([]string{"-app", "emulate", "-faults", "crash=oops"}); err == nil {
+		t.Error("bad fault DSL must be rejected")
+	}
+	if err := runCmd([]string{"-app", "emulate", "-soak", "2", "-online"}); err == nil {
+		t.Error("-soak with -online must be rejected")
+	}
+	if err := runCmd([]string{"-app", "emulate", "-soak", "2", "-trace", t.TempDir()}); err == nil {
+		t.Error("-soak with -trace must be rejected")
+	}
+}
+
+// Strict analyze fails on a damaged directory; the salvage fallback still
+// produces a (degraded) report.
+func TestAnalyzeCmdSalvageFallback(t *testing.T) {
+	dir := writeDemoTrace(t)
+	path := filepath.Join(dir, trace.FileName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return analyzeCmd([]string{"-trace", dir})
+	})
+	if !strings.Contains(out, "DEGRADED") {
+		t.Fatalf("salvaged analyze not marked degraded:\n%s", out)
+	}
+}
+
 func TestDumpCmd(t *testing.T) {
 	dir := writeDemoTrace(t)
 	// Redirect stdout noise away from the test log.

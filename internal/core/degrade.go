@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Degraded analysis: produce the best possible report from a partial
+// trace set (crashed ranks, truncated traces) instead of erroring. The
+// strict pipeline rejects anything unmatched — an incomplete collective,
+// a send whose receive was lost — so salvage works by cutting every rank
+// back to a common global synchronization point: a prefix in which all
+// structure is complete and the ordinary analyzers apply unchanged. The
+// cut is retried at earlier synchronization points when point-to-point
+// or request structure straddles the chosen boundary.
+
+// maxSalvageRetries bounds how many successively earlier synchronization
+// cuts AnalyzeDegraded tries before giving up with an empty prefix.
+const maxSalvageRetries = 32
+
+// AnalyzeDegraded analyzes a possibly partial trace set. It first tries
+// the strict pipeline; on failure it salvages the longest analyzable
+// prefix. The report's Degraded field carries the given upstream notes
+// (crash and truncation diagnostics from the producer) plus a description
+// of any prefix cut; it is empty exactly when the inputs were complete
+// and analyzed in full with no notes.
+func AnalyzeDegraded(set *trace.Set, opts Options, notes []string) (*Report, error) {
+	mDegraded := opts.Obs.Counter("mcchecker_analysis_degraded_total")
+	mRetries := opts.Obs.Counter("mcchecker_analysis_salvage_retries_total")
+
+	rep, err := AnalyzeWith(set, opts)
+	if err == nil {
+		rep.Degraded = append(rep.Degraded, notes...)
+		if len(rep.Degraded) > 0 {
+			mDegraded.Inc()
+		}
+		return rep, nil
+	}
+	mDegraded.Inc()
+	notes = append(notes[:len(notes):len(notes)],
+		fmt.Sprintf("full analysis failed (%v); salvaging a clean prefix", err))
+
+	// Cut every rank at its k-th global synchronization event, for the
+	// largest k all ranks share, retrying earlier boundaries until the
+	// prefix analyzes. A boundary can fail when point-to-point structure
+	// straddles it (send before, receive after); the straddling pair is
+	// wholly behind some earlier boundary, so decrementing k converges.
+	syncs := globalSyncPositions(set)
+	k := -1
+	for _, pos := range syncs {
+		if k < 0 || len(pos) < k {
+			k = len(pos)
+		}
+	}
+	for try := 0; k >= 0 && try < maxSalvageRetries; k, try = k-1, try+1 {
+		cut := cutAt(set, syncs, k)
+		rep, err := AnalyzeWith(cut, opts)
+		if err != nil {
+			mRetries.Inc()
+			continue
+		}
+		rep.Degraded = append(notes, fmt.Sprintf(
+			"salvage: analyzed prefix up to global synchronization %d (%d of %d events)",
+			k, cut.TotalEvents(), set.TotalEvents()))
+		return rep, nil
+	}
+
+	// Nothing analyzable: report emptiness rather than failing, so the
+	// caller still sees the diagnostics.
+	rep = &Report{}
+	rep.Degraded = append(notes, "salvage: no analyzable prefix found; report is empty")
+	return rep, nil
+}
+
+// globalSyncPositions returns, per rank, the event indexes of global
+// synchronizations: barrier-like collectives over a communicator spanning
+// all ranks, and fence/create/free on windows of such a communicator.
+// This mirrors the slab-boundary classification of the streaming checker.
+func globalSyncPositions(set *trace.Set) [][]int {
+	ranks := set.Ranks()
+	commSize := map[int32]int{0: ranks}
+	winComm := map[int32]int32{}
+	for _, t := range set.Traces {
+		for i := range t.Events {
+			switch ev := &t.Events[i]; ev.Kind {
+			case trace.KindCommCreate:
+				commSize[ev.Comm] = len(ev.Members)
+			case trace.KindWinCreate:
+				winComm[ev.Win] = ev.Comm
+			}
+		}
+	}
+	pos := make([][]int, ranks)
+	for r, t := range set.Traces {
+		for i := range t.Events {
+			ev := &t.Events[i]
+			global := false
+			switch ev.Kind {
+			case trace.KindBarrier, trace.KindAllreduce, trace.KindAllgather, trace.KindAlltoall:
+				global = commSize[ev.Comm] == ranks
+			case trace.KindWinFence, trace.KindWinCreate, trace.KindWinFree:
+				comm, ok := winComm[ev.Win]
+				global = ok && commSize[comm] == ranks
+			}
+			if global {
+				pos[r] = append(pos[r], i)
+			}
+		}
+	}
+	return pos
+}
+
+// cutAt truncates every rank's trace just after its k-th global sync
+// (1-based, clamped to the syncs the rank has); k = 0 yields empty
+// traces. Tails beyond the last common boundary are dropped — they are
+// exactly where the structure is incomplete.
+func cutAt(set *trace.Set, syncs [][]int, k int) *trace.Set {
+	out := trace.NewSet(set.Ranks())
+	for r, t := range set.Traces {
+		kk := k
+		if kk > len(syncs[r]) {
+			kk = len(syncs[r])
+		}
+		end := 0
+		if kk > 0 {
+			end = syncs[r][kk-1] + 1
+		}
+		out.Traces[r].Events = append([]trace.Event(nil), t.Events[:end]...)
+	}
+	return out
+}

@@ -43,6 +43,7 @@ type reportJSON struct {
 	EventsAnalyzed int             `json:"events_analyzed"`
 	Regions        int             `json:"regions"`
 	Epochs         int             `json:"epochs"`
+	Degraded       []string        `json:"degraded,omitempty"`
 	Stats          *obs.Snapshot   `json:"stats,omitempty"`
 }
 
@@ -55,6 +56,7 @@ func (r *Report) JSON() ([]byte, error) {
 		EventsAnalyzed: r.EventsAnalyzed,
 		Regions:        r.Regions,
 		Epochs:         r.EpochsChecked,
+		Degraded:       r.Degraded,
 		Stats:          r.Stats,
 	}
 	for _, v := range r.Violations {

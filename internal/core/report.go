@@ -142,6 +142,13 @@ type Report struct {
 	// counters). It is carried through the JSON rendering; the text
 	// rendering leaves it to the caller (`mcchecker ... -stats`).
 	Stats *obs.Snapshot
+
+	// Degraded lists the degradations behind this report — rank crashes,
+	// truncated traces, salvage prefix cuts. Empty for a clean run over
+	// complete inputs; non-empty means the report may under-approximate
+	// the program's behavior (it covers only the events listed as
+	// analyzed).
+	Degraded []string
 }
 
 // add records a violation, folding duplicates.
@@ -215,5 +222,11 @@ func (r *Report) String() string {
 	}
 	fmt.Fprintf(&sb, "analyzed %d events, %d concurrent regions, %d epochs\n",
 		r.EventsAnalyzed, r.Regions, r.EpochsChecked)
+	if len(r.Degraded) > 0 {
+		fmt.Fprintf(&sb, "DEGRADED: this report is partial (%d issue(s) with the inputs):\n", len(r.Degraded))
+		for _, d := range r.Degraded {
+			fmt.Fprintf(&sb, "  - %s\n", d)
+		}
+	}
 	return sb.String()
 }

@@ -1,0 +1,162 @@
+package faults
+
+import (
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"seed=7",
+		"seed=7,crash=1@120",
+		"seed=7,crash=0@3,crash=1@120,trunc=0.5",
+		"seed=2,trunc=0.25@2,reorder,yield=20",
+		"seed=1,reorder",
+	}
+	for _, s := range cases {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := p.String(); got != s {
+			t.Errorf("Parse(%q).String() = %q", s, got)
+		}
+		q, err := Parse(p.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", p.String(), err)
+		}
+		if q.String() != p.String() {
+			t.Errorf("round trip diverged: %q vs %q", q.String(), p.String())
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	p, err := Parse("  ")
+	if err != nil || p != nil {
+		t.Fatalf("Parse(blank) = %v, %v; want nil, nil", p, err)
+	}
+	if p.Active() {
+		t.Error("nil plan must not be active")
+	}
+}
+
+func TestParseDefaultsSeed(t *testing.T) {
+	p, err := Parse("reorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 1 {
+		t.Errorf("default seed = %d, want 1", p.Seed)
+	}
+	if !p.Active() || p.HasCrash() {
+		t.Errorf("Active=%v HasCrash=%v", p.Active(), p.HasCrash())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"seed=x", "seed", "crash=1", "crash=@5", "crash=1@0", "crash=-1@5",
+		"trunc=2", "trunc=-0.1", "trunc=0.5@x", "yield=101", "yield=-1",
+		"reorder=1", "bogus=3", "wat",
+	} {
+		if p, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", s, p)
+		}
+	}
+}
+
+func TestCrashAt(t *testing.T) {
+	p, _ := Parse("seed=1,crash=1@120,crash=1@40,crash=3@9")
+	if call, ok := p.CrashAt(1); !ok || call != 40 {
+		t.Errorf("CrashAt(1) = %d, %v; want 40, true (earliest wins)", call, ok)
+	}
+	if call, ok := p.CrashAt(3); !ok || call != 9 {
+		t.Errorf("CrashAt(3) = %d, %v", call, ok)
+	}
+	if _, ok := p.CrashAt(0); ok {
+		t.Error("rank 0 must survive")
+	}
+	if _, ok := (*Plan)(nil).CrashAt(0); ok {
+		t.Error("nil plan must not crash anyone")
+	}
+}
+
+func TestTruncFor(t *testing.T) {
+	p, _ := Parse("seed=1,trunc=0.5,trunc=0.25@2")
+	if f, ok := p.TruncFor(0); !ok || f != 0.5 {
+		t.Errorf("TruncFor(0) = %g, %v; want 0.5, true", f, ok)
+	}
+	if f, ok := p.TruncFor(2); !ok || f != 0.25 {
+		t.Errorf("TruncFor(2) = %g, %v; want 0.25 (specific overrides)", f, ok)
+	}
+	if _, ok := (*Plan)(nil).TruncFor(2); ok {
+		t.Error("nil plan must not truncate")
+	}
+}
+
+func TestTruncateBytes(t *testing.T) {
+	data := []byte("0123456789")
+	if got := TruncateBytes(data, 0.5); string(got) != "01234" {
+		t.Errorf("TruncateBytes(0.5) = %q", got)
+	}
+	if got := TruncateBytes(data, 1.0); len(got) != 10 {
+		t.Errorf("TruncateBytes(1.0) kept %d bytes", len(got))
+	}
+	if got := TruncateBytes(data, 0); len(got) != 0 {
+		t.Errorf("TruncateBytes(0) kept %d bytes", len(got))
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+	if NewRNG(1).Uint64() == NewRNG(2).Uint64() {
+		t.Error("different seeds produced the same first value")
+	}
+}
+
+func TestDeriveIndependence(t *testing.T) {
+	// Derived streams must depend on every key and be order-sensitive.
+	a := Derive(7, 1, 2).Uint64()
+	if a != Derive(7, 1, 2).Uint64() {
+		t.Error("Derive not deterministic")
+	}
+	for _, other := range []*RNG{Derive(7, 2, 1), Derive(7, 1, 3), Derive(8, 1, 2), Derive(7, 1)} {
+		if other.Uint64() == a {
+			t.Error("derived streams collide")
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := NewRNG(3)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("Intn(7) hit only %d distinct values in 200 draws", len(seen))
+	}
+}
+
+func TestWithSeed(t *testing.T) {
+	p, _ := Parse("seed=1,crash=1@10,reorder")
+	q := p.WithSeed(99)
+	if q.Seed != 99 || !q.Reorder || len(q.Crashes) != 1 {
+		t.Errorf("WithSeed lost fields: %+v", q)
+	}
+	if p.Seed != 1 {
+		t.Error("WithSeed mutated the receiver")
+	}
+	if (*Plan)(nil).WithSeed(5) != nil {
+		t.Error("nil plan WithSeed must stay nil")
+	}
+}

@@ -19,7 +19,7 @@ type Comm struct {
 }
 
 func newComm(w *World, id int32, g *Group) *Comm {
-	return &Comm{world: w, id: id, group: g, coll: newCollState(w)}
+	return &Comm{world: w, id: id, group: g, coll: newCollState(w, g)}
 }
 
 // ID returns the communicator id (0 is MPI_COMM_WORLD).
@@ -54,6 +54,7 @@ func (c *Comm) mustMember(p *Proc, call string) int {
 // in the same order.
 type collState struct {
 	world   *World
+	group   *Group // member world ranks, for failure-dependency checks
 	mu      sync.Mutex
 	cond    *sync.Cond
 	gen     uint64
@@ -63,8 +64,8 @@ type collState struct {
 	result  any
 }
 
-func newCollState(w *World) *collState {
-	cs := &collState{world: w, slots: make(map[int]any)}
+func newCollState(w *World, g *Group) *collState {
+	cs := &collState{world: w, group: g, slots: make(map[int]any)}
 	cs.cond = sync.NewCond(&cs.mu)
 	w.addCond(cs.cond)
 	return cs
@@ -103,6 +104,14 @@ func (cs *collState) rendezvous(p *Proc, size, rel int, op string, deposit any, 
 		if cs.world.abortedNow() {
 			cs.mu.Unlock()
 			panic(abortPanic{})
+		}
+		// Fault-tolerant mode: a collective over a dead member can never
+		// complete — deliver the failure instead of blocking forever.
+		if cs.world.anyFailed() {
+			if fr := cs.world.failedOf(cs.group.Ranks()); fr >= 0 {
+				cs.mu.Unlock()
+				p.failPeer(op, fr)
+			}
 		}
 		cs.cond.Wait()
 	}

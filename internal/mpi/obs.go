@@ -23,6 +23,9 @@ type simMetrics struct {
 	rmaApplied  *obs.Counter
 	epochOpened map[string]*obs.Counter
 	epochClosed map[string]*obs.Counter
+
+	faultsInjected map[string]*obs.Counter // by fault kind
+	rankFailures   *obs.Counter
 }
 
 // Epoch synchronization modes, the label values of
@@ -33,6 +36,13 @@ const (
 	epochLockAll      = "lockall"
 	epochPSCWAccess   = "pscw_access"
 	epochPSCWExposure = "pscw_exposure"
+)
+
+// Fault kinds, the label values of mcchecker_faults_injected_total.
+const (
+	faultCrash   = "crash"
+	faultYield   = "yield"
+	faultReorder = "reorder"
 )
 
 func newSimMetrics(reg *obs.Registry) *simMetrics {
@@ -56,7 +66,28 @@ func newSimMetrics(reg *obs.Registry) *simMetrics {
 		m.epochOpened[mode] = reg.Counter("mcchecker_sim_epochs_total", "mode", mode, "event", "opened")
 		m.epochClosed[mode] = reg.Counter("mcchecker_sim_epochs_total", "mode", mode, "event", "closed")
 	}
+	m.faultsInjected = map[string]*obs.Counter{}
+	for _, kind := range []string{faultCrash, faultYield, faultReorder} {
+		m.faultsInjected[kind] = reg.Counter("mcchecker_faults_injected_total", "kind", kind)
+	}
+	m.rankFailures = reg.Counter("mcchecker_sim_rank_failures_total")
 	return m
+}
+
+// faultInjected counts one injected fault of the given kind.
+func (m *simMetrics) faultInjected(kind string) {
+	if m == nil {
+		return
+	}
+	m.faultsInjected[kind].Inc()
+}
+
+// rankFailed counts one rank death (injected crash or cascaded failure).
+func (m *simMetrics) rankFailed() {
+	if m == nil {
+		return
+	}
+	m.rankFailures.Inc()
 }
 
 // record tallies one MPI call on its classifying counter (messages and

@@ -51,14 +51,18 @@ func (mb *mailbox) deliver(m *message) {
 	mb.mu.Unlock()
 }
 
-// receive blocks until a message matching (commID, src, tag) arrives and
-// removes it. src/tag may be wildcards.
-func (mb *mailbox) receive(commID int32, src, tag int) *message {
+// receive blocks until a message matching (c, src, tag) arrives and
+// removes it. src/tag may be wildcards. Deliverable messages are always
+// scanned before the failure check: everything a rank sent before dying
+// was delivered eagerly before its failure flag was published, so a
+// receive of an already-sent message completes normally even when the
+// sender later crashed.
+func (mb *mailbox) receive(p *Proc, c *Comm, src, tag int, call string) *message {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
 	for {
 		for i, m := range mb.msgs {
-			if m.commID != commID {
+			if m.commID != c.id {
 				continue
 			}
 			if src != AnySource && m.src != int32(src) {
@@ -72,6 +76,19 @@ func (mb *mailbox) receive(commID int32, src, tag int) *message {
 		}
 		if mb.world.abortedNow() {
 			panic(abortPanic{}) // deferred unlock releases the mutex
+		}
+		// Fault-tolerant mode: a receive from a dead rank can never match.
+		// A wildcard receive fails as soon as any communicator member has
+		// died (ULFM's MPI_ERR_PROC_FAILED_PENDING) — the failed source
+		// might have been the matching sender.
+		if mb.world.anyFailed() {
+			if src != AnySource {
+				if sw := c.WorldRank(src); mb.world.rankIsFailed(sw) {
+					p.failPeer(call, sw) // deferred unlock releases the mutex
+				}
+			} else if fr := mb.world.failedOf(c.group.Ranks()); fr >= 0 {
+				p.failPeer(call, fr)
+			}
 		}
 		mb.cond.Wait()
 	}
@@ -120,7 +137,7 @@ func (p *Proc) Recv(c *Comm, buf *memory.Buffer, off uint64, count int, dtype *D
 
 func (p *Proc) recvInternal(c *Comm, buf *memory.Buffer, off uint64, count int, dtype *Datatype, src, tag int, call string) Status {
 	release := p.enterBlocked(call)
-	m := p.mail.receive(c.id, src, tag)
+	m := p.mail.receive(p, c, src, tag, call)
 	release()
 	capacity := dtype.dm.TileBytes(count)
 	if uint64(len(m.data)) > capacity {

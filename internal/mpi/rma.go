@@ -49,54 +49,77 @@ type winLocal struct {
 
 type postRecord struct {
 	origins   *Group
-	remaining int // origins that have not yet called Win_complete
+	remaining int          // origins that have not yet called Win_complete
+	done      map[int]bool // origin world ranks that have completed
 }
 
 // lockState implements the passive-target lock of one target rank.
+// Holder world ranks are tracked so that a waiter can detect a holder
+// that died without releasing (fault-tolerant mode).
 type lockState struct {
 	world   *World
 	mu      sync.Mutex
 	cond    *sync.Cond
 	holders int
 	excl    bool
+	byRank  map[int]int // holding world rank → held count
 }
 
 func newLockState(w *World) *lockState {
-	ls := &lockState{world: w}
+	ls := &lockState{world: w, byRank: make(map[int]int)}
 	ls.cond = sync.NewCond(&ls.mu)
 	w.addCond(ls.cond)
 	return ls
 }
 
-func (ls *lockState) acquire(lt trace.LockType) {
+func (ls *lockState) acquire(p *Proc, call string, lt trace.LockType) {
 	ls.mu.Lock()
 	if lt == trace.LockExclusive {
 		for ls.holders > 0 {
-			if ls.world.abortedNow() {
-				ls.mu.Unlock()
-				panic(abortPanic{})
-			}
+			ls.waitCheck(p, call)
 			ls.cond.Wait()
 		}
 		ls.excl = true
 	} else {
 		for ls.excl {
-			if ls.world.abortedNow() {
-				ls.mu.Unlock()
-				panic(abortPanic{})
-			}
+			ls.waitCheck(p, call)
 			ls.cond.Wait()
 		}
 	}
 	ls.holders++
+	ls.byRank[p.rank]++
 	ls.mu.Unlock()
 }
 
-func (ls *lockState) release() {
+// waitCheck unwinds a blocked acquirer when the job aborted or a current
+// holder died without releasing. Called with ls.mu held; unlocks it
+// before panicking.
+func (ls *lockState) waitCheck(p *Proc, call string) {
+	if ls.world.abortedNow() {
+		ls.mu.Unlock()
+		panic(abortPanic{})
+	}
+	if ls.world.anyFailed() {
+		ranks := make([]int, 0, len(ls.byRank))
+		for r := range ls.byRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		if fr := ls.world.failedOf(ranks); fr >= 0 {
+			ls.mu.Unlock()
+			p.failPeer(call, fr)
+		}
+	}
+}
+
+func (ls *lockState) release(rank int) {
 	ls.mu.Lock()
 	ls.holders--
 	if ls.holders == 0 {
 		ls.excl = false
+	}
+	if ls.byRank[rank]--; ls.byRank[rank] <= 0 {
+		delete(ls.byRank, rank)
 	}
 	ls.cond.Broadcast()
 	ls.mu.Unlock()
@@ -147,7 +170,7 @@ func (p *Proc) WinCreate(buf *memory.Buffer, dispUnit uint32, c *Comm) *Win {
 				comm:   c,
 				locals: make([]winLocal, c.Size()),
 				locks:  make([]*lockState, c.Size()),
-				fences: newCollState(p.world),
+				fences: newCollState(p.world, c.group),
 				posts:  make(map[int]*postRecord),
 			}
 			s.pscwCond = sync.NewCond(&s.pscwMu)
@@ -358,7 +381,9 @@ func (s *winShared) apply(op *rmaOp) {
 // applyAll applies ops in deterministic (origin rank, issue seq) order.
 // MPI leaves the order among conflicting unordered operations undefined;
 // fixing it keeps runs reproducible without legitimizing programs that
-// depend on it.
+// depend on it. A reorder fault plan permutes the batch across origins —
+// a different but equally legal completion order, still deterministic in
+// the plan's seed.
 func (s *winShared) applyAll(ops []*rmaOp) {
 	s.comm.world.metrics.rmaFlushed(len(ops))
 	sort.SliceStable(ops, func(i, j int) bool {
@@ -367,6 +392,7 @@ func (s *winShared) applyAll(ops []*rmaOp) {
 		}
 		return ops[i].seq < ops[j].seq
 	})
+	s.comm.world.reorderBatch(s.id, ops)
 	for _, op := range ops {
 		s.apply(op)
 	}

@@ -43,7 +43,7 @@ func (w *Win) LockAll() {
 	// Acquire in rank order to avoid lock-order inversions against
 	// exclusive single locks.
 	for _, t := range w.allTargets() {
-		w.s.locks[t].acquire(trace.LockShared)
+		w.s.locks[t].acquire(p, "Win_lock_all", trace.LockShared)
 	}
 	w.lockAll = true
 	p.world.metrics.epochOpen(epochLockAll)
@@ -63,7 +63,7 @@ func (w *Win) UnlockAll() {
 	}
 	w.s.applyAll(ops)
 	for _, t := range w.allTargets() {
-		w.s.locks[t].release()
+		w.s.locks[t].release(p.rank)
 	}
 	w.lockAll = false
 	p.world.metrics.epochClose(epochLockAll)

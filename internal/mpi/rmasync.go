@@ -62,7 +62,7 @@ func (w *Win) Lock(lt trace.LockType, target int) {
 		Kind: trace.KindWinLock, Win: w.s.id, Target: int32(target), Lock: lt,
 	}, 1)
 	release := p.enterBlocked("Win_lock")
-	w.s.locks[target].acquire(lt)
+	w.s.locks[target].acquire(p, "Win_lock", lt)
 	release()
 	w.lockHeld[target] = lt
 	p.world.metrics.epochOpen(epochLock)
@@ -79,7 +79,7 @@ func (w *Win) Unlock(target int) {
 	ops := w.pendingLock[target]
 	delete(w.pendingLock, target)
 	w.s.applyAll(ops)
-	w.s.locks[target].release()
+	w.s.locks[target].release(p.rank)
 	delete(w.lockHeld, target)
 	p.world.metrics.epochClose(epochLock)
 	p.emit(trace.Event{
@@ -99,7 +99,7 @@ func (w *Win) Post(group *Group) {
 		w.s.pscwMu.Unlock()
 		p.errorf("Win_post", "exposure epoch already open")
 	}
-	w.s.posts[rel] = &postRecord{origins: group, remaining: group.Size()}
+	w.s.posts[rel] = &postRecord{origins: group, remaining: group.Size(), done: make(map[int]bool)}
 	w.s.pscwCond.Broadcast()
 	w.s.pscwMu.Unlock()
 	p.world.metrics.epochOpen(epochPSCWExposure)
@@ -134,6 +134,11 @@ func (w *Win) Start(group *Group) {
 				w.s.pscwMu.Unlock()
 				panic(abortPanic{})
 			}
+			// Fault-tolerant mode: a dead target will never post.
+			if p.world.anyFailed() && p.world.rankIsFailed(tw) {
+				w.s.pscwMu.Unlock()
+				p.failPeer("Win_start", tw)
+			}
 			w.s.pscwCond.Wait()
 		}
 	}
@@ -161,6 +166,7 @@ func (w *Win) Complete() {
 		trel := w.s.comm.group.Rank(tw)
 		if rec, ok := w.s.posts[trel]; ok {
 			rec.remaining--
+			rec.done[p.rank] = true
 		}
 	}
 	w.s.pscwCond.Broadcast()
@@ -184,6 +190,16 @@ func (w *Win) WaitEpoch() {
 		if p.world.abortedNow() {
 			w.s.pscwMu.Unlock()
 			panic(abortPanic{})
+		}
+		// Fault-tolerant mode: an origin that died before Win_complete
+		// will never close its access epoch.
+		if p.world.anyFailed() {
+			for _, orig := range rec.origins.Ranks() {
+				if !rec.done[orig] && p.world.rankIsFailed(orig) {
+					w.s.pscwMu.Unlock()
+					p.failPeer("Win_wait", orig)
+				}
+			}
 		}
 		w.s.pscwCond.Wait()
 	}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/memory"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -44,6 +45,19 @@ type Options struct {
 	// opened and closed per sync mode). Nil disables the accounting with
 	// no per-call cost beyond one pointer check.
 	Obs *obs.Registry
+
+	// Faults, when non-nil, injects the plan's simulator-level faults:
+	// rank crashes at a fixed MPI-call ordinal, seeded scheduler yields,
+	// and legal cross-origin reordering of RMA completion batches. All
+	// injection is deterministic in the plan's seed.
+	Faults *faults.Plan
+
+	// FaultTolerant selects the ULFM-flavored abort model for injected
+	// crashes: instead of aborting the job, a crash kills only its rank,
+	// and surviving ranks receive a RankFailure from blocking calls that
+	// depend on the dead rank. The run completes and emits the surviving
+	// ranks' traces. See internal/mpi/faults.go for the model.
+	FaultTolerant bool
 }
 
 // DefaultTimeout bounds a run when Options.Timeout is zero. Buggy MPI
@@ -68,6 +82,10 @@ type World struct {
 	aborted atomic.Bool
 	abortMu sync.Mutex
 	conds   []*sync.Cond
+
+	// faults holds the injection plan and the failed-rank set of the
+	// fault-tolerant model; nil when no plan is configured.
+	faults *faultState
 }
 
 // abortPanic unwinds a rank blocked in the runtime when the job aborts.
@@ -109,6 +127,7 @@ func Run(n int, opts Options, body func(p *Proc) error) error {
 		return fmt.Errorf("mpi: world size %d must be positive", n)
 	}
 	w := &World{hook: opts.Hook, metrics: newSimMetrics(opts.Obs), nextCommID: 1} // comm id 0 is the world
+	w.faults = newFaultState(opts.Faults, opts.FaultTolerant)
 	w.procs = make([]*Proc, n)
 	worldGroup := identityGroup(n)
 	worldComm := newComm(w, 0, worldGroup)
@@ -122,6 +141,7 @@ func Run(n int, opts Options, body func(p *Proc) error) error {
 			status: &procStatus{},
 		}
 		w.procs[i].nextTypeID = trace.TypeUserBase
+		w.procs[i].setupFaults()
 	}
 
 	timeout := opts.Timeout
@@ -142,6 +162,20 @@ func Run(n int, opts Options, body func(p *Proc) error) error {
 						// when a peer aborted; the root cause is reported by
 						// the aborting rank.
 						errc <- nil
+					case crashPanic:
+						// Injected crash fault. Fault-tolerant: only this rank
+						// dies, dependents learn of it through markFailed.
+						// Fail-stop: the whole job aborts, like MPI_Abort.
+						w.markFailed(p.rank)
+						if w.faults == nil || !w.faults.tolerant {
+							w.abort()
+						}
+						errc <- &CrashError{Rank: p.rank, Call: v.call}
+					case rankFailurePanic:
+						// This rank's blocking call depended on a dead peer and
+						// unwound; its own death cascades to its dependents.
+						w.markFailed(p.rank)
+						errc <- v.err
 					case *UsageError:
 						w.abort()
 						errc <- v
@@ -216,6 +250,12 @@ type Proc struct {
 	nextTypeID int32
 	nextReqID  int32
 	callDepth  int32 // extra caller frames for location capture (see WithCallDepth)
+
+	// faults is the rank's fault-injection state (nil when no plan is
+	// armed); it lives behind a pointer so that WithCallDepth's shallow
+	// Proc copies share the MPI-call counter. Touched only by the rank's
+	// own goroutine.
+	faults *procFaults
 
 	// status carries the watchdog diagnostics; it lives behind a pointer so
 	// that WithCallDepth's shallow Proc copies share it.
@@ -300,8 +340,12 @@ func (p *Proc) errorf(call, format string, args ...any) {
 
 // emit fills in the caller location and rank and hands the event to the
 // hook. skip is the number of frames between the application call site and
-// emit's caller.
+// emit's caller. Fault injection runs first, so a crashing call is
+// neither counted nor traced.
 func (p *Proc) emit(ev trace.Event, skip int) {
+	if p.faults != nil {
+		p.injectFaults()
+	}
 	p.world.metrics.record(ev.Kind, int32(p.rank))
 	if p.world.hook == nil {
 		return

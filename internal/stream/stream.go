@@ -73,6 +73,8 @@ type Checker struct {
 	report        *core.Report
 	vindex        map[string]*core.Violation
 	err           error
+	tolerant      bool     // degrade failing slabs instead of aborting
+	notes         []string // accumulated degradation diagnostics
 
 	// Observability. buffered/peakBuffered track the events held across
 	// all ranks — the memory-boundedness claim of online analysis, made
@@ -145,6 +147,18 @@ func (c *Checker) SetObs(reg *obs.Registry) {
 	c.mBoundUnclean = reg.Counter("mcchecker_stream_boundaries_total", "result", "unclean")
 	c.mCoalesced = reg.Counter("mcchecker_stream_coalesced_regions_total")
 	c.mPeakBuffered = reg.Gauge("mcchecker_stream_peak_buffered_events")
+}
+
+// SetTolerant switches the checker into fault-tolerant mode: a slab that
+// fails strict analysis (for example because a crashed rank left
+// unmatched communication structure behind) is salvaged with
+// core.AnalyzeDegraded instead of aborting the whole online run, and the
+// final report's Degraded field carries the loss diagnostics. Call
+// before the first Emit.
+func (c *Checker) SetTolerant(v bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tolerant = v
 }
 
 // Emit implements trace.Sink. It is safe for concurrent use by the rank
@@ -376,12 +390,30 @@ func (c *Checker) analyzeSlab() error {
 	c.mSlabEvents.Observe(int64(set.TotalEvents()))
 	c.mPeakBuffered.SetMax(int64(c.peakBuffered))
 
-	rep, err := core.AnalyzeWith(set, c.opts)
+	rep, err := c.analyzeSet(set, fmt.Sprintf("slab %d", c.slabsAnalyzed))
 	if err != nil {
 		return fmt.Errorf("stream: slab %d: %w", c.slabsAnalyzed, err)
 	}
 	c.merge(rep)
 	return nil
+}
+
+// analyzeSet runs one slab's trace set through the pipeline. In tolerant
+// mode an analysis failure degrades — the longest clean prefix of the
+// slab is analyzed and the loss recorded in c.notes — instead of
+// erroring.
+func (c *Checker) analyzeSet(set *trace.Set, label string) (*core.Report, error) {
+	if !c.tolerant {
+		return core.AnalyzeWith(set, c.opts)
+	}
+	rep, err := core.AnalyzeDegraded(set, c.opts, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range rep.Degraded {
+		c.notes = append(c.notes, label+": "+n)
+	}
+	return rep, nil
 }
 
 // recountBuffered refreshes the buffered-event tally after a slab trimmed
@@ -500,7 +532,7 @@ func (c *Checker) Finish() (*core.Report, error) {
 		c.buffered = 0
 		c.mSlabs.Inc()
 		c.mSlabEvents.Observe(int64(set.TotalEvents()))
-		rep, err := core.AnalyzeWith(set, c.opts)
+		rep, err := c.analyzeSet(set, "final slab")
 		if err != nil {
 			return nil, fmt.Errorf("stream: final slab: %w", err)
 		}
@@ -508,6 +540,7 @@ func (c *Checker) Finish() (*core.Report, error) {
 	}
 	c.mPeakBuffered.SetMax(int64(c.peakBuffered))
 	c.report.Sort()
+	c.report.Degraded = append(c.report.Degraded, c.notes...)
 	return c.report, nil
 }
 

@@ -122,6 +122,34 @@ func (s *FileSink) Emit(ev Event) {
 	fw.mu.Unlock()
 }
 
+// Err returns the first error recorded so far by the sink or any of its
+// per-rank writers, without closing anything. Writer errors are sticky
+// (Emit no-ops once a write fails), so run paths should surface Err at
+// every close site: a failed trace write must become a visible warning,
+// not silent data loss.
+func (s *FileSink) Err() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.err != nil {
+		return s.err
+	}
+	ranks := make([]int32, 0, len(s.writers))
+	for r := range s.writers {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	for _, r := range ranks {
+		fw := s.writers[r]
+		fw.mu.Lock()
+		err := fw.w.Err()
+		fw.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("trace: rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
 // Close flushes and closes all per-rank files, returning the first error
 // encountered during emission or closing.
 func (s *FileSink) Close() error {

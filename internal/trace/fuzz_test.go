@@ -47,6 +47,124 @@ func FuzzReadTrace(f *testing.F) {
 	})
 }
 
+// FuzzReadTraceSalvage hardens the salvage decoder: it must never panic,
+// and whatever it recovers must be a valid (possibly empty) event prefix
+// with dense sequence numbers and legal kinds. On any stream strict
+// ReadTrace accepts, salvage must agree exactly and report completeness.
+func FuzzReadTraceSalvage(f *testing.F) {
+	rng := rand.New(rand.NewSource(43))
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, ev := range sampleEvents(3, 40, rng) {
+		w.Emit(ev)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	golden := buf.Bytes()
+	f.Add(golden)
+	for _, cut := range []int{0, 1, 5, len(golden) / 2, len(golden) - 1} {
+		f.Add(golden[:cut])
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, res, err := ReadTraceSalvage(bytes.NewReader(data))
+		strict, serr := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			// Salvage gives up only when the header itself is unreadable —
+			// then strict decoding must have failed too.
+			if serr == nil {
+				t.Fatalf("salvage rejected a stream strict decoding accepts")
+			}
+			return
+		}
+		if res.Events != len(tr.Events) {
+			t.Fatalf("result reports %d events, trace holds %d", res.Events, len(tr.Events))
+		}
+		if res.Complete == (res.Reason != "") {
+			t.Fatalf("inconsistent result: complete=%v reason=%q", res.Complete, res.Reason)
+		}
+		for i := range tr.Events {
+			ev := &tr.Events[i]
+			if ev.Rank != tr.Rank || ev.Seq != int64(i) {
+				t.Fatalf("invalid prefix: event %d = %v", i, ev.ID())
+			}
+			if ev.Kind == KindInvalid || ev.Kind >= kindMax {
+				t.Fatalf("invalid kind recovered: %d", ev.Kind)
+			}
+		}
+		if serr == nil {
+			if !res.Complete {
+				t.Fatalf("strict decoding succeeded but salvage reports truncation: %q", res.Reason)
+			}
+			if len(tr.Events) != len(strict.Events) {
+				t.Fatalf("salvage recovered %d events, strict %d", len(tr.Events), len(strict.Events))
+			}
+		}
+	})
+}
+
+// TestSalvageEveryTruncationBoundary cuts a golden trace at every byte
+// offset — every header and record boundary included — and checks that
+// salvage recovers a correct, monotonically growing event prefix.
+func TestSalvageEveryTruncationBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	evs := sampleEvents(2, 25, rng)
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range evs {
+		w.Emit(ev)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	golden := buf.Bytes()
+
+	full, res, err := ReadTraceSalvage(bytes.NewReader(golden))
+	if err != nil || !res.Complete || len(full.Events) != len(evs) {
+		t.Fatalf("golden trace: recovered %d/%d events, complete=%v, err=%v",
+			len(full.Events), len(evs), res.Complete, err)
+	}
+
+	prev, headerDone := 0, false
+	for cut := 0; cut <= len(golden); cut++ {
+		tr, res, err := ReadTraceSalvage(bytes.NewReader(golden[:cut]))
+		if err != nil {
+			// Only an unreadable header is fatal, and once any cut clears
+			// the header, every longer cut must too.
+			if headerDone {
+				t.Fatalf("cut %d: header error after a shorter cut succeeded: %v", cut, err)
+			}
+			continue
+		}
+		headerDone = true
+		if cut < len(golden) && res.Complete {
+			t.Fatalf("cut %d: truncated stream claims completeness", cut)
+		}
+		if cut == len(golden) && !res.Complete {
+			t.Fatalf("full stream not recognized as complete: %q", res.Reason)
+		}
+		if len(tr.Events) < prev {
+			t.Fatalf("cut %d: recovered %d events, shorter cut gave %d", cut, len(tr.Events), prev)
+		}
+		prev = len(tr.Events)
+		for i := range tr.Events {
+			if tr.Events[i].ID() != full.Events[i].ID() {
+				t.Fatalf("cut %d: event %d = %v, want %v", cut, i, tr.Events[i].ID(), full.Events[i].ID())
+			}
+		}
+	}
+	if !headerDone {
+		t.Fatal("no cut cleared the header")
+	}
+}
+
 // FuzzRoundTrip: any event assembled from fuzzed fields must survive
 // encode/decode unchanged.
 func FuzzRoundTrip(f *testing.F) {

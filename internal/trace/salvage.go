@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+)
+
+// Salvage-mode decoding: recover the longest valid event prefix from a
+// truncated or corrupted rank stream instead of failing outright. The
+// strict ReadTrace stays the default; salvage is the degraded path the
+// analyzer falls back to when strict reading fails, so that a crashed
+// writer or a half-copied trace directory still yields a (partial)
+// report.
+
+// SalvageResult describes what ReadTraceSalvage recovered and why it
+// stopped.
+type SalvageResult struct {
+	// Complete is true when the stream ended with a clean end record —
+	// nothing was lost and the result equals strict ReadTrace.
+	Complete bool
+	// Events is the number of events recovered.
+	Events int
+	// Reason is the decode error that ended recovery ("" when Complete).
+	Reason string
+}
+
+// ReadTraceSalvage decodes one rank stream, recovering the longest valid
+// event prefix. It returns an error only when the stream header itself is
+// unreadable (no rank can be attributed); any later decode error ends
+// recovery and is reported in the SalvageResult instead. The returned
+// trace always has dense sequence numbers and valid event kinds.
+func ReadTraceSalvage(r io.Reader) (*Trace, SalvageResult, error) {
+	rd := &reader{r: bufio.NewReader(r), strs: []string{""}}
+	var res SalvageResult
+	hdr := make([]byte, len(codecMagic)+1)
+	if _, err := io.ReadFull(rd.r, hdr); err != nil {
+		return nil, res, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:len(codecMagic)]) != codecMagic {
+		return nil, res, fmt.Errorf("trace: bad magic")
+	}
+	if hdr[len(codecMagic)] != codecVersion {
+		return nil, res, fmt.Errorf("trace: unsupported version %d", hdr[len(codecMagic)])
+	}
+	rank64, err := rd.varint()
+	if err != nil {
+		return nil, res, fmt.Errorf("trace: reading rank: %w", err)
+	}
+	t := &Trace{Rank: int32(rank64)}
+
+	stop := func(format string, args ...any) (*Trace, SalvageResult, error) {
+		res.Events = len(t.Events)
+		res.Reason = fmt.Sprintf(format, args...)
+		return t, res, nil
+	}
+	for {
+		tag, err := rd.r.ReadByte()
+		if err != nil {
+			return stop("stream ended without end record: %v", err)
+		}
+		switch tag {
+		case recEnd:
+			res.Complete = true
+			res.Events = len(t.Events)
+			return t, res, nil
+		case recStrDef:
+			id, err := rd.uvarint()
+			if err != nil {
+				return stop("truncated string definition: %v", err)
+			}
+			n, err := rd.uvarint()
+			if err != nil {
+				return stop("truncated string definition: %v", err)
+			}
+			if n > 1<<20 {
+				return stop("string of %d bytes too long", n)
+			}
+			buf := make([]byte, n)
+			if _, err := io.ReadFull(rd.r, buf); err != nil {
+				return stop("truncated string definition: %v", err)
+			}
+			if id != uint64(len(rd.strs)) {
+				return stop("string id %d out of order", id)
+			}
+			rd.strs = append(rd.strs, string(buf))
+		case recEvent:
+			ev, err := rd.readEvent(t.Rank, int64(len(t.Events)))
+			if err != nil {
+				return stop("event %d undecodable: %v", len(t.Events), err)
+			}
+			t.Events = append(t.Events, ev)
+		default:
+			return stop("unknown record tag %#x", tag)
+		}
+	}
+}
+
+// salvageMetrics are the trace layer's degradation counters.
+type salvageMetrics struct {
+	salvagedEvents   *obs.Counter
+	truncatedStreams *obs.Counter
+}
+
+func newSalvageMetrics(reg *obs.Registry) *salvageMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &salvageMetrics{
+		salvagedEvents:   reg.Counter("mcchecker_trace_salvaged_events_total"),
+		truncatedStreams: reg.Counter("mcchecker_trace_truncated_streams_total"),
+	}
+}
+
+func (m *salvageMetrics) record(res SalvageResult) {
+	if m == nil {
+		return
+	}
+	m.salvagedEvents.Add(int64(res.Events))
+	if !res.Complete {
+		m.truncatedStreams.Inc()
+	}
+}
+
+// ReadDirSalvage loads a trace directory in salvage mode: every readable
+// prefix is recovered, unreadable or missing ranks become empty traces,
+// and each degradation is described by one diagnostic note. The returned
+// notes are empty exactly when the directory was read losslessly. It
+// fails only when the directory holds no trace files at all.
+func ReadDirSalvage(dir string, reg *obs.Registry) (*Set, []string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := newSalvageMetrics(reg)
+	names := traceFileNames(entries)
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("trace: no trace files in %s", dir)
+	}
+	var notes []string
+	byRank := map[int32]*Trace{}
+	maxRank := int32(-1)
+	for _, nr := range names {
+		if int32(nr.rank) > maxRank {
+			maxRank = int32(nr.rank)
+		}
+		f, err := os.Open(filepath.Join(dir, nr.name))
+		if err != nil {
+			notes = append(notes, fmt.Sprintf("%s: unreadable: %v", nr.name, err))
+			continue
+		}
+		t, res, err := ReadTraceSalvage(f)
+		f.Close()
+		switch {
+		case err != nil:
+			notes = append(notes, fmt.Sprintf("%s: lost entirely: %v", nr.name, err))
+			continue
+		case int(t.Rank) != nr.rank:
+			notes = append(notes, fmt.Sprintf("%s: header claims rank %d; file ignored", nr.name, t.Rank))
+			continue
+		case byRank[t.Rank] != nil:
+			notes = append(notes, fmt.Sprintf("%s: duplicate of rank %d; file ignored", nr.name, t.Rank))
+			continue
+		}
+		m.record(res)
+		if !res.Complete {
+			notes = append(notes, fmt.Sprintf("%s: truncated, salvaged %d-event prefix (%s)",
+				nr.name, res.Events, res.Reason))
+		}
+		byRank[t.Rank] = t
+	}
+	if len(byRank) == 0 {
+		return nil, notes, fmt.Errorf("trace: no salvageable trace files in %s", dir)
+	}
+	set := NewSet(int(maxRank + 1))
+	for r := int32(0); r <= maxRank; r++ {
+		if t := byRank[r]; t != nil {
+			set.Traces[r] = t
+		} else {
+			notes = append(notes, fmt.Sprintf("rank %d: no events recovered", r))
+		}
+	}
+	if err := set.Validate(); err != nil {
+		return nil, notes, fmt.Errorf("trace: salvaged set invalid: %w", err)
+	}
+	return set, notes, nil
+}
+
+// EncodeTrace renders one rank's trace in the binary stream format.
+func EncodeTrace(t *Trace) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, t.Rank)
+	if err != nil {
+		return nil, err
+	}
+	for i := range t.Events {
+		w.Emit(t.Events[i])
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ApplyTruncFaults applies a plan's trace-truncation faults to an
+// in-memory set: each affected rank's trace is encoded, cut to the
+// planned byte fraction, and salvage-decoded back, exactly as if the
+// on-disk file had been truncated. It returns the degraded set and one
+// note per truncated rank; a plan without truncation faults returns the
+// set unchanged.
+func ApplyTruncFaults(s *Set, plan *faults.Plan, reg *obs.Registry) (*Set, []string, error) {
+	if plan == nil || len(plan.Truncs) == 0 {
+		return s, nil, nil
+	}
+	m := newSalvageMetrics(reg)
+	var notes []string
+	out := &Set{Traces: make([]*Trace, len(s.Traces))}
+	for i, t := range s.Traces {
+		frac, ok := plan.TruncFor(int(t.Rank))
+		if !ok || frac >= 1 {
+			out.Traces[i] = t
+			continue
+		}
+		data, err := EncodeTrace(t)
+		if err != nil {
+			return nil, notes, fmt.Errorf("trace: encoding rank %d for truncation fault: %w", t.Rank, err)
+		}
+		cut := faults.TruncateBytes(data, frac)
+		nt, res, err := ReadTraceSalvage(bytes.NewReader(cut))
+		if err != nil {
+			// Even the header was cut away: the rank contributes nothing.
+			nt = &Trace{Rank: t.Rank}
+			res = SalvageResult{Reason: err.Error()}
+		}
+		m.record(res)
+		notes = append(notes, fmt.Sprintf(
+			"rank %d: trace truncated to %d of %d bytes, salvaged %d of %d events",
+			t.Rank, len(cut), len(data), len(nt.Events), len(t.Events)))
+		out.Traces[i] = nt
+	}
+	if err := out.Validate(); err != nil {
+		return nil, notes, fmt.Errorf("trace: truncated set invalid: %w", err)
+	}
+	return out, notes, nil
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race cover bench fuzz soak experiments table2 fig8 fig9 clean
+.PHONY: all build test check race cover bench fuzz soak explore experiments table2 fig8 fig9 clean
 
 all: build test check
 
@@ -29,6 +29,14 @@ soak:
 
 race:
 	$(GO) test -race ./...
+
+# Schedule-space exploration demo: find the planted interleaving-dependent
+# bug, dedup 1000 schedules to one violation, print a minimized reproducer
+# (the leading `-` tolerates the exit-3 findings convention), then measure
+# sweep throughput across worker counts.
+explore:
+	-$(GO) run ./cmd/mcchecker explore -app schedrace -schedules 1000
+	$(GO) run ./cmd/mcbench -exp explore
 
 cover:
 	$(GO) test -cover ./internal/...

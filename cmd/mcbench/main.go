@@ -11,6 +11,7 @@
 //	mcbench -exp phases [-ranks N] [-scale S]    # analysis phase breakdown
 //	mcbench -exp ablation                    # linear vs quadratic detector
 //	mcbench -exp synccheck                   # SyncChecker comparison
+//	mcbench -exp explore [-schedules N]      # schedule-exploration throughput
 //	mcbench -exp all
 //
 // Absolute times are machine-local; the reproduction targets are the
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
@@ -29,12 +31,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig8|fig9|fig10|phases|ablation|synccheck|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig8|fig9|fig10|phases|ablation|synccheck|explore|all")
 	ranks := flag.Int("ranks", 64, "rank count for fig8 (paper: 64)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor for fig8")
 	repeats := flag.Int("repeats", 3, "timing repetitions (minimum kept)")
 	luN := flag.Int("lu-n", 192, "LU matrix order for fig9/fig10 (paper: 1500)")
 	paperScale := flag.Bool("paper-scale", false, "table2: use the paper's full process counts (lockopts at 64)")
+	schedules := flag.Int("schedules", 2000, "schedule count for the explore experiment")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -61,6 +64,7 @@ func main() {
 	run("weak", func() error { return weakScaling(*repeats) })
 	run("ablation", ablation)
 	run("synccheck", synccheck)
+	run("explore", func() error { return exploreThroughput(*schedules) })
 }
 
 func header(title string) {
@@ -205,6 +209,27 @@ func ablation() error {
 			r.Ops, r.Linear.Round(10_000), r.Quadratic.Round(10_000), speed, r.Agreement, r.Violations)
 	}
 	return w.Flush()
+}
+
+func exploreThroughput(schedules int) error {
+	header(fmt.Sprintf("Schedule exploration throughput: schedrace, sweep strategy, %d schedules", schedules))
+	jobsList := []int{1, 2, runtime.GOMAXPROCS(0)}
+	if jobsList[2] <= jobsList[1] {
+		jobsList = jobsList[:2]
+	}
+	rows, err := experiments.ExploreThroughput(schedules, jobsList)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Jobs\tSchedules\tElapsed\tSchedules/s\tSpeedup\tDistinct violations")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d\t%d\t%v\t%.0f\t%.2fx\t%d\n",
+			r.Jobs, r.Schedules, r.Elapsed.Round(100_000), r.SchedulesPerSec, r.Speedup, r.Distinct)
+	}
+	w.Flush()
+	fmt.Println("the distinct-violation column must not vary with jobs; speedup should grow toward GOMAXPROCS")
+	return nil
 }
 
 func synccheck() error {

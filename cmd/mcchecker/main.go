@@ -28,6 +28,16 @@
 //	    times under seed-varied perturbations and fails on any report
 //	    divergence.
 //
+//	mcchecker explore -app NAME [-fixed] [-n N] [-schedules N] [-strategy S]
+//	                  [-jobs K] [-budget D] [-seed N] [-minimize] [-json] [-stats]
+//	    Sweep the schedule space (internal/explore): run the application
+//	    under many distinct deterministic schedules, deduplicate the
+//	    violations by canonical signature, and minimize each finding to a
+//	    -faults string replayable with `mcchecker run`. Strategies: sweep
+//	    (seeded completion reordering), walk (reordering + scheduler
+//	    yields), pct (rank priorities with change points), delay
+//	    (delay-bounded completion steps).
+//
 //	mcchecker analyze -trace DIR [-intra-only] [-json] [-stats] [-stats-format F]
 //	    Run DN-Analyzer offline over per-rank trace files.
 //
@@ -39,7 +49,7 @@
 package main
 
 import (
-	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +59,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/explore"
 	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/obs"
@@ -68,6 +79,8 @@ func main() {
 		err = listApps()
 	case "run":
 		err = runCmd(os.Args[2:])
+	case "explore":
+		err = exploreCmd(os.Args[2:])
 	case "analyze":
 		err = analyzeCmd(os.Args[2:])
 	case "dump":
@@ -90,6 +103,8 @@ func usage() {
   mcchecker apps
   mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR] [-full] [-intra-only] [-online] [-json] [-stats] [-stats-format text|prom|json]
                 [-faults PLAN] [-failstop] [-timeout D] [-soak N]
+  mcchecker explore -app NAME [-fixed] [-n N] [-schedules N] [-strategy sweep|walk|pct|delay] [-jobs K] [-budget D] [-seed N]
+                [-minimize] [-minimize-runs N] [-full] [-intra-only] [-json] [-stats] [-stats-format text|prom|json] [-timeout D]
   mcchecker analyze -trace DIR [-intra-only] [-json] [-stats] [-stats-format text|prom|json]
   mcchecker dump -trace DIR [-rank N] [-limit N]`)
 }
@@ -103,17 +118,16 @@ func listApps() error {
 	for _, bc := range apps.ExtensionCases() {
 		fmt.Printf("  %-14s %d ranks  %-11s %s\n", bc.Name, bc.Ranks, bc.Origin, bc.RootCause)
 	}
+	fmt.Println("schedule-dependent applications (use `mcchecker explore`):")
+	for _, bc := range apps.ScheduleCases() {
+		fmt.Printf("  %-14s %d ranks  %-11s %s\n", bc.Name, bc.Ranks, bc.Origin, bc.RootCause)
+	}
 	fmt.Println("overhead workloads (paper Figure 8): use cmd/mcbench")
 	return nil
 }
 
 func findApp(name string) (apps.BugCase, bool) {
-	for _, bc := range apps.BugCases() {
-		if bc.Name == name {
-			return bc, true
-		}
-	}
-	for _, bc := range apps.ExtensionCases() {
+	for _, bc := range apps.AllCases() {
 		if bc.Name == name {
 			return bc, true
 		}
@@ -246,63 +260,207 @@ func (cfg *runConfig) mpiOptions(hook mpi.Hook) mpi.Options {
 	}
 }
 
-// runOffline executes one offline run → trace → analyze pass. With an
-// active fault plan (or a degraded simulation) the analysis runs in
-// degraded mode and the report carries the loss diagnostics; without one
-// the strict path is used unchanged.
-func runOffline(cfg runConfig) (*core.Report, error) {
-	sink := trace.NewMemorySink()
-	pr := profiler.NewObs(sink, cfg.rel, cfg.reg)
-	var notes []string
-	if err := mpi.Run(cfg.n, cfg.mpiOptions(pr), cfg.body); err != nil {
-		if !mpi.Degraded(err) {
-			return nil, fmt.Errorf("run failed: %w", err)
-		}
-		fmt.Fprintf(cfg.progress, "warning: run degraded: %v\n", err)
-		notes = flattenErrs(err)
+// exploreCmd sweeps the schedule space of one application with
+// internal/explore and reports the distinct violations, each with a
+// replayable (and, by default, ddmin-minimized) -faults string.
+func exploreCmd(args []string) error {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	appName := fs.String("app", "", "application name (see `mcchecker apps`)")
+	fixed := fs.Bool("fixed", false, "explore the fixed variant instead of the buggy one")
+	ranks := fs.Int("n", 0, "process count (default: the paper's count for the app)")
+	schedules := fs.Int("schedules", 1000, "number of distinct schedules to try")
+	strategyName := fs.String("strategy", "sweep", "schedule strategy: sweep, walk, pct, or delay")
+	jobs := fs.Int("jobs", 0, "worker pool width (0 = GOMAXPROCS)")
+	budget := fs.Duration("budget", 0, "wall-clock budget for the sweep (0 = unlimited)")
+	seed := fs.Uint64("seed", 1, "base seed the strategy derives schedules from")
+	minimize := fs.Bool("minimize", true, "ddmin-minimize each finding's schedule")
+	minimizeRuns := fs.Int("minimize-runs", 64, "max extra runs spent minimizing each finding")
+	full := fs.Bool("full", false, "instrument every buffer (no static analysis)")
+	intraOnly := fs.Bool("intra-only", false, "intra-epoch detection only (SyncChecker baseline)")
+	jsonOut := fs.Bool("json", false, "print the result as JSON")
+	stats := fs.Bool("stats", false, "collect and print run metrics")
+	statsFormat := fs.String("stats-format", "text", "stats output format: text, prom, or json")
+	timeout := fs.Duration("timeout", 0, "per-run deadlock watchdog (0 = default 2m)")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	set := padSet(sink.Set(), cfg.n)
+	reg, err := statsRegistry(*stats, *statsFormat)
+	if err != nil {
+		return err
+	}
+	strat, err := explore.ParseStrategy(*strategyName)
+	if err != nil {
+		return err
+	}
+	bc, ok := findApp(*appName)
+	if !ok {
+		return fmt.Errorf("unknown app %q (try `mcchecker apps`)", *appName)
+	}
+	n := bc.Ranks
+	if *ranks > 0 {
+		n = *ranks
+	}
+	body := bc.Buggy
+	variant := "buggy"
+	if *fixed {
+		body, variant = bc.Fixed, "fixed"
+	}
+	var rel profiler.Relevance
+	if !*full {
+		rel = profiler.FromNames(bc.RelevantBuffers)
+	}
+	progress := io.Writer(os.Stdout)
+	if *jsonOut {
+		progress = os.Stderr
+	}
+	fmt.Fprintf(progress, "exploring %s (%s) on %d simulated ranks: %d schedules, strategy %s\n",
+		bc.Name, variant, n, *schedules, strat.Name())
+
+	res, err := explore.Explore(explore.Config{
+		Runner: &explore.Runner{
+			Body: body, Ranks: n, Rel: rel,
+			Timeout: *timeout, IntraOnly: *intraOnly, Obs: reg,
+		},
+		Strategy:     strat,
+		Schedules:    *schedules,
+		Jobs:         *jobs,
+		Budget:       *budget,
+		Seed:         *seed,
+		Minimize:     *minimize,
+		MinimizeRuns: *minimizeRuns,
+		Progress:     progress,
+	})
+	if err != nil {
+		return err
+	}
+	if err := printExplore(res, bc.Name, *jsonOut, reg, *statsFormat); err != nil {
+		return err
+	}
+	if res.Distinct() > 0 {
+		os.Exit(3)
+	}
+	return nil
+}
+
+// printExplore renders an exploration result (text or JSON). Like
+// printReport it is called before any error exit so -stats always lands.
+func printExplore(res *explore.Result, appName string, asJSON bool, reg *obs.Registry, statsFormat string) error {
+	var snap *obs.Snapshot
+	if reg != nil {
+		snap = reg.Snapshot()
+	}
+	if asJSON {
+		type findingJSON struct {
+			Signature    string `json:"signature"`
+			Count        int    `json:"count"`
+			FirstIndex   int    `json:"first_schedule"`
+			Replay       string `json:"replay"`
+			Minimized    string `json:"minimized,omitempty"`
+			MinimizeRuns int    `json:"minimize_runs,omitempty"`
+			Example      string `json:"example"`
+		}
+		out := struct {
+			Strategy        string        `json:"strategy"`
+			Schedules       int           `json:"schedules"`
+			Violating       int           `json:"violating"`
+			Failures        int           `json:"failures"`
+			Distinct        int           `json:"distinct"`
+			ElapsedSec      float64       `json:"elapsed_seconds"`
+			SchedulesPerSec float64       `json:"schedules_per_sec"`
+			Findings        []findingJSON `json:"findings"`
+			Stats           *obs.Snapshot `json:"stats,omitempty"`
+		}{
+			Strategy: res.Strategy, Schedules: res.Schedules,
+			Violating: res.Violating, Failures: res.Failures,
+			Distinct: res.Distinct(), ElapsedSec: res.Elapsed.Seconds(),
+			SchedulesPerSec: res.SchedulesPerSec(),
+			Findings:        []findingJSON{}, Stats: snap,
+		}
+		for _, f := range res.Findings {
+			out.Findings = append(out.Findings, findingJSON{
+				Signature: f.Signature, Count: f.Count, FirstIndex: f.FirstIndex,
+				Replay: f.FirstPlan.String(), Minimized: f.Minimized,
+				MinimizeRuns: f.MinimizeRuns, Example: f.Example.String(),
+			})
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Printf("explored %d schedule(s) in %.2fs (%.0f schedules/s): %d violating run(s), %d distinct violation(s)\n",
+			res.Schedules, res.Elapsed.Seconds(), res.SchedulesPerSec(), res.Violating, res.Distinct())
+		if res.Failures > 0 {
+			fmt.Printf("%d run(s) failed outright\n", res.Failures)
+		}
+		for i, f := range res.Findings {
+			fmt.Printf("\n#%d %s\n", i+1, f.Example)
+			fmt.Printf("  seen in %d schedule(s), first at schedule %d\n", f.Count, f.FirstIndex)
+			fmt.Printf("  replay:    mcchecker run -app %s -faults %q\n", appName, f.FirstPlan.String())
+			if f.Minimized != "" {
+				fmt.Printf("  minimized: mcchecker run -app %s -faults %q  (%d minimization runs)\n",
+					appName, f.Minimized, f.MinimizeRuns)
+			}
+		}
+		if res.Distinct() == 0 {
+			fmt.Println("no violations under any explored schedule")
+		}
+		if snap != nil {
+			fmt.Println("--- run stats ---")
+			var err error
+			switch statsFormat {
+			case "prom":
+				err = snap.WritePrometheus(os.Stdout)
+			case "json":
+				err = snap.WriteJSON(os.Stdout)
+			default:
+				err = snap.WriteText(os.Stdout)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// runner builds the explore.Runner equivalent of this configuration:
+// the single-run primitive shared by the run, soak, and explore paths.
+func (cfg *runConfig) runner() *explore.Runner {
+	r := &explore.Runner{
+		Body: cfg.body, Ranks: cfg.n, Rel: cfg.rel,
+		Timeout: cfg.timeout, Failstop: cfg.failstop,
+		IntraOnly: cfg.intraOnly, Obs: cfg.reg,
+	}
 	if cfg.traceDir != "" {
-		// A failed trace write must be a visible warning, not a lost
-		// report: analysis continues from the in-memory events.
-		if err := trace.WriteDirObs(cfg.traceDir, set, cfg.reg); err != nil {
-			fmt.Fprintf(cfg.progress, "warning: writing trace files: %v\n", err)
-		} else {
-			fmt.Fprintf(cfg.progress, "wrote %d events to %s\n", set.TotalEvents(), cfg.traceDir)
-			truncateTraceFiles(cfg.traceDir, cfg.plan, cfg.n, cfg.progress)
+		r.OnTrace = func(set *trace.Set) {
+			// A failed trace write must be a visible warning, not a lost
+			// report: analysis continues from the in-memory events.
+			if err := trace.WriteDirObs(cfg.traceDir, set, cfg.reg); err != nil {
+				fmt.Fprintf(cfg.progress, "warning: writing trace files: %v\n", err)
+			} else {
+				fmt.Fprintf(cfg.progress, "wrote %d events to %s\n", set.TotalEvents(), cfg.traceDir)
+				truncateTraceFiles(cfg.traceDir, cfg.plan, cfg.n, cfg.progress)
+			}
 		}
 	}
-	set, tnotes, err := trace.ApplyTruncFaults(set, cfg.plan, cfg.reg)
+	return r
+}
+
+// runOffline executes one offline run → trace → analyze pass through the
+// explore.Runner primitive. With an active fault plan (or a degraded
+// simulation) the analysis runs in degraded mode and the report carries
+// the loss diagnostics; without one the strict path is used unchanged.
+func runOffline(cfg runConfig) (*core.Report, error) {
+	rep, err := cfg.runner().Run(cfg.plan)
 	if err != nil {
 		return nil, err
 	}
-	notes = append(notes, tnotes...)
-
-	opts := core.DefaultOptions()
-	if cfg.intraOnly {
-		opts.CrossProcess = false
-	}
-	opts.Obs = cfg.reg
-	if cfg.plan.Active() || len(notes) > 0 {
-		return core.AnalyzeDegraded(set, opts, notes)
-	}
-	rep, err := core.AnalyzeWith(set, opts)
-	if err != nil {
-		return nil, fmt.Errorf("analysis failed: %w", err)
+	for _, note := range rep.Degraded {
+		fmt.Fprintf(cfg.progress, "warning: run degraded: %s\n", note)
 	}
 	return rep, nil
-}
-
-// padSet widens a memory-collected set to the full world size: a rank
-// that crashed before emitting anything still occupies its slot (with an
-// empty trace) so the analyzer sees the true rank count.
-func padSet(s *trace.Set, n int) *trace.Set {
-	if len(s.Traces) >= n {
-		return s
-	}
-	out := trace.NewSet(n)
-	copy(out.Traces, s.Traces)
-	return out
 }
 
 // flattenErrs splits a joined error tree into one note per leaf.
@@ -342,40 +500,12 @@ func truncateTraceFiles(dir string, plan *faults.Plan, n int, progress io.Writer
 	}
 }
 
-// soakRun repeats the offline run under seed-varied perturbations and
-// verifies the report is invariant: scheduling and legal completion
-// reordering must not change what MC-Checker finds. Structural faults
-// (crashes, truncations) keep their places across iterations; only the
-// seed varies. It returns an error on the first diverging iteration.
+// soakRun is a thin wrapper over explore.Soak: repeat the offline run
+// under seed-varied perturbations and verify the report is invariant.
 func soakRun(cfg runConfig, iters int, jsonOut bool, statsFormat string) error {
-	plan := cfg.plan
-	if plan == nil {
-		// Default perturbation: legal reordering plus frequent yields.
-		plan = &faults.Plan{Seed: 1, Reorder: true, Yield: 25}
-	}
-	var first *core.Report
-	var want []byte
-	for i := 0; i < iters; i++ {
-		cfg.plan = plan.WithSeed(plan.Seed + uint64(i))
-		rep, err := runOffline(cfg)
-		if err != nil {
-			return fmt.Errorf("soak iteration %d: %w", i, err)
-		}
-		// Seed-dependent diagnostics (e.g. which call a salvage cut hit)
-		// are not part of the invariant; the violations and coverage are.
-		rep.Degraded = nil
-		data, err := rep.JSON()
-		if err != nil {
-			return err
-		}
-		if i == 0 {
-			first, want = rep, data
-			continue
-		}
-		if !bytes.Equal(data, want) {
-			return fmt.Errorf("soak: iteration %d (seed %d) diverged from iteration 0:\n--- iteration 0 ---\n%s\n--- iteration %d ---\n%s",
-				i, cfg.plan.Seed, want, i, data)
-		}
+	first, err := explore.Soak(cfg.runner(), cfg.plan, iters)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(cfg.progress, "soak: %d iterations, reports identical\n", iters)
 	return printReport(first, jsonOut, nil, statsFormat)

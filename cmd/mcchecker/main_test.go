@@ -15,7 +15,7 @@ import (
 )
 
 func TestFindApp(t *testing.T) {
-	for _, name := range []string{"emulate", "lockopts", "jacobi", "counter", "jacobi2d"} {
+	for _, name := range []string{"emulate", "lockopts", "jacobi", "counter", "jacobi2d", "schedrace"} {
 		bc, ok := findApp(name)
 		if !ok || bc.Name != name {
 			t.Errorf("findApp(%q) = %v, %v", name, bc.Name, ok)
@@ -255,6 +255,54 @@ func TestRunCmdFlagValidation(t *testing.T) {
 	}
 	if err := runCmd([]string{"-app", "emulate", "-soak", "2", "-trace", t.TempDir()}); err == nil {
 		t.Error("-soak with -trace must be rejected")
+	}
+}
+
+// The fixed schedrace variant stays clean across a sweep, so exploreCmd
+// neither errors nor exits (findings would exit 3, untestable in-process).
+func TestExploreCmdFixedClean(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return exploreCmd([]string{"-app", "schedrace", "-fixed", "-schedules", "8"})
+	})
+	if !strings.Contains(out, "no violations under any explored schedule") {
+		t.Fatalf("explore output:\n%s", out)
+	}
+}
+
+func TestExploreCmdJSON(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return exploreCmd([]string{"-app", "schedrace", "-fixed", "-schedules", "6",
+			"-strategy", "delay", "-json", "-stats"})
+	})
+	var res struct {
+		Strategy  string `json:"strategy"`
+		Schedules int    `json:"schedules"`
+		Distinct  int    `json:"distinct"`
+		Findings  []any  `json:"findings"`
+		Stats     *struct {
+			Counters []any `json:"counters"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out)
+	}
+	if res.Strategy != "delay" || res.Schedules != 6 || res.Distinct != 0 || len(res.Findings) != 0 {
+		t.Errorf("unexpected explore JSON: %+v\n%s", res, out)
+	}
+	if res.Stats == nil || len(res.Stats.Counters) == 0 {
+		t.Errorf("stats not embedded in explore JSON:\n%s", out)
+	}
+}
+
+func TestExploreCmdValidation(t *testing.T) {
+	if err := exploreCmd([]string{"-app", "nope"}); err == nil {
+		t.Error("unknown app must be rejected")
+	}
+	if err := exploreCmd([]string{"-app", "schedrace", "-strategy", "dfs"}); err == nil {
+		t.Error("unknown strategy must be rejected")
+	}
+	if err := exploreCmd([]string{"-app", "schedrace", "-schedules", "0"}); err == nil {
+		t.Error("zero schedules must be rejected")
 	}
 }
 

@@ -98,6 +98,36 @@ func ExtensionCases() []BugCase {
 	}
 }
 
+// ScheduleCases returns bug cases whose violation manifests only under a
+// minority of legal RMA completion orders: a single default-schedule run
+// stays clean, and `mcchecker explore` (internal/explore) has to sweep
+// the schedule space to expose them. They are kept out of Table II — the
+// paper's cases all manifest on the first run.
+func ScheduleCases() []BugCase {
+	return []BugCase{
+		{
+			Name: "schedrace", Ranks: 3, Origin: "injected (schedule)",
+			ErrorLocation: "within an epoch",
+			RootCause:     "conflicting local store and pending MPI_Get on a recovery path reached only when a racing atomic swap completes last",
+			Symptom:       "clean on the default schedule; corrupted probe buffer when the completion order flips",
+			Buggy:         SchedRace(true), Fixed: SchedRace(false),
+			RelevantBuffers: []string{"sched", "probe", "src", "fetched"},
+		},
+	}
+}
+
+// AllCases returns every bug case in the registry — the paper's Table II,
+// the MPI-3 extensions, and the schedule-dependent cases — for harnesses
+// that sweep the whole suite (the explore registry test, `mcchecker
+// apps`).
+func AllCases() []BugCase {
+	var all []BugCase
+	all = append(all, BugCases()...)
+	all = append(all, ExtensionCases()...)
+	all = append(all, ScheduleCases()...)
+	return all
+}
+
 // Workload is one overhead-suite application (Figures 8–10).
 type Workload struct {
 	Name  string

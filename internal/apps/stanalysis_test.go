@@ -39,6 +39,9 @@ func TestStaticAnalysisCoversDeclaredSets(t *testing.T) {
 	for _, bc := range ExtensionCases() {
 		check(bc.Name, bc.RelevantBuffers)
 	}
+	for _, bc := range ScheduleCases() {
+		check(bc.Name, bc.RelevantBuffers)
+	}
 	for _, wl := range Workloads() {
 		check(wl.Name, wl.RelevantBuffers)
 	}

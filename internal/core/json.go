@@ -24,16 +24,17 @@ type overlapJSON struct {
 }
 
 type violationJSON struct {
-	Severity string       `json:"severity"`
-	Class    string       `json:"class"`
-	Rule     string       `json:"rule"`
-	Hint     string       `json:"hint"`
-	First    eventJSON    `json:"first"`
-	Second   eventJSON    `json:"second"`
-	Window   int32        `json:"window"`
-	Overlap  *overlapJSON `json:"overlap,omitempty"`
-	Region   int          `json:"region"`
-	Count    int          `json:"count"`
+	Severity  string       `json:"severity"`
+	Class     string       `json:"class"`
+	Rule      string       `json:"rule"`
+	Signature string       `json:"signature"`
+	Hint      string       `json:"hint"`
+	First     eventJSON    `json:"first"`
+	Second    eventJSON    `json:"second"`
+	Window    int32        `json:"window"`
+	Overlap   *overlapJSON `json:"overlap,omitempty"`
+	Region    int          `json:"region"`
+	Count     int          `json:"count"`
 }
 
 type reportJSON struct {
@@ -61,10 +62,11 @@ func (r *Report) JSON() ([]byte, error) {
 	}
 	for _, v := range r.Violations {
 		vj := violationJSON{
-			Severity: v.Severity.String(),
-			Class:    v.Class.String(),
-			Rule:     v.Rule,
-			Hint:     v.Hint(),
+			Severity:  v.Severity.String(),
+			Class:     v.Class.String(),
+			Rule:      v.Rule,
+			Signature: v.Signature(),
+			Hint:      v.Hint(),
 			First: eventJSON{Rank: v.A.Rank, Op: v.A.Kind.String(),
 				File: path.Base(v.A.File), Line: v.A.Line, Func: shortFunc(v.A.Func)},
 			Second: eventJSON{Rank: v.B.Rank, Op: v.B.Kind.String(),

@@ -74,6 +74,27 @@ func (v *Violation) key() string {
 	return fmt.Sprintf("%s|%s|%s|%d", a, b, v.Rule, v.Win)
 }
 
+// Signature returns the violation's canonical identity: severity, class,
+// rule, and the sorted pair of conflicting operations (kind, call site,
+// routine), plus whether a window was involved. It deliberately excludes
+// everything placement- and schedule-dependent — rank IDs, window IDs,
+// region indexes, overlap offsets, counts, seeds — so the same program
+// bug signs identically whichever ranks it lands on and under whichever
+// legal schedule it manifests. The schedule explorer (internal/explore)
+// dedups thousands of schedules down to distinct signatures.
+func (v *Violation) Signature() string {
+	a := fmt.Sprintf("%s@%s#%s", v.A.Kind, v.A.Loc(), shortFunc(v.A.Func))
+	b := fmt.Sprintf("%s@%s#%s", v.B.Kind, v.B.Loc(), shortFunc(v.B.Func))
+	if b < a {
+		a, b = b, a
+	}
+	win := "nowin"
+	if v.Win != 0 || v.Class == AcrossProcesses {
+		win = "win"
+	}
+	return fmt.Sprintf("%s|%s|%s|%s|%s|%s", v.Severity, v.Class, v.Rule, a, b, win)
+}
+
 // Hint suggests a remediation for the violated rule, in the spirit of the
 // paper's goal that diagnostics "help programmers locate and fix the bugs".
 func (v *Violation) Hint() string {
@@ -195,8 +216,10 @@ func (r *Report) Warnings() []*Violation {
 	return out
 }
 
-// Sort orders violations deterministically (by severity, class, then
-// location) for stable output.
+// Sort orders violations deterministically: by severity, class, then
+// canonical signature, with the rank-sensitive key as the final
+// tie-breaker for violations that share a signature (e.g. the same bug on
+// two windows).
 func (r *Report) Sort() {
 	sort.Slice(r.Violations, func(i, j int) bool {
 		a, b := r.Violations[i], r.Violations[j]
@@ -205,6 +228,9 @@ func (r *Report) Sort() {
 		}
 		if a.Class != b.Class {
 			return a.Class < b.Class
+		}
+		if sa, sb := a.Signature(), b.Signature(); sa != sb {
+			return sa < sb
 		}
 		return a.key() < b.key()
 	})

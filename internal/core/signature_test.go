@@ -1,0 +1,100 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/trace"
+)
+
+func sigViolation(rankA, rankB int32, win int32, region int, overlap memory.Interval) *Violation {
+	return &Violation{
+		Severity: SevError,
+		Class:    AcrossProcesses,
+		Rule:     "local store conflicts with a remote Put",
+		A: trace.Event{Kind: trace.KindStore, Rank: rankA,
+			File: "/tmp/src/app.go", Line: 42, Func: "repro/internal/apps.body"},
+		B: trace.Event{Kind: trace.KindPut, Rank: rankB,
+			File: "/tmp/src/app.go", Line: 17, Func: "repro/internal/apps.body"},
+		Win: win, Region: region, Overlap: overlap, Count: 1,
+	}
+}
+
+// TestSignatureRankStable is the contract the schedule explorer depends
+// on: permuting rank IDs (and everything else placement- or
+// schedule-dependent — window IDs, region indexes, overlap offsets,
+// counts) must not change the signature.
+func TestSignatureRankStable(t *testing.T) {
+	base := sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+	perms := []*Violation{
+		sigViolation(1, 0, 3, 2, memory.Iv(100, 8)),  // ranks swapped
+		sigViolation(5, 63, 3, 2, memory.Iv(100, 8)), // ranks relabeled
+		sigViolation(0, 1, 7, 2, memory.Iv(100, 8)),  // different window id
+		sigViolation(0, 1, 3, 9, memory.Iv(100, 8)),  // different region
+		sigViolation(0, 1, 3, 2, memory.Iv(512, 4)),  // different overlap
+	}
+	for i, v := range perms {
+		if v.Signature() != base.Signature() {
+			t.Errorf("perm %d: signature changed:\n  base %s\n  perm %s", i, base.Signature(), v.Signature())
+		}
+	}
+	if base.Signature() == "" || !strings.Contains(base.Signature(), "app.go:42") {
+		t.Errorf("signature %q should carry the call sites", base.Signature())
+	}
+}
+
+// TestSignatureSwappedOperandsStable: the (A, B) operand order is an
+// artifact of detection order; the signature must not depend on it.
+func TestSignatureSwappedOperandsStable(t *testing.T) {
+	v := sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+	w := &Violation{Severity: v.Severity, Class: v.Class, Rule: v.Rule,
+		A: v.B, B: v.A, Win: v.Win, Region: v.Region, Overlap: v.Overlap}
+	if v.Signature() != w.Signature() {
+		t.Errorf("operand swap changed signature:\n  %s\n  %s", v.Signature(), w.Signature())
+	}
+}
+
+// TestSignatureSeparatesDistinctBugs: different rule, site, severity, or
+// class must produce different signatures.
+func TestSignatureSeparatesDistinctBugs(t *testing.T) {
+	base := sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+	diffRule := sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+	diffRule.Rule = "another rule"
+	diffSite := sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+	diffSite.A.Line = 43
+	diffSev := sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+	diffSev.Severity = SevWarning
+	diffClass := sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+	diffClass.Class = WithinEpoch
+	for i, v := range []*Violation{diffRule, diffSite, diffSev, diffClass} {
+		if v.Signature() == base.Signature() {
+			t.Errorf("variant %d: distinct bug collided with base signature %q", i, base.Signature())
+		}
+	}
+}
+
+// TestSortBySignatureDeterministic: shuffled insertion orders converge to
+// one output order.
+func TestSortBySignatureDeterministic(t *testing.T) {
+	mk := func() []*Violation {
+		a := sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+		b := sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+		b.Rule = "zz later rule"
+		c := sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+		c.Severity = SevWarning
+		d := sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+		d.Class = WithinEpoch
+		return []*Violation{a, b, c, d}
+	}
+	r1 := &Report{Violations: mk()}
+	vs := mk()
+	r2 := &Report{Violations: []*Violation{vs[3], vs[1], vs[0], vs[2]}}
+	r1.Sort()
+	r2.Sort()
+	for i := range r1.Violations {
+		if r1.Violations[i].Signature() != r2.Violations[i].Signature() {
+			t.Fatalf("position %d: %s vs %s", i, r1.Violations[i].Signature(), r2.Violations[i].Signature())
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+// TestExploreThroughputInvariantFindings: the throughput experiment's
+// core claim — jobs only change speed, never what is found.
+func TestExploreThroughputInvariantFindings(t *testing.T) {
+	schedules := 64
+	if testing.Short() {
+		schedules = 16
+	}
+	rows, err := ExploreThroughput(schedules, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Schedules != schedules {
+			t.Errorf("jobs=%d completed %d schedules, want %d", r.Jobs, r.Schedules, schedules)
+		}
+		if r.SchedulesPerSec <= 0 {
+			t.Errorf("jobs=%d reported %.1f schedules/s", r.Jobs, r.SchedulesPerSec)
+		}
+		if r.Distinct != rows[0].Distinct {
+			t.Errorf("jobs=%d found %d distinct violations, jobs=%d found %d",
+				r.Jobs, r.Distinct, rows[0].Jobs, rows[0].Distinct)
+		}
+	}
+	if rows[0].Speedup != 1 {
+		t.Errorf("first row speedup = %.2f, want 1", rows[0].Speedup)
+	}
+}

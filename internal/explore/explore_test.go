@@ -1,0 +1,326 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/profiler"
+)
+
+// schedRunner builds the Runner for the planted schedule-dependent bug.
+func schedRunner(t *testing.T, buggy bool) *Runner {
+	t.Helper()
+	bc := apps.ScheduleCases()[0]
+	if bc.Name != "schedrace" {
+		t.Fatalf("registry: first schedule case is %q, want schedrace", bc.Name)
+	}
+	body := bc.Buggy
+	if !buggy {
+		body = bc.Fixed
+	}
+	return &Runner{
+		Body:  body,
+		Ranks: bc.Ranks,
+		Rel:   profiler.FromNames(bc.RelevantBuffers),
+	}
+}
+
+// TestPlantedBugCleanOnDefaultSchedule is the precondition that makes
+// exploration necessary: a single plain run of the buggy program (no
+// plan at all, and the seed-0 identity schedule) finds nothing.
+func TestPlantedBugCleanOnDefaultSchedule(t *testing.T) {
+	r := schedRunner(t, true)
+	for _, plan := range []*faults.Plan{nil, {Seed: 0}} {
+		rep, err := r.Run(plan)
+		if err != nil {
+			t.Fatalf("Run(%v): %v", plan, err)
+		}
+		if len(rep.Violations) != 0 {
+			t.Fatalf("Run(%v): default schedule found %d violations, want clean:\n%s",
+				plan, len(rep.Violations), rep)
+		}
+	}
+}
+
+// TestEveryStrategyCatchesPlantedBug: each schedule strategy must expose
+// the interleaving-dependent violation within a bounded schedule budget.
+func TestEveryStrategyCatchesPlantedBug(t *testing.T) {
+	budgets := map[string]int{
+		"sweep": 32,
+		"walk":  32,
+		"pct":   32,
+		// One delay step hits the load-bearing (origin, batch) pair with
+		// probability 1/(ranks·maxBatch) per schedule, so it needs more.
+		"delay": 128,
+	}
+	for _, strat := range Strategies() {
+		strat := strat
+		t.Run(strat.Name(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Explore(Config{
+				Runner:    schedRunner(t, true),
+				Strategy:  strat,
+				Schedules: budgets[strat.Name()],
+				Seed:      1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Distinct() != 1 {
+				t.Fatalf("%s: found %d distinct violations in %d schedules, want exactly 1",
+					strat.Name(), res.Distinct(), res.Schedules)
+			}
+			f := res.Findings[0]
+			if !strings.Contains(f.Signature, "pending Get") {
+				t.Errorf("%s: unexpected signature %q", strat.Name(), f.Signature)
+			}
+			// The finding must replay: the plan string round-trips through
+			// the -faults DSL and reproduces the same signature.
+			plan, err := faults.Parse(f.FirstPlan.String())
+			if err != nil {
+				t.Fatalf("parsing replay plan %q: %v", f.FirstPlan, err)
+			}
+			rep, err := schedRunner(t, true).Run(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			found := false
+			for _, v := range rep.Violations {
+				found = found || v.Signature() == f.Signature
+			}
+			if !found {
+				t.Errorf("%s: replaying %q did not reproduce %s", strat.Name(), f.FirstPlan, f.Signature)
+			}
+		})
+	}
+}
+
+// TestFixedVariantCleanUnderEveryStrategy: the fixed program stays clean
+// across the same sweeps that catch the buggy one.
+func TestFixedVariantCleanUnderEveryStrategy(t *testing.T) {
+	for _, strat := range Strategies() {
+		strat := strat
+		t.Run(strat.Name(), func(t *testing.T) {
+			t.Parallel()
+			res, err := Explore(Config{
+				Runner:    schedRunner(t, false),
+				Strategy:  strat,
+				Schedules: 16,
+				Seed:      1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Distinct() != 0 {
+				t.Fatalf("%s: fixed variant produced %d findings:\n%+v",
+					strat.Name(), res.Distinct(), res.Findings[0])
+			}
+		})
+	}
+}
+
+// TestDedupAcrossManySchedules is the acceptance sweep: across ≥1000
+// schedules the planted bug collapses to exactly one distinct violation,
+// however many schedules trigger it.
+func TestDedupAcrossManySchedules(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-schedule sweep skipped in -short mode")
+	}
+	reg := obs.NewRegistry()
+	r := schedRunner(t, true)
+	r.Obs = reg
+	res, err := Explore(Config{
+		Runner:    r,
+		Strategy:  Sweep{},
+		Schedules: 1000,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedules != 1000 {
+		t.Fatalf("completed %d schedules, want 1000", res.Schedules)
+	}
+	if res.Distinct() != 1 {
+		t.Fatalf("found %d distinct violations, want 1 (dedup failed)", res.Distinct())
+	}
+	f := res.Findings[0]
+	if f.Count < 100 {
+		t.Errorf("signature seen in only %d/1000 schedules; the race should flip often", f.Count)
+	}
+	if got := reg.Counter("mcchecker_explore_schedules_total").Value(); got != 1000 {
+		t.Errorf("obs schedules counter = %d, want 1000", got)
+	}
+	if got := reg.Gauge("mcchecker_explore_distinct_violations").Value(); got != 1 {
+		t.Errorf("obs distinct gauge = %d, want 1", got)
+	}
+}
+
+// TestFindingsIndependentOfJobs: the aggregate (signatures, counts,
+// first-producing schedule, example) must not depend on worker count.
+func TestFindingsIndependentOfJobs(t *testing.T) {
+	run := func(jobs int) *Result {
+		res, err := Explore(Config{
+			Runner:    schedRunner(t, true),
+			Strategy:  Sweep{},
+			Schedules: 64,
+			Jobs:      jobs,
+			Seed:      1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, jobs := range []int{2, 8} {
+		got := run(jobs)
+		if got.Schedules != want.Schedules || got.Violating != want.Violating {
+			t.Fatalf("jobs=%d: %d/%d schedules violating, want %d/%d",
+				jobs, got.Violating, got.Schedules, want.Violating, want.Schedules)
+		}
+		if len(got.Findings) != len(want.Findings) {
+			t.Fatalf("jobs=%d: %d findings, want %d", jobs, len(got.Findings), len(want.Findings))
+		}
+		for i, f := range got.Findings {
+			w := want.Findings[i]
+			if f.Signature != w.Signature || f.Count != w.Count ||
+				f.FirstIndex != w.FirstIndex || f.FirstPlan.String() != w.FirstPlan.String() {
+				t.Errorf("jobs=%d finding %d: {%s %d %d %s} differs from jobs=1 {%s %d %d %s}",
+					jobs, i, f.Signature, f.Count, f.FirstIndex, f.FirstPlan,
+					w.Signature, w.Count, w.FirstIndex, w.FirstPlan)
+			}
+		}
+	}
+}
+
+// TestBudgetStopsFeedingSchedules: an already-expired budget admits no
+// new schedules (in-flight ones would still finish and be counted).
+func TestBudgetStopsFeedingSchedules(t *testing.T) {
+	res, err := Explore(Config{
+		Runner:    schedRunner(t, true),
+		Strategy:  Sweep{},
+		Schedules: 1000,
+		Budget:    time.Nanosecond,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedules >= 1000 {
+		t.Fatalf("budget of 1ns still completed all %d schedules", res.Schedules)
+	}
+}
+
+// TestRegistrySweepDeterministic explores every registry app for a few
+// schedules, twice, asserting no panics, no run failures, and a
+// schedule-sweep aggregate that is identical between repetitions.
+func TestRegistrySweepDeterministic(t *testing.T) {
+	for _, bc := range apps.AllCases() {
+		bc := bc
+		t.Run(bc.Name, func(t *testing.T) {
+			t.Parallel()
+			schedules := 3
+			if bc.Ranks > 8 && testing.Short() {
+				schedules = 2
+			}
+			sweep := func() []string {
+				res, err := Explore(Config{
+					Runner: &Runner{
+						Body:  bc.Buggy,
+						Ranks: bc.Ranks,
+						Rel:   profiler.FromNames(bc.RelevantBuffers),
+					},
+					Strategy:  Sweep{},
+					Schedules: schedules,
+					Jobs:      2,
+					Seed:      7,
+				})
+				if err != nil {
+					t.Fatalf("explore %s: %v", bc.Name, err)
+				}
+				var sigs []string
+				for _, f := range res.Findings {
+					sigs = append(sigs, fmt.Sprintf("%s x%d first=%d", f.Signature, f.Count, f.FirstIndex))
+				}
+				return sigs
+			}
+			a, b := sweep(), sweep()
+			if len(a) != len(b) {
+				t.Fatalf("nondeterministic sweep: %d findings then %d", len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Errorf("nondeterministic finding %d:\n  %s\n  %s", i, a[i], b[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSoakInvariance: the soak harness accepts schedule-invariant apps
+// and returns the first report.
+func TestSoakInvariance(t *testing.T) {
+	bc := apps.BugCases()[0] // emulate: deterministic violation on every schedule
+	rep, err := Soak(&Runner{
+		Body:  bc.Buggy,
+		Ranks: bc.Ranks,
+		Rel:   profiler.FromNames(bc.RelevantBuffers),
+	}, nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("soak returned a clean report for the emulate bug")
+	}
+}
+
+// TestSoakDetectsDivergence: schedrace is schedule-*dependent*, so a
+// seed-varied soak over a flipping schedule must detect the divergence
+// rather than average it away.
+func TestSoakDetectsDivergence(t *testing.T) {
+	_, err := Soak(schedRunner(t, true), &faults.Plan{Seed: 1, Reorder: true}, 16)
+	if err == nil {
+		t.Fatal("soak over a schedule-dependent bug reported invariance")
+	}
+	if !strings.Contains(err.Error(), "diverged") {
+		t.Fatalf("unexpected soak error: %v", err)
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, name := range []string{"sweep", "walk", "pct", "delay"} {
+		s, err := ParseStrategy(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != name {
+			t.Errorf("ParseStrategy(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ParseStrategy("dfs"); err == nil {
+		t.Error("ParseStrategy accepted an unknown name")
+	}
+}
+
+// TestStrategyPlansDeterministic: a strategy's i-th plan is a pure
+// function of (i, base, ranks).
+func TestStrategyPlansDeterministic(t *testing.T) {
+	for _, strat := range Strategies() {
+		for i := 0; i < 8; i++ {
+			a := strat.Plan(i, 42, 4).String()
+			b := strat.Plan(i, 42, 4).String()
+			if a != b {
+				t.Errorf("%s: plan %d not deterministic: %q vs %q", strat.Name(), i, a, b)
+			}
+			if _, err := faults.Parse(a); err != nil {
+				t.Errorf("%s: plan %d does not round-trip the DSL: %v", strat.Name(), i, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package explore
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/faults"
+)
+
+// Soak repeats a run under seed-varied perturbations of one plan and
+// verifies the report is invariant: scheduling and legal completion
+// reordering must not change what MC-Checker finds. Structural faults
+// (crashes, truncations) and schedule clauses keep their places across
+// iterations; only the seed varies. A nil plan uses the default
+// perturbation (legal reordering plus frequent yields).
+//
+// Seed-dependent degraded-mode diagnostics are excluded from the
+// invariant (and nil'd in the returned report); the violations and
+// coverage counters are compared byte-for-byte as JSON. The first
+// diverging iteration is reported as an error carrying both reports.
+func Soak(r *Runner, plan *faults.Plan, iters int) (*core.Report, error) {
+	if plan == nil {
+		plan = &faults.Plan{Seed: 1, Reorder: true, Yield: 25}
+	}
+	var first *core.Report
+	var want []byte
+	for i := 0; i < iters; i++ {
+		p := plan.WithSeed(plan.Seed + uint64(i))
+		rep, err := r.Run(p)
+		if err != nil {
+			return nil, fmt.Errorf("soak iteration %d: %w", i, err)
+		}
+		rep.Degraded = nil
+		data, err := rep.JSON()
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			first, want = rep, data
+			continue
+		}
+		if !bytes.Equal(data, want) {
+			return nil, fmt.Errorf("soak: iteration %d (seed %d) diverged from iteration 0:\n--- iteration 0 ---\n%s\n--- iteration %d ---\n%s",
+				i, p.Seed, want, i, data)
+		}
+	}
+	return first, nil
+}

@@ -1,11 +1,19 @@
-// Package faults defines deterministic, seeded fault plans for the
-// MC-Checker pipeline. A Plan is parsed from a compact DSL
-// ("seed=7,crash=1@120,trunc=0.5,reorder,yield=20") and consumed by the
-// simulator (rank crashes, scheduler yields, RMA completion reordering),
-// the trace layer (byte truncation), and the CLI (soak mode). Everything
-// is derived from the plan's seed through a splitmix64 generator, so the
-// same plan produces the same faults — and therefore the same report —
-// on every run.
+// Package faults defines deterministic, seeded fault and schedule plans
+// for the MC-Checker pipeline. A Plan is parsed from a compact DSL
+// ("seed=7,crash=1@120,trunc=0.5,reorder,yield=20,prio=1.0,chg=2,delay=0@3")
+// and consumed by the simulator (rank crashes, scheduler yields, RMA
+// completion scheduling), the trace layer (byte truncation), and the CLI
+// (soak and explore modes). Everything is derived from the plan's seed
+// through a splitmix64 generator, so the same plan produces the same
+// faults — and therefore the same report — on every run.
+//
+// Beyond failure injection, a Plan doubles as a deterministic *schedule*
+// over the space of legal RMA completion orders: reorder (random batch
+// permutation), prio (rank completion priorities), chg (PCT-style
+// priority change points), and delay (delay-bounded reordering) pick one
+// legal completion order per batch. internal/explore sweeps that space
+// and shrinks violating plans back to a minimal, replayable clause set
+// (ScheduleAtoms / WithScheduleAtoms).
 //
 // The package is dependency-free (standard library only) so that every
 // layer of the pipeline can import it without coupling.
@@ -32,6 +40,13 @@ type Trunc struct {
 	Frac float64
 }
 
+// Delay defers one origin rank's operations to the back of one RMA
+// completion batch — the unit step of delay-bounded scheduling.
+type Delay struct {
+	Origin int // world rank whose operations are delayed
+	Batch  int // 0-based per-window completion-batch ordinal
+}
+
 // Plan is one deterministic fault plan. The zero value injects nothing.
 type Plan struct {
 	Seed    uint64
@@ -39,6 +54,12 @@ type Plan struct {
 	Truncs  []Trunc
 	Reorder bool // legal cross-origin reordering of RMA completion batches
 	Yield   int  // percent chance of a scheduler yield per MPI call
+
+	// Schedule clauses: deterministic choices of legal RMA completion
+	// orders, explored by internal/explore and replayed via the DSL.
+	Prio    []int   // completion priority per world rank (higher applies later; ranks beyond the list use their rank)
+	Changes []int   // PCT-style change points: batch ordinals at which a seed-derived rank is demoted
+	Delays  []Delay // delay-bounded reordering steps
 }
 
 // Parse decodes the fault DSL: comma-separated clauses of
@@ -49,6 +70,9 @@ type Plan struct {
 //	trunc=F@R       truncate only rank R's trace
 //	reorder         legally reorder RMA completion batches across origins
 //	yield=P         P percent chance of a scheduler yield per MPI call
+//	prio=P0.P1...   completion priority per rank (higher applies later)
+//	chg=K           PCT-style change point at completion batch K
+//	delay=R@K       delay rank R's operations to the back of batch K
 //
 // An empty string yields a nil plan (no faults).
 func Parse(s string) (*Plan, error) {
@@ -62,55 +86,93 @@ func Parse(s string) (*Plan, error) {
 		if clause == "" {
 			continue
 		}
-		key, val, hasVal := strings.Cut(clause, "=")
-		switch key {
-		case "seed":
-			n, err := strconv.ParseUint(val, 10, 64)
-			if err != nil || !hasVal {
-				return nil, fmt.Errorf("faults: bad seed clause %q", clause)
-			}
-			p.Seed = n
-		case "crash":
-			rankStr, callStr, ok := strings.Cut(val, "@")
-			if !ok || !hasVal {
-				return nil, fmt.Errorf("faults: bad crash clause %q (want crash=RANK@CALL)", clause)
-			}
-			rank, err1 := strconv.Atoi(rankStr)
-			call, err2 := strconv.Atoi(callStr)
-			if err1 != nil || err2 != nil || rank < 0 || call < 1 {
-				return nil, fmt.Errorf("faults: bad crash clause %q (want crash=RANK@CALL, CALL >= 1)", clause)
-			}
-			p.Crashes = append(p.Crashes, Crash{Rank: rank, Call: call})
-		case "trunc":
-			fracStr, rankStr, hasRank := strings.Cut(val, "@")
-			frac, err := strconv.ParseFloat(fracStr, 64)
-			if err != nil || !hasVal || frac < 0 || frac > 1 {
-				return nil, fmt.Errorf("faults: bad trunc clause %q (want trunc=FRAC[@RANK], 0 <= FRAC <= 1)", clause)
-			}
-			rank := -1
-			if hasRank {
-				rank, err = strconv.Atoi(rankStr)
-				if err != nil || rank < 0 {
-					return nil, fmt.Errorf("faults: bad trunc clause %q", clause)
-				}
-			}
-			p.Truncs = append(p.Truncs, Trunc{Rank: rank, Frac: frac})
-		case "reorder":
-			if hasVal {
-				return nil, fmt.Errorf("faults: reorder takes no value (got %q)", clause)
-			}
-			p.Reorder = true
-		case "yield":
-			n, err := strconv.Atoi(val)
-			if err != nil || !hasVal || n < 0 || n > 100 {
-				return nil, fmt.Errorf("faults: bad yield clause %q (want yield=PERCENT)", clause)
-			}
-			p.Yield = n
-		default:
-			return nil, fmt.Errorf("faults: unknown clause %q", clause)
+		if err := p.applyClause(clause); err != nil {
+			return nil, err
 		}
 	}
 	return p, nil
+}
+
+// applyClause folds one DSL clause into the plan.
+func (p *Plan) applyClause(clause string) error {
+	key, val, hasVal := strings.Cut(clause, "=")
+	switch key {
+	case "seed":
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil || !hasVal {
+			return fmt.Errorf("faults: bad seed clause %q", clause)
+		}
+		p.Seed = n
+	case "crash":
+		rankStr, callStr, ok := strings.Cut(val, "@")
+		if !ok || !hasVal {
+			return fmt.Errorf("faults: bad crash clause %q (want crash=RANK@CALL)", clause)
+		}
+		rank, err1 := strconv.Atoi(rankStr)
+		call, err2 := strconv.Atoi(callStr)
+		if err1 != nil || err2 != nil || rank < 0 || call < 1 {
+			return fmt.Errorf("faults: bad crash clause %q (want crash=RANK@CALL, CALL >= 1)", clause)
+		}
+		p.Crashes = append(p.Crashes, Crash{Rank: rank, Call: call})
+	case "trunc":
+		fracStr, rankStr, hasRank := strings.Cut(val, "@")
+		frac, err := strconv.ParseFloat(fracStr, 64)
+		if err != nil || !hasVal || frac < 0 || frac > 1 {
+			return fmt.Errorf("faults: bad trunc clause %q (want trunc=FRAC[@RANK], 0 <= FRAC <= 1)", clause)
+		}
+		rank := -1
+		if hasRank {
+			rank, err = strconv.Atoi(rankStr)
+			if err != nil || rank < 0 {
+				return fmt.Errorf("faults: bad trunc clause %q", clause)
+			}
+		}
+		p.Truncs = append(p.Truncs, Trunc{Rank: rank, Frac: frac})
+	case "reorder":
+		if hasVal {
+			return fmt.Errorf("faults: reorder takes no value (got %q)", clause)
+		}
+		p.Reorder = true
+	case "yield":
+		n, err := strconv.Atoi(val)
+		if err != nil || !hasVal || n < 0 || n > 100 {
+			return fmt.Errorf("faults: bad yield clause %q (want yield=PERCENT)", clause)
+		}
+		p.Yield = n
+	case "prio":
+		if !hasVal || val == "" {
+			return fmt.Errorf("faults: bad prio clause %q (want prio=P0.P1...)", clause)
+		}
+		var prio []int
+		for _, part := range strings.Split(val, ".") {
+			n, err := strconv.Atoi(part)
+			if err != nil || n < 0 {
+				return fmt.Errorf("faults: bad prio clause %q (priorities are non-negative ints)", clause)
+			}
+			prio = append(prio, n)
+		}
+		p.Prio = prio
+	case "chg":
+		n, err := strconv.Atoi(val)
+		if err != nil || !hasVal || n < 0 {
+			return fmt.Errorf("faults: bad chg clause %q (want chg=BATCH)", clause)
+		}
+		p.Changes = append(p.Changes, n)
+	case "delay":
+		rankStr, batchStr, ok := strings.Cut(val, "@")
+		if !ok || !hasVal {
+			return fmt.Errorf("faults: bad delay clause %q (want delay=RANK@BATCH)", clause)
+		}
+		rank, err1 := strconv.Atoi(rankStr)
+		batch, err2 := strconv.Atoi(batchStr)
+		if err1 != nil || err2 != nil || rank < 0 || batch < 0 {
+			return fmt.Errorf("faults: bad delay clause %q (want delay=RANK@BATCH)", clause)
+		}
+		p.Delays = append(p.Delays, Delay{Origin: rank, Batch: batch})
+	default:
+		return fmt.Errorf("faults: unknown clause %q", clause)
+	}
+	return nil
 }
 
 // String renders the plan in canonical DSL form, round-trippable through
@@ -137,18 +199,67 @@ func (p *Plan) String() string {
 			parts = append(parts, fmt.Sprintf("trunc=%g@%d", t.Frac, t.Rank))
 		}
 	}
+	parts = append(parts, p.ScheduleAtoms()...)
+	return strings.Join(parts, ",")
+}
+
+// ScheduleAtoms returns the plan's schedule clauses in canonical DSL form,
+// one independently removable atom per entry — the unit the ddmin schedule
+// minimizer (internal/explore) adds and removes. Crashes and truncations
+// are structural faults, not schedule atoms.
+func (p *Plan) ScheduleAtoms() []string {
+	if p == nil {
+		return nil
+	}
+	var atoms []string
 	if p.Reorder {
-		parts = append(parts, "reorder")
+		atoms = append(atoms, "reorder")
 	}
 	if p.Yield > 0 {
-		parts = append(parts, fmt.Sprintf("yield=%d", p.Yield))
+		atoms = append(atoms, fmt.Sprintf("yield=%d", p.Yield))
 	}
-	return strings.Join(parts, ",")
+	if len(p.Prio) > 0 {
+		strs := make([]string, len(p.Prio))
+		for i, n := range p.Prio {
+			strs[i] = strconv.Itoa(n)
+		}
+		atoms = append(atoms, "prio="+strings.Join(strs, "."))
+	}
+	changes := append([]int(nil), p.Changes...)
+	sort.Ints(changes)
+	for _, c := range changes {
+		atoms = append(atoms, fmt.Sprintf("chg=%d", c))
+	}
+	for _, d := range p.Delays {
+		atoms = append(atoms, fmt.Sprintf("delay=%d@%d", d.Origin, d.Batch))
+	}
+	return atoms
+}
+
+// WithScheduleAtoms returns a copy of the plan whose schedule clauses are
+// replaced by exactly the given atoms (as produced by ScheduleAtoms),
+// keeping the seed and the structural faults. It is how the minimizer
+// tests whether a subset of schedule decisions still reproduces a
+// violation.
+func (p *Plan) WithScheduleAtoms(atoms []string) (*Plan, error) {
+	q := &Plan{}
+	if p != nil {
+		q.Seed = p.Seed
+		q.Crashes = append([]Crash(nil), p.Crashes...)
+		q.Truncs = append([]Trunc(nil), p.Truncs...)
+	}
+	for _, a := range atoms {
+		if err := q.applyClause(a); err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
 }
 
 // Active reports whether the plan injects anything at all.
 func (p *Plan) Active() bool {
-	return p != nil && (len(p.Crashes) > 0 || len(p.Truncs) > 0 || p.Reorder || p.Yield > 0)
+	return p != nil && (len(p.Crashes) > 0 || len(p.Truncs) > 0 || p.Reorder || p.Yield > 0 ||
+		len(p.Prio) > 0 || len(p.Changes) > 0 || len(p.Delays) > 0)
 }
 
 // HasCrash reports whether any rank crash is planned.

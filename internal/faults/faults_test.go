@@ -11,6 +11,10 @@ func TestParseRoundTrip(t *testing.T) {
 		"seed=7,crash=0@3,crash=1@120,trunc=0.5",
 		"seed=2,trunc=0.25@2,reorder,yield=20",
 		"seed=1,reorder",
+		"seed=3,prio=1.0.2",
+		"seed=4,chg=0,chg=5",
+		"seed=5,delay=0@0,delay=2@7",
+		"seed=6,reorder,yield=10,prio=2.1.0,chg=1,delay=1@3",
 	}
 	for _, s := range cases {
 		p, err := Parse(s)
@@ -58,6 +62,8 @@ func TestParseErrors(t *testing.T) {
 		"seed=x", "seed", "crash=1", "crash=@5", "crash=1@0", "crash=-1@5",
 		"trunc=2", "trunc=-0.1", "trunc=0.5@x", "yield=101", "yield=-1",
 		"reorder=1", "bogus=3", "wat",
+		"prio=", "prio=1.x", "prio=-1", "chg=-2", "chg=x", "chg",
+		"delay=1", "delay=@3", "delay=-1@2", "delay=0@-1",
 	} {
 		if p, err := Parse(s); err == nil {
 			t.Errorf("Parse(%q) = %+v, want error", s, p)
@@ -144,6 +150,63 @@ func TestIntnRange(t *testing.T) {
 	}
 	if len(seen) < 5 {
 		t.Errorf("Intn(7) hit only %d distinct values in 200 draws", len(seen))
+	}
+}
+
+func TestScheduleAtomsRoundTrip(t *testing.T) {
+	p, err := Parse("seed=9,crash=1@5,reorder,yield=15,prio=1.0,chg=2,chg=0,delay=0@1,delay=1@0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	atoms := p.ScheduleAtoms()
+	want := []string{"reorder", "yield=15", "prio=1.0", "chg=0", "chg=2", "delay=0@1", "delay=1@0"}
+	if len(atoms) != len(want) {
+		t.Fatalf("ScheduleAtoms = %v, want %v", atoms, want)
+	}
+	for i := range want {
+		if atoms[i] != want[i] {
+			t.Fatalf("ScheduleAtoms = %v, want %v", atoms, want)
+		}
+	}
+	// Rebuilding from all atoms reproduces the schedule; the structural
+	// crash and the seed ride along untouched.
+	q, err := p.WithScheduleAtoms(atoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.String() != p.String() {
+		t.Errorf("WithScheduleAtoms(all) = %q, want %q", q.String(), p.String())
+	}
+	// A subset drops exactly the removed clauses.
+	q, err = p.WithScheduleAtoms([]string{"delay=1@0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Reorder || q.Yield != 0 || q.Prio != nil || q.Changes != nil || len(q.Delays) != 1 {
+		t.Errorf("subset rebuild kept extra clauses: %q", q.String())
+	}
+	if q.Seed != 9 || len(q.Crashes) != 1 {
+		t.Errorf("subset rebuild lost seed or structural faults: %q", q.String())
+	}
+	// Empty subset: structural plan only.
+	q, err = p.WithScheduleAtoms(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.String(); got != "seed=9,crash=1@5" {
+		t.Errorf("WithScheduleAtoms(nil) = %q", got)
+	}
+}
+
+func TestScheduleClausesActive(t *testing.T) {
+	for _, s := range []string{"prio=1.0", "chg=0", "delay=0@0"} {
+		p, err := Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Active() {
+			t.Errorf("Parse(%q).Active() = false, want true", s)
+		}
 	}
 }
 

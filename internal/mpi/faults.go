@@ -247,30 +247,42 @@ func (p *Proc) setupFaults() {
 	}
 }
 
-// reorderBatch permutes a deterministic-sorted RMA completion batch
-// across origins (preserving each origin's program order, which MPI
-// guarantees for accumulates) when the plan asks for reorder faults. The
-// permutation is derived from the seed and the batch identity, never from
-// shared mutable state, so it reproduces exactly.
-func (w *World) reorderBatch(winID int32, ops []*rmaOp) {
+// scheduleBatch picks the completion order of one deterministic-sorted
+// RMA batch according to the plan's schedule clauses, preserving each
+// origin's program order (which MPI guarantees for accumulates). batch is
+// the window's 0-based completion-batch ordinal. The clauses compose in a
+// fixed order — reorder, then priorities with change points, then delays —
+// and every decision is derived from the plan's seed and the batch
+// identity, never from shared mutable state, so a schedule replays
+// exactly.
+func (w *World) scheduleBatch(winID int32, batch int, ops []*rmaOp) {
 	fs := w.faults
-	if fs == nil || fs.plan == nil || !fs.plan.Reorder || len(ops) < 2 {
+	if fs == nil || fs.plan == nil || len(ops) < 2 {
 		return
 	}
-	origins := make([]int, 0, 4)
-	seen := make(map[int]bool, 4)
-	for _, op := range ops {
-		if !seen[op.origin] {
-			seen[op.origin] = true
-			origins = append(origins, op.origin)
+	plan := fs.plan
+	if plan.Reorder {
+		w.reorderBatch(winID, ops)
+	}
+	if len(plan.Prio) > 0 || len(plan.Changes) > 0 {
+		w.prioritizeBatch(batch, ops)
+	}
+	for _, d := range plan.Delays {
+		if d.Batch == batch && delayOrigin(ops, d.Origin) {
+			w.metrics.faultInjected(faultDelay)
 		}
 	}
+}
+
+// reorderBatch permutes the batch across origins with a random (but
+// seed-derived) priority per origin. The stream is keyed by the batch
+// fingerprint so every batch gets an independent, stable permutation.
+func (w *World) reorderBatch(winID int32, ops []*rmaOp) {
+	origins := batchOrigins(ops)
 	if len(origins) < 2 {
 		return // single origin: program order is mandatory, nothing to permute
 	}
-	// ops is already sorted by (origin, seq): key the stream by the batch
-	// fingerprint so every batch gets an independent, stable permutation.
-	rng := faults.Derive(fs.plan.Seed, uint64(uint32(winID)),
+	rng := faults.Derive(w.faults.plan.Seed, uint64(uint32(winID)),
 		uint64(ops[0].origin)<<32|uint64(uint32(ops[0].seq)), uint64(len(ops)))
 	prio := make(map[int]uint64, len(origins))
 	for _, o := range origins { // origins appear in sorted order after applyAll's sort
@@ -284,4 +296,81 @@ func (w *World) reorderBatch(winID int32, ops []*rmaOp) {
 		return a.seq < b.seq
 	})
 	w.metrics.faultInjected(faultReorder)
+}
+
+// prioritizeBatch orders the batch by explicit rank priorities (the PCT
+// strategy of internal/explore): an origin with a higher priority value
+// applies later, so its writes win. Ranks beyond the prio list use their
+// rank as priority. Each change point whose batch ordinal has been
+// reached demotes one seed-derived rank to apply first — the PCT priority
+// drop, keyed by the change point's index so a replay demotes the same
+// ranks.
+func (w *World) prioritizeBatch(batch int, ops []*rmaOp) {
+	plan := w.faults.plan
+	origins := batchOrigins(ops)
+	if len(origins) < 2 {
+		return
+	}
+	prio := func(origin int) int {
+		if origin < len(plan.Prio) {
+			return plan.Prio[origin]
+		}
+		return origin
+	}
+	demoted := make(map[int]int)
+	for i, c := range plan.Changes {
+		if c <= batch {
+			r := faults.Derive(plan.Seed, 0x63686770 /* "chgp" */, uint64(i)).Intn(len(w.procs))
+			demoted[r] = -(i + 1)
+		}
+	}
+	key := func(origin int) int {
+		if d, ok := demoted[origin]; ok {
+			return d
+		}
+		return prio(origin)
+	}
+	sort.SliceStable(ops, func(i, j int) bool {
+		a, b := ops[i], ops[j]
+		if key(a.origin) != key(b.origin) {
+			return key(a.origin) < key(b.origin)
+		}
+		if a.origin != b.origin {
+			return a.origin < b.origin
+		}
+		return a.seq < b.seq
+	})
+	w.metrics.faultInjected(faultPrio)
+}
+
+// delayOrigin stably moves the given origin's operations to the back of
+// the batch, reporting whether anything moved.
+func delayOrigin(ops []*rmaOp, origin int) bool {
+	kept := make([]*rmaOp, 0, len(ops))
+	var delayed []*rmaOp
+	for _, op := range ops {
+		if op.origin == origin {
+			delayed = append(delayed, op)
+		} else {
+			kept = append(kept, op)
+		}
+	}
+	if len(delayed) == 0 || len(kept) == 0 {
+		return false
+	}
+	copy(ops, append(kept, delayed...))
+	return true
+}
+
+// batchOrigins returns the distinct origins of a batch in encounter order.
+func batchOrigins(ops []*rmaOp) []int {
+	origins := make([]int, 0, 4)
+	seen := make(map[int]bool, 4)
+	for _, op := range ops {
+		if !seen[op.origin] {
+			seen[op.origin] = true
+			origins = append(origins, op.origin)
+		}
+	}
+	return origins
 }

@@ -3,6 +3,7 @@ package mpi
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/memory"
 	"repro/internal/trace"
@@ -36,6 +37,13 @@ type winShared struct {
 	locals []winLocal // indexed by comm-relative rank
 	locks  []*lockState
 	fences *collState // fence/free rendezvous, separate from comm collectives
+
+	// batchSeq numbers the window's non-empty completion batches, the
+	// ordinal the schedule clauses (chg=K, delay=R@K) address. For
+	// fence-closed epochs the numbering is fully deterministic (fences are
+	// collective and ordered); for concurrent passive-target closes it is
+	// deterministic only up to lock-acquisition order.
+	batchSeq atomic.Int32
 
 	pscwMu   sync.Mutex
 	pscwCond *sync.Cond
@@ -381,18 +389,22 @@ func (s *winShared) apply(op *rmaOp) {
 // applyAll applies ops in deterministic (origin rank, issue seq) order.
 // MPI leaves the order among conflicting unordered operations undefined;
 // fixing it keeps runs reproducible without legitimizing programs that
-// depend on it. A reorder fault plan permutes the batch across origins —
-// a different but equally legal completion order, still deterministic in
-// the plan's seed.
+// depend on it. An armed schedule plan (reorder, prio, chg, delay) picks
+// a different but equally legal completion order for the batch, still
+// deterministic in the plan's clauses and seed.
 func (s *winShared) applyAll(ops []*rmaOp) {
 	s.comm.world.metrics.rmaFlushed(len(ops))
+	if len(ops) == 0 {
+		return
+	}
+	batch := int(s.batchSeq.Add(1) - 1)
 	sort.SliceStable(ops, func(i, j int) bool {
 		if ops[i].origin != ops[j].origin {
 			return ops[i].origin < ops[j].origin
 		}
 		return ops[i].seq < ops[j].seq
 	})
-	s.comm.world.reorderBatch(s.id, ops)
+	s.comm.world.scheduleBatch(s.id, batch, ops)
 	for _, op := range ops {
 		s.apply(op)
 	}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check race cover bench fuzz soak explore experiments table2 fig8 fig9 clean
+.PHONY: all build test check staticcheck race cover bench fuzz soak explore experiments table2 fig8 fig9 clean
 
 all: build test check
 
@@ -13,11 +13,18 @@ build:
 test:
 	$(GO) test ./...
 
-# Full gate: vet, the test suite under the race detector, and the
-# determinism soak.
-check: soak
+# Full gate: vet, the test suite under the race detector, the determinism
+# soak, and the static-checker golden report.
+check: soak staticcheck
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Static epoch-state checker over the bundled apps (buggy variants),
+# compared against the checked-in golden report; exits 1 on drift.
+# Regenerate with: make staticcheck GOLDEN_FLAGS=-update-golden
+staticcheck:
+	$(GO) run ./cmd/stanalyzer -check -define buggy=true \
+		-golden internal/apps/testdata/static_golden.txt $(GOLDEN_FLAGS) internal/apps
 
 # Determinism soak: repeat example apps under seed-varied perturbations
 # (scheduler yields, legal RMA completion reordering) and fail if any

@@ -41,6 +41,15 @@
 //	mcchecker analyze -trace DIR [-intra-only] [-json] [-stats] [-stats-format F]
 //	    Run DN-Analyzer offline over per-rank trace files.
 //
+//	mcchecker analyze -static [-app NAME] [-fixed] [-min-confidence L] [-json] [-stats]
+//	    Cross-validate the static epoch-state checker (internal/stanalyzer)
+//	    against the dynamic analyzer: run the checker over the embedded
+//	    application sources, run each app dynamically on the default
+//	    schedule, and classify every finding as confirmed (static
+//	    diagnostic matches a dynamic violation's class and location),
+//	    static-only, or dynamic-only. `mcchecker explore -static-seed`
+//	    prioritizes the ranks named by static-only findings.
+//
 //	mcchecker dump -trace DIR [-rank N] [-limit N] [-format text|jsonl]
 //	    Pretty-print trace files for debugging instrumented runs.
 //
@@ -64,6 +73,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/profiler"
+	"repro/internal/stanalyzer"
 	"repro/internal/stream"
 	"repro/internal/trace"
 )
@@ -104,8 +114,9 @@ func usage() {
   mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR] [-full] [-intra-only] [-online] [-json] [-stats] [-stats-format text|prom|json]
                 [-faults PLAN] [-failstop] [-timeout D] [-soak N]
   mcchecker explore -app NAME [-fixed] [-n N] [-schedules N] [-strategy sweep|walk|pct|delay] [-jobs K] [-budget D] [-seed N]
-                [-minimize] [-minimize-runs N] [-full] [-intra-only] [-json] [-stats] [-stats-format text|prom|json] [-timeout D]
+                [-minimize] [-minimize-runs N] [-static-seed] [-full] [-intra-only] [-json] [-stats] [-stats-format text|prom|json] [-timeout D]
   mcchecker analyze -trace DIR [-intra-only] [-json] [-stats] [-stats-format text|prom|json]
+  mcchecker analyze -static [-app NAME] [-fixed] [-min-confidence low|medium|high] [-json] [-stats]
   mcchecker dump -trace DIR [-rank N] [-limit N]`)
 }
 
@@ -275,6 +286,7 @@ func exploreCmd(args []string) error {
 	seed := fs.Uint64("seed", 1, "base seed the strategy derives schedules from")
 	minimize := fs.Bool("minimize", true, "ddmin-minimize each finding's schedule")
 	minimizeRuns := fs.Int("minimize-runs", 64, "max extra runs spent minimizing each finding")
+	staticSeed := fs.Bool("static-seed", false, "seed the sweep from static-checker diagnostics (delay the ranks they name first)")
 	full := fs.Bool("full", false, "instrument every buffer (no static analysis)")
 	intraOnly := fs.Bool("intra-only", false, "intra-epoch detection only (SyncChecker baseline)")
 	jsonOut := fs.Bool("json", false, "print the result as JSON")
@@ -312,6 +324,21 @@ func exploreCmd(args []string) error {
 	progress := io.Writer(os.Stdout)
 	if *jsonOut {
 		progress = os.Stderr
+	}
+	if *staticSeed {
+		srep, serr := stanalyzer.CheckFS(apps.SourceFS(), stanalyzer.Options{
+			Defines: map[string]bool{"buggy": !*fixed},
+		})
+		if serr != nil {
+			return fmt.Errorf("static seeding: %w", serr)
+		}
+		hints := explore.HintsFromDiagnostics(srep.ForFunctions(srep.Reachable(bc.StaticRoot)))
+		if len(hints) > 0 {
+			strat = explore.Hinted{Base: strat, Ranks: hints}
+			fmt.Fprintf(progress, "static seeding: prioritizing origin rank(s) %v from %s diagnostics\n", hints, bc.StaticRoot)
+		} else {
+			fmt.Fprintf(progress, "static seeding: no rank hints for %s; using plain %s\n", bc.Name, strat.Name())
+		}
 	}
 	fmt.Fprintf(progress, "exploring %s (%s) on %d simulated ranks: %d schedules, strategy %s\n",
 		bc.Name, variant, n, *schedules, strat.Name())
@@ -568,6 +595,10 @@ func printReport(rep *core.Report, asJSON bool, reg *obs.Registry, statsFormat s
 func analyzeCmd(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
 	traceDir := fs.String("trace", "", "trace directory written by `mcchecker run -trace`")
+	static := fs.Bool("static", false, "cross-validate the static checker against dynamic runs of the bundled apps")
+	appName := fs.String("app", "", "with -static: cross-validate only this app (default: all)")
+	fixed := fs.Bool("fixed", false, "with -static: cross-validate the fixed variants")
+	minConf := fs.String("min-confidence", "low", "with -static: consider only diagnostics at or above this confidence")
 	intraOnly := fs.Bool("intra-only", false, "intra-epoch detection only")
 	jsonOut := fs.Bool("json", false, "print the report as JSON")
 	stats := fs.Bool("stats", false, "collect and print analysis metrics")
@@ -575,8 +606,19 @@ func analyzeCmd(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *static {
+		reg, err := statsRegistry(*stats, *statsFormat)
+		if err != nil {
+			return err
+		}
+		min, err := stanalyzer.ParseConfidence(*minConf)
+		if err != nil {
+			return err
+		}
+		return staticCrossValidate(*appName, *fixed, *jsonOut, min, reg, *statsFormat)
+	}
 	if *traceDir == "" {
-		return fmt.Errorf("-trace is required")
+		return fmt.Errorf("-trace is required (or -static for static/dynamic cross-validation)")
 	}
 	reg, err := statsRegistry(*stats, *statsFormat)
 	if err != nil {

@@ -1,27 +1,77 @@
 // Command stanalyzer runs ST-Analyzer (paper §IV-A) over the Go source of
-// an MPI one-sided application and prints the relevant-variable report —
-// the variables whose loads and stores the Profiler must instrument, plus
-// the runtime buffer names to pass to the checker.
+// an MPI one-sided application.
+//
+// The default mode prints the relevant-variable report — the variables
+// whose loads and stores the Profiler must instrument, plus the runtime
+// buffer names to pass to the checker. With -check it instead runs the
+// static epoch-state checker: a flow-sensitive pass that tracks epoch
+// state per window and reports memory consistency error patterns
+// (get-origin-use, put-origin-store, epoch-target-conflict,
+// exposure-access, cross-local-conflict, cross-target-conflict) with
+// confidence grades and fix hints, without running the program.
 //
 // Usage:
 //
 //	stanalyzer [-names-only] DIR
+//	stanalyzer -check [-define name=bool] [-min-confidence L] [-json]
+//	           [-golden FILE] [-update-golden] [-stats] DIR
+//
+// -define fixes boolean identifiers for branch pruning (repeatable;
+// "buggy=true" walks only the planted variants of the bundled apps).
+// -golden compares the text report against a checked-in file and exits 1
+// on drift; -update-golden rewrites it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
+	"repro/internal/obs"
 	"repro/internal/stanalyzer"
 )
 
+// defineFlag collects repeated -define name=bool flags.
+type defineFlag map[string]bool
+
+func (d defineFlag) String() string { return fmt.Sprint(map[string]bool(d)) }
+
+func (d defineFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=bool, got %q", s)
+	}
+	b, err := strconv.ParseBool(val)
+	if err != nil {
+		return fmt.Errorf("bad bool in %q: %v", s, err)
+	}
+	d[name] = b
+	return nil
+}
+
 func main() {
 	namesOnly := flag.Bool("names-only", false, "print only the runtime buffer names, one per line")
+	check := flag.Bool("check", false, "run the static epoch-state checker instead of the relevance report")
+	jsonOut := flag.Bool("json", false, "with -check: print the diagnostics as JSON")
+	minConf := flag.String("min-confidence", "low", "with -check: report only diagnostics at or above this confidence (low, medium, high)")
+	golden := flag.String("golden", "", "with -check: compare the text report against this golden file, exit 1 on drift")
+	updateGolden := flag.Bool("update-golden", false, "with -check -golden: rewrite the golden file instead of comparing")
+	stats := flag.Bool("stats", false, "with -check: print the mcchecker_static_* counters")
+	defines := defineFlag{}
+	flag.Var(defines, "define", "with -check: fix a boolean identifier for branch pruning, e.g. -define buggy=true (repeatable)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: stanalyzer [-names-only] DIR")
+		fmt.Fprintln(os.Stderr, "usage: stanalyzer [-names-only] DIR\n       stanalyzer -check [-define name=bool] [-min-confidence L] [-json] [-golden FILE] [-update-golden] [-stats] DIR")
 		os.Exit(2)
+	}
+	if *check {
+		if err := runCheck(flag.Arg(0), defines, *minConf, *jsonOut, *golden, *updateGolden, *stats); err != nil {
+			fmt.Fprintln(os.Stderr, "stanalyzer:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	rep, err := stanalyzer.AnalyzeDir(flag.Arg(0))
 	if err != nil {
@@ -35,4 +85,55 @@ func main() {
 		return
 	}
 	fmt.Print(rep)
+}
+
+func runCheck(dir string, defines map[string]bool, minConf string, jsonOut bool, golden string, updateGolden, stats bool) error {
+	min, err := stanalyzer.ParseConfidence(minConf)
+	if err != nil {
+		return err
+	}
+	var reg *obs.Registry
+	if stats {
+		reg = obs.NewRegistry()
+	}
+	rep, err := stanalyzer.CheckDir(dir, stanalyzer.Options{Defines: defines, Obs: reg})
+	if err != nil {
+		return err
+	}
+	diags := rep.Filter(min)
+	text := fmt.Sprintf("static checker: %d diagnostic(s) in %d function(s), %d file(s)\n%s",
+		len(diags), rep.FuncsChecked, rep.FilesParsed, stanalyzer.RenderDiags(diags))
+
+	switch {
+	case golden != "" && updateGolden:
+		if err := os.WriteFile(golden, []byte(text), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d diagnostics)\n", golden, len(diags))
+	case golden != "":
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			return err
+		}
+		if string(want) != text {
+			fmt.Print(text)
+			return fmt.Errorf("diagnostics drifted from golden report %s (run with -update-golden to accept)", golden)
+		}
+		fmt.Printf("diagnostics match golden report %s (%d diagnostics)\n", golden, len(diags))
+	case jsonOut:
+		data, err := stanalyzer.MarshalDiags(diags)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	default:
+		fmt.Print(text)
+	}
+	if reg != nil {
+		fmt.Println("--- static checker stats ---")
+		if err := reg.Snapshot().WriteText(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -1,0 +1,15 @@
+package apps
+
+import "embed"
+
+// sources embeds this package's own Go files so that the static checker
+// (internal/stanalyzer) can run over the application sources from any
+// binary — `mcchecker analyze -static` cross-validates static diagnostics
+// against dynamic violations without needing a source checkout.
+//
+//go:embed *.go
+var sources embed.FS
+
+// SourceFS returns the embedded application sources (this package's
+// non-generated Go files, including the registry).
+func SourceFS() embed.FS { return sources }

@@ -27,6 +27,11 @@ type BugCase struct {
 	// RelevantBuffers is the ST-Analyzer result for the application: the
 	// tracked allocations that can participate in one-sided communication.
 	RelevantBuffers []string
+
+	// StaticRoot is the entry function of the application in this package's
+	// source, the root for scoping static-checker diagnostics (the checker
+	// reports per function; Reachable(StaticRoot) selects this app's).
+	StaticRoot string
 }
 
 // BugCases returns the five bug cases of Table II in the paper's order.
@@ -39,6 +44,7 @@ func BugCases() []BugCase {
 			Symptom:       "stale values read from the DSM table",
 			Buggy:         Emulate(true), Fixed: Emulate(false),
 			RelevantBuffers: []string{"table", "cache"},
+			StaticRoot:      "Emulate",
 		},
 		{
 			Name: "BT-broadcast", Ranks: 2, Origin: "real-world",
@@ -47,6 +53,7 @@ func BugCases() []BugCase {
 			Symptom:       "infinite spin loop on a stale flag",
 			Buggy:         BTBroadcast(true), Fixed: BTBroadcast(false),
 			RelevantBuffers: []string{"bcastwin", "check", "payload"},
+			StaticRoot:      "BTBroadcast",
 		},
 		{
 			Name: "lockopts", Ranks: 64, Origin: "real-world",
@@ -55,6 +62,7 @@ func BugCases() []BugCase {
 			Symptom:       "nondeterministic counter values",
 			Buggy:         Lockopts(true), Fixed: Lockopts(false),
 			RelevantBuffers: []string{"counters", "val", "old"},
+			StaticRoot:      "Lockopts",
 		},
 		{
 			Name: "ping-pong", Ranks: 2, Origin: "injected",
@@ -63,6 +71,7 @@ func BugCases() []BugCase {
 			Symptom:       "corrupted message payload",
 			Buggy:         PingPong(true), Fixed: PingPong(false),
 			RelevantBuffers: []string{"inbox", "msg"},
+			StaticRoot:      "PingPong",
 		},
 		{
 			Name: "jacobi", Ranks: 4, Origin: "injected",
@@ -71,6 +80,7 @@ func BugCases() []BugCase {
 			Symptom:       "corrupted halo cells, wrong relaxation",
 			Buggy:         Jacobi(true), Fixed: Jacobi(false),
 			RelevantBuffers: []string{"grid", "next"},
+			StaticRoot:      "Jacobi",
 		},
 	}
 }
@@ -86,6 +96,7 @@ func ExtensionCases() []BugCase {
 			Symptom:       "corrupted halo columns",
 			Buggy:         Jacobi2D(true), Fixed: Jacobi2D(false),
 			RelevantBuffers: []string{"grid2d"},
+			StaticRoot:      "Jacobi2D",
 		},
 		{
 			Name: "counter", Ranks: 8, Origin: "extension (MPI-3)",
@@ -94,6 +105,7 @@ func ExtensionCases() []BugCase {
 			Symptom:       "lost updates, duplicate work items",
 			Buggy:         Counter(true, 4), Fixed: Counter(false, 4),
 			RelevantBuffers: []string{"workqueue", "old", "next", "one"},
+			StaticRoot:      "Counter",
 		},
 	}
 }
@@ -112,6 +124,7 @@ func ScheduleCases() []BugCase {
 			Symptom:       "clean on the default schedule; corrupted probe buffer when the completion order flips",
 			Buggy:         SchedRace(true), Fixed: SchedRace(false),
 			RelevantBuffers: []string{"sched", "probe", "src", "fetched"},
+			StaticRoot:      "SchedRace",
 		},
 	}
 }

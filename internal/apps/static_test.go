@@ -1,0 +1,112 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/stanalyzer"
+)
+
+// expectedStaticKind maps each planted app to the diagnostic kind the
+// static checker must raise for its bug. The kinds mirror Table II's error
+// descriptions: within-epoch origin-buffer misuse for emulate /
+// BT-broadcast / ping-pong / schedrace, across-process conflicts for the
+// rest.
+var expectedStaticKind = map[string]stanalyzer.Kind{
+	"emulate":      stanalyzer.KindGetOriginUse,
+	"BT-broadcast": stanalyzer.KindGetOriginUse,
+	"lockopts":     stanalyzer.KindCrossLocalConflict,
+	"ping-pong":    stanalyzer.KindPutOriginStore,
+	"jacobi":       stanalyzer.KindCrossLocalConflict,
+	"jacobi2d":     stanalyzer.KindExposureAccess,
+	"counter":      stanalyzer.KindCrossTargetConflict,
+	"schedrace":    stanalyzer.KindGetOriginUse,
+}
+
+func checkEmbedded(t *testing.T, buggy bool) *stanalyzer.CheckReport {
+	t.Helper()
+	rep, err := stanalyzer.CheckFS(SourceFS(), stanalyzer.Options{
+		Defines: map[string]bool{"buggy": buggy},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestStaticCheckerFlagsPlantedBugs runs the checker over the buggy
+// variants: every planted app must yield at least one diagnostic of the
+// expected kind within its entry point's reach.
+func TestStaticCheckerFlagsPlantedBugs(t *testing.T) {
+	rep := checkEmbedded(t, true)
+	for _, bc := range AllCases() {
+		want, ok := expectedStaticKind[bc.Name]
+		if !ok {
+			t.Errorf("%s: registry case missing from expectedStaticKind — extend the table", bc.Name)
+			continue
+		}
+		if bc.StaticRoot == "" {
+			t.Errorf("%s: no StaticRoot declared", bc.Name)
+			continue
+		}
+		diags := rep.ForFunctions(rep.Reachable(bc.StaticRoot))
+		found := false
+		for _, d := range diags {
+			if d.Kind == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: static checker missed the planted %s (got %d diagnostics)\n%s",
+				bc.Name, want, len(diags), stanalyzer.RenderDiags(diags))
+		}
+	}
+}
+
+// TestStaticCheckerCleanOnFixedVariants runs the checker over the fixed
+// variants: no high-confidence diagnostic may survive anywhere in the
+// package — the checker's false-positive budget at its strictest tier.
+func TestStaticCheckerCleanOnFixedVariants(t *testing.T) {
+	rep := checkEmbedded(t, false)
+	if high := rep.Filter(stanalyzer.ConfHigh); len(high) != 0 {
+		t.Errorf("fixed variants produced %d high-confidence diagnostics:\n%s",
+			len(high), stanalyzer.RenderDiags(high))
+	}
+}
+
+// TestStaticDiagnosticsCarryFixHints checks the reporting contract: every
+// diagnostic names its enclosing function and carries a remediation hint.
+func TestStaticDiagnosticsCarryFixHints(t *testing.T) {
+	rep := checkEmbedded(t, true)
+	if len(rep.Diags) == 0 {
+		t.Fatal("no diagnostics at all on buggy variants")
+	}
+	for i := range rep.Diags {
+		d := &rep.Diags[i]
+		if d.Fix == "" {
+			t.Errorf("%s has no fix hint", d.String())
+		}
+		if d.Fn == "" {
+			t.Errorf("%s has no enclosing function", d.String())
+		}
+	}
+}
+
+// TestStaticRanksStayInWorld checks that the statically-extracted target
+// ranks (the explorer's hints) fall inside each app's configured world.
+func TestStaticRanksStayInWorld(t *testing.T) {
+	rep := checkEmbedded(t, true)
+	for _, bc := range AllCases() {
+		if bc.StaticRoot == "" {
+			continue
+		}
+		for _, d := range rep.ForFunctions(rep.Reachable(bc.StaticRoot)) {
+			for _, r := range d.Ranks {
+				if r < 0 || r >= bc.Ranks {
+					t.Errorf("%s: diagnostic %s names rank %d outside world of %d",
+						bc.Name, d.String(), r, bc.Ranks)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package explore
+
+// hints.go: seeding the schedule sweep from static-checker findings. A
+// static diagnostic names the target ranks of the operations it suspects
+// (internal/stanalyzer Diagnostic.Ranks); delaying exactly those origins'
+// completions is the most direct way to flip the completion orders the
+// diagnostic worries about, so the hinted schedules run before the base
+// strategy's broad sweep.
+
+import (
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/stanalyzer"
+)
+
+// Hinted prefixes a base strategy with schedules derived from static
+// diagnostics: the first len(Ranks)×MaxBatch schedules delay one hinted
+// origin rank at one early completion batch each (with reordering enabled
+// so the rest of the batch still shuffles), then the base strategy
+// continues unchanged with its own schedule indexes.
+type Hinted struct {
+	Base  Strategy
+	Ranks []int
+
+	// MaxBatch bounds the batch ordinals hinted delays land on (default 4).
+	MaxBatch int
+}
+
+func (h Hinted) Name() string { return h.Base.Name() + "+static-hints" }
+
+func (h Hinted) Plan(i int, base uint64, ranks int) *faults.Plan {
+	maxBatch := h.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 4
+	}
+	hinted := len(h.Ranks) * maxBatch
+	if i < hinted {
+		r := h.Ranks[i%len(h.Ranks)]
+		if r >= 0 && r < ranks {
+			return &faults.Plan{
+				Seed:    base + uint64(i),
+				Reorder: true,
+				Delays:  []faults.Delay{{Origin: r, Batch: i / len(h.Ranks)}},
+			}
+		}
+		// A hint outside this world's rank range degrades to the plain sweep.
+		return &faults.Plan{Seed: base + uint64(i), Reorder: true}
+	}
+	return h.Base.Plan(i-hinted, base, ranks)
+}
+
+// HintsFromDiagnostics collects the statically-known target ranks named by
+// the diagnostics, deduplicated and sorted — the Ranks input for Hinted.
+func HintsFromDiagnostics(diags []stanalyzer.Diagnostic) []int {
+	seen := map[int]bool{}
+	var out []int
+	for i := range diags {
+		for _, r := range diags[i].Ranks {
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,98 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/stanalyzer"
+)
+
+func TestHintedPlanPrefix(t *testing.T) {
+	h := Hinted{Base: Sweep{}, Ranks: []int{1, 2}, MaxBatch: 3}
+	ranks := 4
+	// The first len(Ranks)×MaxBatch schedules are targeted delay plans
+	// cycling through the hinted origins and stepping the batch ordinal.
+	for i := 0; i < 6; i++ {
+		plan := h.Plan(i, 100, ranks)
+		if plan == nil || len(plan.Delays) != 1 {
+			t.Fatalf("Plan(%d) = %+v, want one targeted delay", i, plan)
+		}
+		d := plan.Delays[0]
+		wantOrigin := []int{1, 2}[i%2]
+		wantBatch := i / 2
+		if d.Origin != wantOrigin || d.Batch != wantBatch {
+			t.Errorf("Plan(%d): delay = %+v, want origin %d batch %d", i, d, wantOrigin, wantBatch)
+		}
+		if !plan.Reorder {
+			t.Errorf("Plan(%d): hinted schedules must keep reordering on", i)
+		}
+		if plan.Seed != 100+uint64(i) {
+			t.Errorf("Plan(%d): seed = %d", i, plan.Seed)
+		}
+	}
+	// After the hinted prefix the base strategy continues from index 0.
+	got := h.Plan(6, 100, ranks)
+	want := Sweep{}.Plan(0, 100, ranks)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Plan(6) = %+v, want base Plan(0) = %+v", got, want)
+	}
+}
+
+func TestHintedOutOfRangeRankDegrades(t *testing.T) {
+	h := Hinted{Base: Sweep{}, Ranks: []int{7}, MaxBatch: 1}
+	plan := h.Plan(0, 0, 2) // rank 7 does not exist in a 2-rank world
+	if plan == nil || len(plan.Delays) != 0 || !plan.Reorder {
+		t.Errorf("out-of-range hint must degrade to plain reorder, got %+v", plan)
+	}
+}
+
+func TestHintedName(t *testing.T) {
+	h := Hinted{Base: Sweep{}}
+	if h.Name() != "sweep+static-hints" {
+		t.Errorf("Name() = %q", h.Name())
+	}
+}
+
+func TestHintsFromDiagnostics(t *testing.T) {
+	diags := []stanalyzer.Diagnostic{
+		{Ranks: []int{2, 0}},
+		{Ranks: []int{0, 1}},
+		{},
+	}
+	if got := HintsFromDiagnostics(diags); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Errorf("HintsFromDiagnostics = %v", got)
+	}
+	if got := HintsFromDiagnostics(nil); len(got) != 0 {
+		t.Errorf("empty diags must yield no hints, got %v", got)
+	}
+}
+
+// TestHintedCatchesScheduleBug: seeding the sweep with the static
+// checker's rank hints for the schedrace app must still expose the
+// planted schedule-dependent violation within the sweep budget.
+func TestHintedCatchesScheduleBug(t *testing.T) {
+	srep, err := stanalyzer.CheckFS(apps.SourceFS(), stanalyzer.Options{
+		Defines: map[string]bool{"buggy": true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := srep.ForFunctions(srep.Reachable("SchedRace"))
+	hints := HintsFromDiagnostics(diags)
+	if len(hints) == 0 {
+		t.Fatal("static checker produced no rank hints for schedrace")
+	}
+	res, err := Explore(Config{
+		Runner:    schedRunner(t, true),
+		Strategy:  Hinted{Base: Sweep{}, Ranks: hints},
+		Schedules: 32,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Distinct() != 1 {
+		t.Fatalf("hinted sweep found %d distinct violations, want 1", res.Distinct())
+	}
+}

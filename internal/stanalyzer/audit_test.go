@@ -1,0 +1,167 @@
+package stanalyzer
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/mpi"
+)
+
+// These tests pin the checker's call tables to the real internal/mpi API
+// via reflection: when someone adds an RMA verb or allocation entry point
+// to internal/mpi, the corresponding rmaSeedCalls / rmaShapes / allocCalls
+// entry must be added here too, or instrumentation silently goes blind.
+
+// winMethodsWithoutState are exported *mpi.Win methods that neither move
+// data nor change epoch state, so the checker may ignore them.
+var winMethodsWithoutState = map[string]bool{
+	"ID":          true,
+	"Comm":        true,
+	"LocalBuffer": true,
+}
+
+func bufferParamIndexes(m reflect.Method) []int {
+	bufT := reflect.TypeOf((*memory.Buffer)(nil))
+	var idx []int
+	// In(0) is the receiver.
+	for j := 1; j < m.Type.NumIn(); j++ {
+		if m.Type.In(j) == bufT {
+			idx = append(idx, j-1)
+		}
+	}
+	return idx
+}
+
+func TestWinMethodsCoveredBySeedCalls(t *testing.T) {
+	winT := reflect.TypeOf((*mpi.Win)(nil))
+	for i := 0; i < winT.NumMethod(); i++ {
+		m := winT.Method(i)
+		bufIdx := bufferParamIndexes(m)
+		if len(bufIdx) == 0 {
+			continue
+		}
+		got, ok := rmaSeedCalls[m.Name]
+		if !ok {
+			t.Errorf("Win.%s takes *memory.Buffer params %v but has no rmaSeedCalls entry", m.Name, bufIdx)
+			continue
+		}
+		sorted := append([]int(nil), got...)
+		sort.Ints(sorted)
+		if !reflect.DeepEqual(sorted, bufIdx) {
+			t.Errorf("Win.%s: rmaSeedCalls = %v, but buffer params are at %v", m.Name, got, bufIdx)
+		}
+		if _, ok := rmaShapes[m.Name]; !ok {
+			t.Errorf("Win.%s moves buffer data but has no rmaShapes entry (static checker ignores it)", m.Name)
+		}
+	}
+}
+
+func TestWinMethodsKnownToEpochMachine(t *testing.T) {
+	winT := reflect.TypeOf((*mpi.Win)(nil))
+	for i := 0; i < winT.NumMethod(); i++ {
+		name := winT.Method(i).Name
+		if winMethodsWithoutState[name] {
+			continue
+		}
+		_, isRMA := rmaShapes[name]
+		_, isEpoch := epochMethods[name]
+		if !isRMA && !isEpoch {
+			t.Errorf("Win.%s is neither an rmaShapes nor an epochMethods entry; add it or list it in winMethodsWithoutState", name)
+		}
+	}
+}
+
+func TestRMAShapesMatchBufferParams(t *testing.T) {
+	winT := reflect.TypeOf((*mpi.Win)(nil))
+	for name, shape := range rmaShapes {
+		m, ok := winT.MethodByName(name)
+		if !ok {
+			t.Errorf("rmaShapes[%q] has no matching *mpi.Win method", name)
+			continue
+		}
+		want := bufferParamIndexes(m)
+		seen := map[int]bool{}
+		for _, a := range shape.reads {
+			seen[a.buf] = true
+		}
+		for _, a := range shape.writes {
+			seen[a.buf] = true
+		}
+		var got []int
+		for idx := range seen {
+			got = append(got, idx)
+		}
+		sort.Ints(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("Win.%s: rmaShapes covers buffer args %v, signature has %v", name, got, want)
+		}
+	}
+}
+
+func TestProcAllocatorsCoveredByAllocCalls(t *testing.T) {
+	procT := reflect.TypeOf((*mpi.Proc)(nil))
+	bufT := reflect.TypeOf((*memory.Buffer)(nil))
+	strT := reflect.TypeOf("")
+	for i := 0; i < procT.NumMethod(); i++ {
+		m := procT.Method(i)
+		returnsBuf := false
+		for j := 0; j < m.Type.NumOut(); j++ {
+			if m.Type.Out(j) == bufT {
+				returnsBuf = true
+			}
+		}
+		if !returnsBuf {
+			continue
+		}
+		nameIdx := -1
+		for j := 1; j < m.Type.NumIn(); j++ {
+			if m.Type.In(j) == strT {
+				nameIdx = j - 1
+			}
+		}
+		if nameIdx < 0 {
+			continue // no runtime buffer name to track
+		}
+		got, ok := allocCalls[m.Name]
+		if !ok {
+			t.Errorf("Proc.%s returns a named *memory.Buffer but has no allocCalls entry", m.Name)
+			continue
+		}
+		if got != nameIdx {
+			t.Errorf("Proc.%s: allocCalls name index = %d, string param is at %d", m.Name, got, nameIdx)
+		}
+	}
+}
+
+func TestProcWindowConstructorsSeeded(t *testing.T) {
+	procT := reflect.TypeOf((*mpi.Proc)(nil))
+	winT := reflect.TypeOf((*mpi.Win)(nil))
+	for i := 0; i < procT.NumMethod(); i++ {
+		m := procT.Method(i)
+		returnsWin := false
+		for j := 0; j < m.Type.NumOut(); j++ {
+			if m.Type.Out(j) == winT {
+				returnsWin = true
+			}
+		}
+		if !returnsWin {
+			continue
+		}
+		bufIdx := bufferParamIndexes(m)
+		if len(bufIdx) == 0 {
+			continue // allocator-style constructor (e.g. WinAllocate), covered by allocCalls
+		}
+		got, ok := rmaSeedCalls[m.Name]
+		if !ok {
+			t.Errorf("Proc.%s attaches buffers %v to a window but has no rmaSeedCalls entry", m.Name, bufIdx)
+			continue
+		}
+		sorted := append([]int(nil), got...)
+		sort.Ints(sorted)
+		if !reflect.DeepEqual(sorted, bufIdx) {
+			t.Errorf("Proc.%s: rmaSeedCalls = %v, buffer params at %v", m.Name, got, bufIdx)
+		}
+	}
+}

@@ -1,0 +1,466 @@
+package stanalyzer
+
+import (
+	"strings"
+	"testing"
+)
+
+// check runs the static checker over one source string and fails the test
+// on parse errors.
+func check(t *testing.T, src string, opts Options) *CheckReport {
+	t.Helper()
+	rep, err := CheckSource(src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// kinds collects the diagnostic kinds at or above min confidence.
+func kinds(rep *CheckReport, min Confidence) map[Kind]int {
+	out := map[Kind]int{}
+	for _, d := range rep.Filter(min) {
+		out[d.Kind]++
+	}
+	return out
+}
+
+func TestGetOriginUseInLockEpoch(t *testing.T) {
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc) {
+	buf := p.AllocFloat64(1, "cache")
+	w := p.WinCreate(buf, 8, p.CommWorld())
+	w.Lock(mpi.LockShared, 1)
+	w.Get(buf, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	_ = buf.Float64At(0) // BUG: Get not complete
+	w.Unlock(1)
+}
+`
+	rep := check(t, src, Options{})
+	if kinds(rep, ConfHigh)[KindGetOriginUse] == 0 {
+		t.Errorf("missed get-origin-use:\n%s", rep)
+	}
+}
+
+func TestGetOriginUseAfterUnlockIsClean(t *testing.T) {
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc) {
+	buf := p.AllocFloat64(1, "cache")
+	w := p.WinCreate(buf, 8, p.CommWorld())
+	w.Lock(mpi.LockShared, 1)
+	w.Get(buf, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	w.Unlock(1)
+	_ = buf.Float64At(0) // epoch closed: fine
+}
+`
+	rep := check(t, src, Options{})
+	if n := kinds(rep, ConfHigh)[KindGetOriginUse]; n != 0 {
+		t.Errorf("false positive after Unlock:\n%s", rep)
+	}
+}
+
+func TestFlushCompletesPendingGet(t *testing.T) {
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc) {
+	buf := p.AllocFloat64(1, "cache")
+	w := p.WinCreate(buf, 8, p.CommWorld())
+	w.Lock(mpi.LockShared, 1)
+	w.Get(buf, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	w.Flush(1)
+	_ = buf.Float64At(0) // flushed: fine
+	w.Unlock(1)
+}
+`
+	rep := check(t, src, Options{})
+	if n := kinds(rep, ConfHigh)[KindGetOriginUse]; n != 0 {
+		t.Errorf("Flush must complete the Get:\n%s", rep)
+	}
+}
+
+func TestPutOriginStoreInFenceEpoch(t *testing.T) {
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc) {
+	src := p.AllocFloat64(1, "src")
+	win := p.AllocFloat64(4, "shared")
+	w := p.WinCreate(win, 8, p.CommWorld())
+	w.Fence(0)
+	w.Put(src, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	src.SetFloat64(0, 2.0) // BUG: Put may read either value
+	w.Fence(0)
+}
+`
+	rep := check(t, src, Options{})
+	if kinds(rep, ConfHigh)[KindPutOriginStore] == 0 {
+		t.Errorf("missed put-origin-store:\n%s", rep)
+	}
+}
+
+func TestEpochTargetConflictConstantOffsets(t *testing.T) {
+	// Two Puts to the same constant target offset in one epoch: the target
+	// ends up with whichever lands last (paper Figure 2b).
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc) {
+	a := p.AllocFloat64(1, "a")
+	b := p.AllocFloat64(1, "b")
+	win := p.AllocFloat64(4, "shared")
+	w := p.WinCreate(win, 8, p.CommWorld())
+	w.Lock(mpi.LockExclusive, 1)
+	w.Put(a, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	w.Put(b, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	w.Unlock(1)
+}
+`
+	rep := check(t, src, Options{})
+	if kinds(rep, ConfHigh)[KindEpochTargetConflict] == 0 {
+		t.Errorf("missed epoch-target-conflict:\n%s", rep)
+	}
+}
+
+func TestEpochTargetDisjointOffsetsClean(t *testing.T) {
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc) {
+	a := p.AllocFloat64(1, "a")
+	b := p.AllocFloat64(1, "b")
+	win := p.AllocFloat64(4, "shared")
+	w := p.WinCreate(win, 8, p.CommWorld())
+	w.Lock(mpi.LockExclusive, 1)
+	w.Put(a, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	w.Put(b, 0, 1, mpi.Float64, 1, 1, 1, mpi.Float64)
+	w.Unlock(1)
+}
+`
+	rep := check(t, src, Options{})
+	if n := kinds(rep, ConfLow)[KindEpochTargetConflict]; n != 0 {
+		t.Errorf("disjoint offsets flagged:\n%s", rep)
+	}
+}
+
+func TestAccumulatePairIsCompatible(t *testing.T) {
+	// Same-op accumulates to the same location are well-defined (Table I).
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc) {
+	a := p.AllocFloat64(1, "a")
+	win := p.AllocFloat64(4, "shared")
+	w := p.WinCreate(win, 8, p.CommWorld())
+	w.Lock(mpi.LockShared, 1)
+	w.Accumulate(a, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64, mpi.OpSum)
+	w.Accumulate(a, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64, mpi.OpSum)
+	w.Unlock(1)
+}
+`
+	rep := check(t, src, Options{})
+	if n := kinds(rep, ConfLow)[KindEpochTargetConflict]; n != 0 {
+		t.Errorf("accumulate pair flagged:\n%s", rep)
+	}
+}
+
+func TestExposureEpochLocalStore(t *testing.T) {
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc, g *mpi.Group) {
+	win := p.AllocFloat64(4, "shared")
+	w := p.WinCreate(win, 8, p.CommWorld())
+	w.Post(g)
+	win.SetFloat64(0, 1.0) // local store while exposed
+	w.WaitEpoch()
+}
+`
+	rep := check(t, src, Options{})
+	if kinds(rep, ConfMedium)[KindExposureAccess] == 0 {
+		t.Errorf("missed exposure-access:\n%s", rep)
+	}
+}
+
+func TestInterprocRMAInHelper(t *testing.T) {
+	// The Get happens inside a helper; the use of its destination buffer
+	// back in the caller, still inside the epoch, must be diagnosed.
+	src := `package app
+
+import "repro/internal/mpi"
+
+func fetch(w *mpi.Win, buf *memBuf) {
+	w.Get(buf, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+}
+
+func body(p *mpi.Proc) {
+	buf := p.AllocFloat64(1, "cache")
+	w := p.WinCreate(buf, 8, p.CommWorld())
+	w.Lock(mpi.LockShared, 1)
+	fetch(w, buf)
+	_ = buf.Float64At(0) // BUG: helper's Get still pending
+	w.Unlock(1)
+}
+`
+	rep := check(t, src, Options{})
+	found := false
+	for _, d := range rep.Diags {
+		if d.Kind == KindGetOriginUse && d.Fn == "body" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("interprocedural get-origin-use missed:\n%s", rep)
+	}
+}
+
+func TestInterprocEpochOpenedInHelper(t *testing.T) {
+	// The epoch itself is opened and closed by helpers around the caller's
+	// RMA call; the checker must thread epoch state through the inlining.
+	src := `package app
+
+import "repro/internal/mpi"
+
+func begin(w *mpi.Win) { w.Lock(mpi.LockShared, 1) }
+func end(w *mpi.Win)   { w.Unlock(1) }
+
+func body(p *mpi.Proc) {
+	buf := p.AllocFloat64(1, "cache")
+	w := p.WinCreate(buf, 8, p.CommWorld())
+	begin(w)
+	w.Get(buf, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	_ = buf.Float64At(0)
+	end(w)
+}
+`
+	rep := check(t, src, Options{})
+	if kinds(rep, ConfMedium)[KindGetOriginUse] == 0 {
+		t.Errorf("epoch opened in helper not threaded:\n%s", rep)
+	}
+}
+
+func TestDefinesPruneVariant(t *testing.T) {
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc, buggy bool) {
+	buf := p.AllocFloat64(1, "cache")
+	w := p.WinCreate(buf, 8, p.CommWorld())
+	w.Lock(mpi.LockShared, 1)
+	w.Get(buf, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	if buggy {
+		_ = buf.Float64At(0)
+		w.Unlock(1)
+	} else {
+		w.Unlock(1)
+		_ = buf.Float64At(0)
+	}
+}
+`
+	buggy := check(t, src, Options{Defines: map[string]bool{"buggy": true}})
+	if kinds(buggy, ConfHigh)[KindGetOriginUse] == 0 {
+		t.Errorf("buggy=true variant missed:\n%s", buggy)
+	}
+	fixed := check(t, src, Options{Defines: map[string]bool{"buggy": false}})
+	if n := kinds(fixed, ConfLow)[KindGetOriginUse]; n != 0 {
+		t.Errorf("buggy=false variant flagged:\n%s", fixed)
+	}
+}
+
+func TestBranchMergeLowersConfidence(t *testing.T) {
+	// Without Defines the checker walks both arms and merges: the pending
+	// Get survives the merge only as a may-fact, so the use after the If is
+	// reported at reduced confidence, not dropped.
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc, late bool) {
+	buf := p.AllocFloat64(1, "cache")
+	w := p.WinCreate(buf, 8, p.CommWorld())
+	w.Lock(mpi.LockShared, 1)
+	if late {
+		w.Get(buf, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	}
+	_ = buf.Float64At(0)
+	w.Unlock(1)
+}
+`
+	rep := check(t, src, Options{})
+	var got *Diagnostic
+	for i := range rep.Diags {
+		if rep.Diags[i].Kind == KindGetOriginUse {
+			got = &rep.Diags[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("merged pending op dropped:\n%s", rep)
+	}
+	if got.Confidence == ConfHigh {
+		t.Errorf("merged op reported high confidence: %s", got)
+	}
+}
+
+func TestMethodValueRMATracked(t *testing.T) {
+	// f := w.Put; f(...) must open the same pending-op machinery as a
+	// direct call (the taint blind spot this PR fixes).
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc) {
+	src := p.AllocFloat64(1, "src")
+	win := p.AllocFloat64(4, "shared")
+	w := p.WinCreate(win, 8, p.CommWorld())
+	put := w.Put
+	w.Fence(0)
+	put(src, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	src.SetFloat64(0, 2.0)
+	w.Fence(0)
+}
+`
+	rep := check(t, src, Options{})
+	if kinds(rep, ConfHigh)[KindPutOriginStore] == 0 {
+		t.Errorf("method-value Put not tracked:\n%s", rep)
+	}
+}
+
+func TestRankGuardSuppressesCrossConflict(t *testing.T) {
+	// Both operations run under the same rank guard, so they are issued by
+	// the same process and cannot race across processes.
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc) {
+	src := p.AllocFloat64(1, "src")
+	win := p.AllocFloat64(4, "shared")
+	w := p.WinCreate(win, 8, p.CommWorld())
+	w.Fence(0)
+	if p.Rank() == 0 {
+		w.Put(src, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+		win.SetFloat64(8, 1.0)
+	}
+	w.Fence(0)
+}
+`
+	rep := check(t, src, Options{})
+	if n := kinds(rep, ConfLow)[KindCrossLocalConflict]; n != 0 {
+		t.Errorf("same-rank pair flagged as cross-process:\n%s", rep)
+	}
+}
+
+func TestCrossLocalConflictAcrossRanks(t *testing.T) {
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc) {
+	src := p.AllocFloat64(1, "src")
+	win := p.AllocFloat64(4, "shared")
+	w := p.WinCreate(win, 8, p.CommWorld())
+	w.Fence(0)
+	if p.Rank() == 0 {
+		w.Put(src, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	} else {
+		win.SetFloat64(0, 1.0)
+	}
+	w.Fence(0)
+}
+`
+	rep := check(t, src, Options{})
+	if kinds(rep, ConfMedium)[KindCrossLocalConflict] == 0 {
+		t.Errorf("missed cross-local-conflict:\n%s", rep)
+	}
+}
+
+func TestCheckReportScoping(t *testing.T) {
+	src := `package app
+
+import "repro/internal/mpi"
+
+func appA(p *mpi.Proc) {
+	buf := p.AllocFloat64(1, "a")
+	w := p.WinCreate(buf, 8, p.CommWorld())
+	w.Lock(mpi.LockShared, 1)
+	w.Get(buf, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	_ = buf.Float64At(0)
+	w.Unlock(1)
+}
+
+func appB(p *mpi.Proc) {
+	buf := p.AllocFloat64(1, "b")
+	w := p.WinCreate(buf, 8, p.CommWorld())
+	w.Lock(mpi.LockShared, 1)
+	w.Get(buf, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	w.Unlock(1)
+	_ = buf.Float64At(0)
+}
+`
+	rep := check(t, src, Options{})
+	scoped := rep.ForFunctions(rep.Reachable("appB"))
+	for _, d := range scoped {
+		if d.Fn != "appB" {
+			t.Errorf("Reachable(appB) leaked diagnostic from %s: %s", d.Fn, d.String())
+		}
+	}
+	scoped = rep.ForFunctions(rep.Reachable("appA"))
+	found := false
+	for _, d := range scoped {
+		if d.Kind == KindGetOriginUse {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Reachable(appA) lost its diagnostic:\n%s", rep)
+	}
+}
+
+func TestDiagJSONAndRender(t *testing.T) {
+	src := `package app
+
+import "repro/internal/mpi"
+
+func body(p *mpi.Proc) {
+	buf := p.AllocFloat64(1, "cache")
+	w := p.WinCreate(buf, 8, p.CommWorld())
+	w.Lock(mpi.LockShared, 1)
+	w.Get(buf, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+	_ = buf.Float64At(0)
+	w.Unlock(1)
+}
+`
+	rep := check(t, src, Options{})
+	data, err := MarshalDiags(rep.Diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind":"get-origin-use"`, `"confidence":"high"`, `"func":"body"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("JSON missing %s:\n%s", want, data)
+		}
+	}
+	text := rep.String()
+	if !strings.Contains(text, "fix:") {
+		t.Errorf("text report missing fix hint:\n%s", text)
+	}
+}
+
+func TestCheckSourceSyntaxError(t *testing.T) {
+	if _, err := CheckSource("package x\nfunc {", Options{}); err == nil {
+		t.Error("syntax error must surface")
+	}
+}

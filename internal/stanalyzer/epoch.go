@@ -1,0 +1,755 @@
+package stanalyzer
+
+// epoch.go: the flow-sensitive walk behind the static checker. Each
+// function body is interpreted abstractly, statement by statement,
+// tracking per-window epoch state (fence / lock-unlock / PSCW), the RMA
+// operations pending in each open epoch, and a global synchronization
+// phase counter that advances at barriers and fences. Control flow is
+// handled conservatively: branches that the Defines table cannot decide
+// are walked on cloned states and merged at the join (union of pending
+// operations, minimum phase), and loop bodies are walked twice so that
+// loop-carried pending operations (the BT-broadcast spin loop) become
+// visible on the second pass.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// epochKind classifies an open synchronization epoch.
+type epochKind uint8
+
+const (
+	epFence    epochKind = iota // Fence..Fence active-target span
+	epLock                      // Lock(target)..Unlock(target)
+	epLockAll                   // LockAll..UnlockAll
+	epAccess                    // Start..Complete (PSCW access)
+	epExposure                  // Post..Wait (PSCW exposure)
+)
+
+func (k epochKind) String() string {
+	switch k {
+	case epFence:
+		return "fence"
+	case epLock:
+		return "lock"
+	case epLockAll:
+		return "lock-all"
+	case epAccess:
+		return "pscw-access"
+	}
+	return "pscw-exposure"
+}
+
+// bufUse is one buffer region an RMA operation reads or writes locally.
+type bufUse struct {
+	key string // canonical buffer identity
+	sp  span
+}
+
+// pendingOp is an issued, not-yet-completed RMA operation.
+type pendingOp struct {
+	call   string // "Put", "Get", ...
+	pos    token.Pos
+	winKey string
+
+	targetText string // target-rank expression, canonical text
+	targetVal  *int64 // constant target rank, if known
+
+	tgtSpan      span // byte footprint in the target window
+	writesTarget bool
+	readsTarget  bool
+	accFamily    bool
+
+	reads  []bufUse // origin regions MPI reads (local stores conflict)
+	writes []bufUse // origin/result regions MPI writes (loads and stores conflict)
+
+	localDone bool // origin reusable after Flush_local
+	merged    bool // survived a control-flow join on one side only
+}
+
+func (op *pendingOp) cloneOp() *pendingOp {
+	c := *op
+	return &c
+}
+
+// epochState is one open epoch on one window.
+type epochState struct {
+	kind    epochKind
+	winKey  string
+	target  string // lock target text, "" otherwise
+	openPos token.Pos
+	ops     []*pendingOp
+}
+
+func (e *epochState) cloneEpoch() *epochState {
+	c := &epochState{kind: e.kind, winKey: e.winKey, target: e.target, openPos: e.openPos}
+	c.ops = make([]*pendingOp, len(e.ops))
+	for i, op := range e.ops {
+		c.ops[i] = op.cloneOp()
+	}
+	return c
+}
+
+// walkState is the mutable abstract state of one walk: the phase counter
+// and the open epochs.
+type walkState struct {
+	phase      int
+	phaseFuzzy bool // phases diverged at a join; cross-phase matches demote
+	epochs     []*epochState
+}
+
+func (s *walkState) clone() *walkState {
+	c := &walkState{phase: s.phase, phaseFuzzy: s.phaseFuzzy}
+	c.epochs = make([]*epochState, len(s.epochs))
+	for i, e := range s.epochs {
+		c.epochs[i] = e.cloneEpoch()
+	}
+	return c
+}
+
+func epochSig(e *epochState) string {
+	return strconv.Itoa(int(e.kind)) + "|" + e.winKey + "|" + e.target + "|" + strconv.Itoa(int(e.openPos))
+}
+
+func opSig(op *pendingOp) string {
+	return op.call + "|" + strconv.Itoa(int(op.pos))
+}
+
+// mergeStates joins two branch states conservatively: the phase is the
+// minimum (marking fuzziness when they differ), and epochs/pending
+// operations are unioned, with anything present on only one side marked
+// merged so downstream findings demote their confidence.
+func mergeStates(a, b *walkState) *walkState {
+	out := &walkState{phase: a.phase, phaseFuzzy: a.phaseFuzzy || b.phaseFuzzy}
+	if b.phase < out.phase {
+		out.phase = b.phase
+	}
+	if a.phase != b.phase {
+		out.phaseFuzzy = true
+	}
+	bByKey := map[string]*epochState{}
+	for _, e := range b.epochs {
+		bByKey[epochSig(e)] = e
+	}
+	seenB := map[string]bool{}
+	for _, ea := range a.epochs {
+		sig := epochSig(ea)
+		eb, ok := bByKey[sig]
+		if !ok {
+			// Open in one branch only: keep, all ops conditional.
+			m := ea.cloneEpoch()
+			for _, op := range m.ops {
+				op.merged = true
+			}
+			out.epochs = append(out.epochs, m)
+			continue
+		}
+		seenB[sig] = true
+		m := &epochState{kind: ea.kind, winKey: ea.winKey, target: ea.target, openPos: ea.openPos}
+		opsB := map[string]*pendingOp{}
+		for _, op := range eb.ops {
+			opsB[opSig(op)] = op
+		}
+		seenOpB := map[string]bool{}
+		for _, opA := range ea.ops {
+			c := opA.cloneOp()
+			if opB, ok := opsB[opSig(opA)]; ok {
+				seenOpB[opSig(opA)] = true
+				c.localDone = c.localDone && opB.localDone
+				c.merged = c.merged || opB.merged
+			} else {
+				c.merged = true
+			}
+			m.ops = append(m.ops, c)
+		}
+		for _, opB := range eb.ops {
+			if !seenOpB[opSig(opB)] {
+				c := opB.cloneOp()
+				c.merged = true
+				m.ops = append(m.ops, c)
+			}
+		}
+		out.epochs = append(out.epochs, m)
+	}
+	for _, eb := range b.epochs {
+		if !seenB[epochSig(eb)] {
+			m := eb.cloneEpoch()
+			for _, op := range m.ops {
+				op.merged = true
+			}
+			out.epochs = append(out.epochs, m)
+		}
+	}
+	return out
+}
+
+// winInfo is a window registration discovered during the walk.
+type winInfo struct {
+	key      string // canonical window-variable identity
+	bufKey   string // canonical identity of the backing buffer
+	bufName  string // runtime allocation name, if tracked
+	text     string // source spelling of the window variable
+	dispUnit int64  // 0 = unknown
+}
+
+// methodRef resolves a method-value binding (f := w.Put).
+type methodRef struct {
+	win    *winInfo
+	method string
+}
+
+// rmaEvent is one RMA call recorded for the cross-process phase rules.
+type rmaEvent struct {
+	call         string
+	pos          token.Pos
+	winKey       string
+	targetText   string
+	targetVal    *int64
+	tgtSpan      span
+	phase        int
+	fuzzy        bool
+	rankGuard    string
+	writesTarget bool
+	readsTarget  bool
+	accFamily    bool
+}
+
+// localEvent is one load/store through a buffer accessor.
+type localEvent struct {
+	bufKey     string
+	write      bool
+	sp         span
+	phase      int
+	fuzzy      bool
+	rankGuard  string
+	pos        token.Pos
+	inExposure string // window key when inside that window's exposure epoch
+}
+
+// walker interprets one function.
+type walker struct {
+	c       *checker
+	fnScope string // scope for name resolution (matches the taint pass)
+	st      *walkState
+
+	wins       map[string]*winInfo  // canonical key → window
+	methodVals map[string]methodRef // canonical key → bound RMA method
+
+	rankGuards []string // active rank-exclusive branch guards
+
+	rma   []rmaEvent
+	local []localEvent
+
+	subst map[string]ast.Expr // summary replay: callee param → caller arg
+	outer *walker             // summary replay: caller walker
+	depth int
+}
+
+// resolveKey maps an identifier to its canonical alias-set representative.
+func (w *walker) resolveKey(name string) string {
+	scoped := scopedName(w.fnScope, name)
+	if c, ok := w.c.canon[scoped]; ok {
+		return c
+	}
+	if c, ok := w.c.canon["pkg."+name]; ok {
+		return c
+	}
+	return scoped
+}
+
+func (w *walker) rankGuard() string {
+	return strings.Join(w.rankGuards, "&")
+}
+
+// exprText renders an expression canonically for target/guard comparison.
+func exprText(e ast.Expr) string { return types.ExprString(e) }
+
+// isRankExpr reports whether the expression is a rank query (p.Rank()).
+func isRankExpr(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Rank"
+}
+
+// branchGuards inspects an if condition and returns the rank-exclusivity
+// markers for the then and else branches. A branch is rank-exclusive when
+// the condition pins p.Rank() to one value (`p.Rank() == expr` then-side,
+// `p.Rank() != expr` else-side): at most one rank executes it per value
+// of expr, so two operations inside it are program-ordered, not
+// concurrent across processes.
+func branchGuards(cond ast.Expr) (then, els string) {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return "", ""
+	}
+	if !isRankExpr(bin.X) && !isRankExpr(bin.Y) {
+		return "", ""
+	}
+	switch bin.Op {
+	case token.EQL:
+		return "rank==" + exprText(cond), ""
+	case token.NEQ:
+		return "", "rank==" + exprText(cond)
+	}
+	return "", ""
+}
+
+// evalCond decides a branch condition from the Defines table:
+// 1 true, 0 false, -1 unknown. Short-circuit operators prune chains like
+// `active && me == sender && !buggy` as soon as one leg is decided.
+func (w *walker) evalCond(e ast.Expr) int {
+	switch v := e.(type) {
+	case *ast.Ident:
+		if b, ok := w.c.opts.Defines[v.Name]; ok {
+			if b {
+				return 1
+			}
+			return 0
+		}
+	case *ast.ParenExpr:
+		return w.evalCond(v.X)
+	case *ast.UnaryExpr:
+		if v.Op == token.NOT {
+			switch w.evalCond(v.X) {
+			case 1:
+				return 0
+			case 0:
+				return 1
+			}
+		}
+	case *ast.BinaryExpr:
+		switch v.Op {
+		case token.LAND:
+			l, r := w.evalCond(v.X), w.evalCond(v.Y)
+			if l == 0 || r == 0 {
+				return 0
+			}
+			if l == 1 && r == 1 {
+				return 1
+			}
+		case token.LOR:
+			l, r := w.evalCond(v.X), w.evalCond(v.Y)
+			if l == 1 || r == 1 {
+				return 1
+			}
+			if l == 0 && r == 0 {
+				return 0
+			}
+		}
+	}
+	return -1
+}
+
+func (w *walker) walkBlock(b *ast.BlockStmt) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.List {
+		w.walkStmt(s)
+	}
+}
+
+func (w *walker) walkStmt(s ast.Stmt) {
+	switch v := s.(type) {
+	case *ast.BlockStmt:
+		w.walkBlock(v)
+	case *ast.ExprStmt:
+		w.processExpr(v.X)
+	case *ast.AssignStmt:
+		for _, r := range v.Rhs {
+			w.processExpr(r)
+		}
+		for _, l := range v.Lhs {
+			if _, ok := l.(*ast.Ident); !ok {
+				w.processExpr(l)
+			}
+		}
+		w.handleBindings(v)
+	case *ast.IfStmt:
+		w.walkIf(v)
+	case *ast.ForStmt:
+		if v.Init != nil {
+			w.walkStmt(v.Init)
+		}
+		pre := w.st.clone()
+		for pass := 0; pass < 2; pass++ {
+			if v.Cond != nil {
+				w.processExpr(v.Cond)
+			}
+			w.walkBlock(v.Body)
+			if v.Post != nil {
+				w.walkStmt(v.Post)
+			}
+		}
+		w.st = mergeStates(pre, w.st)
+	case *ast.RangeStmt:
+		w.processExpr(v.X)
+		pre := w.st.clone()
+		for pass := 0; pass < 2; pass++ {
+			w.walkBlock(v.Body)
+		}
+		w.st = mergeStates(pre, w.st)
+	case *ast.SwitchStmt:
+		if v.Init != nil {
+			w.walkStmt(v.Init)
+		}
+		if v.Tag != nil {
+			w.processExpr(v.Tag)
+		}
+		w.walkClauses(v.Body)
+	case *ast.TypeSwitchStmt:
+		if v.Init != nil {
+			w.walkStmt(v.Init)
+		}
+		w.walkClauses(v.Body)
+	case *ast.SelectStmt:
+		w.walkClauses(v.Body)
+	case *ast.ReturnStmt:
+		for _, r := range v.Results {
+			w.processExpr(r)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := v.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, val := range vs.Values {
+						w.processExpr(val)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		w.processExpr(v.X)
+	case *ast.SendStmt:
+		w.processExpr(v.Chan)
+		w.processExpr(v.Value)
+	case *ast.LabeledStmt:
+		w.walkStmt(v.Stmt)
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Deferred and spawned work runs outside the statement order the
+		// epoch machine models; skipped (documented limitation).
+	}
+}
+
+// walkClauses walks every case body of a switch/select on a cloned state
+// and merges all outcomes with the fallthrough-free entry state.
+func (w *walker) walkClauses(body *ast.BlockStmt) {
+	pre := w.st
+	merged := pre.clone()
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch c := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.st = pre // expressions evaluate in the entry state
+				w.processExpr(e)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			stmts = c.Body
+		}
+		w.st = pre.clone()
+		for _, s := range stmts {
+			w.walkStmt(s)
+		}
+		merged = mergeStates(merged, w.st)
+	}
+	w.st = merged
+}
+
+func (w *walker) walkIf(v *ast.IfStmt) {
+	if v.Init != nil {
+		w.walkStmt(v.Init)
+	}
+	w.processExpr(v.Cond)
+	switch w.evalCond(v.Cond) {
+	case 1:
+		w.walkBlock(v.Body)
+		return
+	case 0:
+		if v.Else != nil {
+			w.walkStmt(v.Else)
+		}
+		return
+	}
+	thenGuard, elseGuard := branchGuards(v.Cond)
+	entry := w.st
+	w.st = entry.clone()
+	if thenGuard != "" {
+		w.rankGuards = append(w.rankGuards, thenGuard)
+	}
+	w.walkBlock(v.Body)
+	if thenGuard != "" {
+		w.rankGuards = w.rankGuards[:len(w.rankGuards)-1]
+	}
+	thenSt := w.st
+	w.st = entry
+	if v.Else != nil {
+		if elseGuard != "" {
+			w.rankGuards = append(w.rankGuards, elseGuard)
+		}
+		w.walkStmt(v.Else)
+		if elseGuard != "" {
+			w.rankGuards = w.rankGuards[:len(w.rankGuards)-1]
+		}
+	}
+	w.st = mergeStates(thenSt, w.st)
+}
+
+// processExpr records the events of every call in the expression, and
+// walks the bodies of function literals inline (the app pattern
+// `return func(p *mpi.Proc) error { ... }` makes the closure the body).
+func (w *walker) processExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	var lits []*ast.FuncLit
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			w.handleCall(v)
+		case *ast.FuncLit:
+			lits = append(lits, v)
+			return false
+		}
+		return true
+	})
+	for _, lit := range lits {
+		w.walkBlock(lit.Body)
+	}
+}
+
+// handleCall dispatches one call: buffer accessors become local access
+// events, window methods drive the epoch machine, barriers advance the
+// phase, bound method values resolve to their window, and same-package
+// callees are replayed from their summaries.
+func (w *walker) handleCall(call *ast.CallExpr) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if name == "Barrier" {
+			w.st.phase++
+			return
+		}
+		recv := baseIdent(fun.X)
+		if recv == nil {
+			return
+		}
+		if _, ok := accessors[name]; ok {
+			w.localAccess(w.resolveKey(recv.Name), name, call)
+			return
+		}
+		if info, ok := w.wins[w.resolveKey(recv.Name)]; ok {
+			w.winCall(info, name, call)
+		}
+	case *ast.Ident:
+		if mv, ok := w.methodVals[w.resolveKey(fun.Name)]; ok {
+			w.rmaCall(mv.win, mv.method, call)
+			return
+		}
+		if fd, ok := w.c.an.funcs[fun.Name]; ok && fun.Name != w.fnScope {
+			w.applySummary(fd, call)
+		}
+	}
+}
+
+// winCall drives the epoch state machine for a window method.
+func (w *walker) winCall(info *winInfo, name string, call *ast.CallExpr) {
+	st := w.st
+	switch name {
+	case "Fence":
+		// A fence closes the window's previous active-target span,
+		// completing its pending operations, opens the next one, and is
+		// collective: the synchronization phase advances.
+		w.closeEpochs(info.key, func(e *epochState) bool { return e.kind == epFence })
+		st.epochs = append(st.epochs, &epochState{kind: epFence, winKey: info.key, openPos: call.Pos()})
+		st.phase++
+	case "Lock":
+		target := ""
+		if len(call.Args) >= 2 {
+			target = exprText(call.Args[1])
+		}
+		st.epochs = append(st.epochs, &epochState{kind: epLock, winKey: info.key, target: target, openPos: call.Pos()})
+	case "Unlock":
+		target := ""
+		if len(call.Args) >= 1 {
+			target = exprText(call.Args[0])
+		}
+		if !w.closeOne(info.key, func(e *epochState) bool { return e.kind == epLock && e.target == target }) {
+			w.closeOne(info.key, func(e *epochState) bool { return e.kind == epLock })
+		}
+	case "LockAll":
+		st.epochs = append(st.epochs, &epochState{kind: epLockAll, winKey: info.key, openPos: call.Pos()})
+	case "UnlockAll":
+		w.closeEpochs(info.key, func(e *epochState) bool { return e.kind == epLockAll })
+	case "Post":
+		st.epochs = append(st.epochs, &epochState{kind: epExposure, winKey: info.key, openPos: call.Pos()})
+	case "WaitEpoch":
+		w.closeEpochs(info.key, func(e *epochState) bool { return e.kind == epExposure })
+	case "Start":
+		st.epochs = append(st.epochs, &epochState{kind: epAccess, winKey: info.key, openPos: call.Pos()})
+	case "Complete":
+		w.closeEpochs(info.key, func(e *epochState) bool { return e.kind == epAccess })
+	case "Flush":
+		target := ""
+		if len(call.Args) >= 1 {
+			target = exprText(call.Args[0])
+		}
+		w.completeOps(info.key, target, false)
+	case "FlushAll":
+		w.completeOps(info.key, "", false)
+	case "FlushLocal":
+		target := ""
+		if len(call.Args) >= 1 {
+			target = exprText(call.Args[0])
+		}
+		w.completeOps(info.key, target, true)
+	case "FlushLocalAll":
+		w.completeOps(info.key, "", true)
+	case "Free":
+		w.closeEpochs(info.key, func(e *epochState) bool { return true })
+	default:
+		if _, ok := rmaShapes[name]; ok {
+			w.rmaCall(info, name, call)
+		}
+	}
+}
+
+// closeEpochs removes the window's epochs matching the predicate,
+// completing their pending operations.
+func (w *walker) closeEpochs(winKey string, match func(*epochState) bool) {
+	var keep []*epochState
+	for _, e := range w.st.epochs {
+		if e.winKey == winKey && match(e) {
+			continue
+		}
+		keep = append(keep, e)
+	}
+	w.st.epochs = keep
+}
+
+// closeOne removes the most recently opened matching epoch, returning
+// whether one was found.
+func (w *walker) closeOne(winKey string, match func(*epochState) bool) bool {
+	for i := len(w.st.epochs) - 1; i >= 0; i-- {
+		e := w.st.epochs[i]
+		if e.winKey == winKey && match(e) {
+			w.st.epochs = append(w.st.epochs[:i], w.st.epochs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// completeOps completes pending passive-target operations on the window:
+// fully for Flush, origin-only (localDone) for Flush_local. An empty
+// target completes every operation.
+func (w *walker) completeOps(winKey, target string, localOnly bool) {
+	for _, e := range w.st.epochs {
+		if e.winKey != winKey || (e.kind != epLock && e.kind != epLockAll) {
+			continue
+		}
+		var keep []*pendingOp
+		for _, op := range e.ops {
+			if target != "" && op.targetText != target {
+				keep = append(keep, op)
+				continue
+			}
+			if localOnly {
+				op.localDone = true
+				keep = append(keep, op)
+			}
+		}
+		e.ops = keep
+	}
+}
+
+// currentEpoch returns the epoch a new operation on the window joins: the
+// most recently opened epoch that can carry operations (exposure epochs
+// receive no local operations).
+func (w *walker) currentEpoch(winKey string) *epochState {
+	for i := len(w.st.epochs) - 1; i >= 0; i-- {
+		e := w.st.epochs[i]
+		if e.winKey == winKey && e.kind != epExposure {
+			return e
+		}
+	}
+	return nil
+}
+
+// exposureEpoch returns the window's open exposure epoch, if any.
+func (w *walker) exposureEpoch(bufKey string) *winInfo {
+	for _, e := range w.st.epochs {
+		if e.kind != epExposure {
+			continue
+		}
+		for _, info := range w.wins {
+			if info.key == e.winKey && info.bufKey == bufKey {
+				return info
+			}
+		}
+	}
+	return nil
+}
+
+// handleBindings tracks the assignments the epoch machine cares about:
+// window registrations and method-value bindings.
+func (w *walker) handleBindings(st *ast.AssignStmt) {
+	if len(st.Rhs) != 1 {
+		return
+	}
+	switch r := st.Rhs[0].(type) {
+	case *ast.CallExpr:
+		switch calleeName(r) {
+		case "WinCreate":
+			if len(st.Lhs) >= 1 && len(r.Args) >= 2 {
+				wid, bufID := baseIdent(st.Lhs[0]), baseIdent(r.Args[0])
+				if wid != nil && bufID != nil && wid.Name != "_" {
+					w.registerWin(wid, bufID.Name, r.Args[1])
+				}
+			}
+		case "WinAllocate":
+			// w, buf := p.WinAllocate(size, dispUnit, comm, "name")
+			if len(st.Lhs) >= 2 && len(r.Args) >= 2 {
+				wid, bufID := baseIdent(st.Lhs[0]), baseIdent(st.Lhs[1])
+				if wid != nil && bufID != nil && wid.Name != "_" {
+					w.registerWin(wid, bufID.Name, r.Args[1])
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		// Method value: f := w.Put binds f to the window's method, so the
+		// later f(buf, ...) drives the same epoch machinery.
+		recv := baseIdent(r.X)
+		if recv == nil || len(st.Lhs) != 1 {
+			return
+		}
+		info, ok := w.wins[w.resolveKey(recv.Name)]
+		if !ok {
+			return
+		}
+		if _, isRMA := rmaShapes[r.Sel.Name]; !isRMA {
+			return
+		}
+		if id := baseIdent(st.Lhs[0]); id != nil && id.Name != "_" {
+			w.methodVals[w.resolveKey(id.Name)] = methodRef{win: info, method: r.Sel.Name}
+		}
+	}
+}
+
+func (w *walker) registerWin(wid *ast.Ident, bufName string, dispUnitExpr ast.Expr) {
+	key := w.resolveKey(wid.Name)
+	info := &winInfo{key: key, bufKey: w.resolveKey(bufName), text: wid.Name}
+	if du, ok := w.evalInt(dispUnitExpr); ok && du > 0 {
+		info.dispUnit = du
+	}
+	info.bufName = w.c.allocNames[info.bufKey]
+	w.wins[key] = info
+}

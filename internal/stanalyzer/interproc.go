@@ -1,0 +1,433 @@
+package stanalyzer
+
+// interproc.go: the driver of the static checker and its interprocedural
+// layer. The checker reuses the taint pass's alias graph for buffer and
+// window identity (connected components give every variable a canonical
+// representative, so a window passed to a helper keeps its identity),
+// computes per-function summaries over the callgraph (does this function,
+// transitively, touch epoch/RMA/accessor machinery?), and walks each
+// function flow-sensitively, inlining relevant same-package callees up to
+// a fixed depth with parameter-to-argument substitution for constant
+// reasoning. Events recorded inside an inlined callee stay local to the
+// callee's own standalone walk — only the epoch/phase state crosses the
+// call boundary — so a table-driver function calling ten applications does
+// not cross-match their events.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Options configures a static check.
+type Options struct {
+	// Defines fixes boolean parameters/identifiers for branch pruning:
+	// Defines{"buggy": true} walks only the planted variant of each app.
+	Defines map[string]bool
+
+	// Obs receives the mcchecker_static_* counters; nil disables.
+	Obs *obs.Registry
+}
+
+// maxInlineDepth bounds callee inlining (and therefore recursion through
+// mutually recursive helpers, together with the in-progress set).
+const maxInlineDepth = 3
+
+// funcSummary is the interprocedural summary of one function: whether it
+// (transitively) touches MPI synchronization, RMA, or buffer accessors —
+// only such callees are worth inlining — and its same-package callees.
+type funcSummary struct {
+	relevant bool
+	callees  []string
+}
+
+// checker holds the cross-function state of one Check run.
+type checker struct {
+	fset *token.FileSet
+	an   *analyzer
+	opts Options
+
+	canon      map[string]string // scoped name → canonical alias-set representative
+	allocNames map[string]string // canonical key → runtime buffer name
+	consts     map[string]int64  // scoped/pkg const name → value
+	summaries  map[string]*funcSummary
+
+	inlining map[string]bool // functions on the current inline stack
+
+	rep     *CheckReport
+	diagIdx map[string]int
+}
+
+// Check runs the static epoch-state checker over parsed files sharing one
+// fileset and returns the diagnostics.
+func Check(fset *token.FileSet, files []*ast.File, opts Options) (*CheckReport, error) {
+	an := newAnalyzer(fset, files)
+	c := &checker{
+		fset:     fset,
+		an:       an,
+		opts:     opts,
+		inlining: map[string]bool{},
+		rep:      &CheckReport{FilesParsed: len(files)},
+		diagIdx:  map[string]int{},
+	}
+	c.buildCanon()
+	c.collectConsts(files)
+	c.buildSummaries()
+
+	names := make([]string, 0, len(an.funcs))
+	for name := range an.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fd := an.funcs[name]
+		if fd.Body == nil {
+			continue
+		}
+		w := &walker{
+			c: c, fnScope: name, st: &walkState{},
+			wins:       map[string]*winInfo{},
+			methodVals: map[string]methodRef{},
+		}
+		w.walkBlock(fd.Body)
+		w.finalize()
+		c.rep.FuncsChecked++
+	}
+	c.rep.sortDiags()
+	c.exposeCounters()
+	return c.rep, nil
+}
+
+// CheckDir parses the non-test Go files of a directory and checks them.
+func CheckDir(dir string, opts Options) (*CheckReport, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("stanalyzer: no Go files in %s", dir)
+	}
+	return Check(fset, files, opts)
+}
+
+// CheckSource checks a single source string (tests, stdin mode).
+func CheckSource(src string, opts Options) (*CheckReport, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "input.go", src, 0)
+	if err != nil {
+		return nil, err
+	}
+	return Check(fset, []*ast.File{f}, opts)
+}
+
+// CheckFS checks the non-test Go files of a filesystem root — the embedded
+// application sources (apps.SourceFS) in particular, so that mcchecker can
+// cross-validate without a source checkout.
+func CheckFS(fsys fs.FS, opts Options) (*CheckReport, error) {
+	entries, err := fs.ReadDir(fsys, ".")
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := fs.ReadFile(fsys, name)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(fset, name, src, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("stanalyzer: no Go files in file set")
+	}
+	return Check(fset, files, opts)
+}
+
+// buildCanon computes the connected components of the alias graph and maps
+// every variable to its component's lexicographically smallest member, so
+// that aliases (caller argument / callee parameter / assignment chains)
+// compare equal by canonical key. Component choice is deterministic.
+func (c *checker) buildCanon() {
+	nameSet := map[string]bool{}
+	for name := range c.an.nodes {
+		nameSet[name] = true
+	}
+	for x, ys := range c.an.edges {
+		nameSet[x] = true
+		for y := range ys {
+			nameSet[y] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for name := range nameSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	c.canon = map[string]string{}
+	for _, root := range names {
+		if _, done := c.canon[root]; done {
+			continue
+		}
+		// BFS the component; starting from the smallest unvisited name in
+		// sorted order makes it the representative.
+		comp := []string{root}
+		c.canon[root] = root
+		for i := 0; i < len(comp); i++ {
+			for nb := range c.an.edges[comp[i]] {
+				if _, seen := c.canon[nb]; !seen {
+					c.canon[nb] = root
+					comp = append(comp, nb)
+				}
+			}
+		}
+	}
+
+	c.allocNames = map[string]string{}
+	for _, name := range names {
+		n := c.an.nodes[name]
+		if n == nil || n.allocName == "" {
+			continue
+		}
+		key := c.canon[name]
+		if _, taken := c.allocNames[key]; !taken {
+			c.allocNames[key] = n.allocName
+		}
+	}
+}
+
+// collectConsts records integer constants — package-level and
+// function-local — for offset/count/rank evaluation. Definitions may
+// reference each other, so evaluation iterates to a fixpoint.
+func (c *checker) collectConsts(files []*ast.File) {
+	c.consts = map[string]int64{}
+	type pending struct {
+		scope string
+		name  string
+		expr  ast.Expr
+	}
+	var pend []pending
+	collectSpecs := func(scope string, gd *ast.GenDecl) {
+		if gd.Tok != token.CONST {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != len(vs.Names) {
+				continue // iota groups and typed carriers are not needed
+			}
+			for i, name := range vs.Names {
+				pend = append(pend, pending{scope: scope, name: name.Name, expr: vs.Values[i]})
+			}
+		}
+	}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			switch decl := d.(type) {
+			case *ast.GenDecl:
+				collectSpecs("pkg", decl)
+			case *ast.FuncDecl:
+				if decl.Body == nil {
+					continue
+				}
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					if ds, ok := n.(*ast.DeclStmt); ok {
+						if gd, ok := ds.Decl.(*ast.GenDecl); ok {
+							collectSpecs(decl.Name.Name, gd)
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	ev := &walker{c: c}
+	for pass := 0; pass < 4; pass++ {
+		progress := false
+		for _, p := range pend {
+			key := scopedName(p.scope, p.name)
+			if _, done := c.consts[key]; done {
+				continue
+			}
+			ev.fnScope = p.scope
+			if v, ok := ev.evalInt(p.expr); ok {
+				c.consts[key] = v
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+}
+
+// epochMethods are the window/communicator methods that drive epoch or
+// phase state — their presence makes a function relevant to inline.
+var epochMethods = map[string]bool{
+	"Fence": true, "Lock": true, "Unlock": true, "LockAll": true,
+	"UnlockAll": true, "Post": true, "Start": true, "Complete": true,
+	"WaitEpoch": true, "Flush": true, "FlushAll": true, "FlushLocal": true,
+	"FlushLocalAll": true, "Free": true, "Barrier": true,
+	"WinCreate": true, "WinAllocate": true,
+}
+
+// buildSummaries computes every function's summary and propagates
+// relevance over the callgraph to a fixpoint.
+func (c *checker) buildSummaries() {
+	c.summaries = map[string]*funcSummary{}
+	for name, fd := range c.an.funcs {
+		s := &funcSummary{}
+		seen := map[string]bool{}
+		if fd.Body != nil {
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.SelectorExpr:
+					// Any mention of an accessor, RMA method, or epoch
+					// method — calls and method-value bindings alike.
+					nm := v.Sel.Name
+					if _, ok := accessors[nm]; ok {
+						s.relevant = true
+					} else if _, ok := rmaShapes[nm]; ok {
+						s.relevant = true
+					} else if epochMethods[nm] {
+						s.relevant = true
+					}
+				case *ast.CallExpr:
+					if id, ok := v.Fun.(*ast.Ident); ok {
+						if _, isFn := c.an.funcs[id.Name]; isFn && id.Name != name && !seen[id.Name] {
+							seen[id.Name] = true
+							s.callees = append(s.callees, id.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+		sort.Strings(s.callees)
+		c.summaries[name] = s
+	}
+	c.rep.FuncsSummarized = len(c.summaries)
+	for changed := true; changed; {
+		changed = false
+		for _, s := range c.summaries {
+			if s.relevant {
+				continue
+			}
+			for _, callee := range s.callees {
+				if cs := c.summaries[callee]; cs != nil && cs.relevant {
+					s.relevant = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	c.rep.calls = map[string][]string{}
+	for name, s := range c.summaries {
+		c.rep.calls[name] = s.callees
+	}
+}
+
+// applySummary handles a same-package call during the walk: callees whose
+// summary touches MPI state are inlined (sharing the caller's epoch/phase
+// state and window tables, substituting parameters by arguments for
+// constant evaluation); irrelevant callees are skipped. The inlined
+// callee's events are not merged into the caller's cross-process matching
+// — the callee's own standalone walk reports those — which keeps
+// table-driver functions from cross-matching unrelated applications.
+func (w *walker) applySummary(fd *ast.FuncDecl, call *ast.CallExpr) {
+	name := fd.Name.Name
+	if sum := w.c.summaries[name]; sum != nil && !sum.relevant {
+		return
+	}
+	if fd.Body == nil || w.depth >= maxInlineDepth || w.c.inlining[name] {
+		return
+	}
+	w.c.inlining[name] = true
+	sub := &walker{
+		c: w.c, fnScope: name, st: w.st,
+		wins: w.wins, methodVals: w.methodVals,
+		rankGuards: append([]string(nil), w.rankGuards...),
+		subst:      bindArgs(fd, call),
+		outer:      w,
+		depth:      w.depth + 1,
+	}
+	sub.walkBlock(fd.Body)
+	w.st = sub.st
+	delete(w.c.inlining, name)
+}
+
+// bindArgs maps callee parameter names to caller argument expressions.
+func bindArgs(fd *ast.FuncDecl, call *ast.CallExpr) map[string]ast.Expr {
+	m := map[string]ast.Expr{}
+	if fd.Type.Params == nil {
+		return m
+	}
+	for i, p := range flattenParams(fd) {
+		if i < len(call.Args) && p != "_" {
+			m[p] = call.Args[i]
+		}
+	}
+	return m
+}
+
+// addDiag records a diagnostic, deduplicating by kind and positions (loop
+// bodies are walked twice; inlined callees repeat their standalone walk's
+// findings). When a duplicate arrives with higher confidence — constants
+// visible through inline substitution — the stronger version wins.
+func (c *checker) addDiag(d Diagnostic) {
+	k := d.key()
+	if i, ok := c.diagIdx[k]; ok {
+		if d.Confidence > c.rep.Diags[i].Confidence {
+			c.rep.Diags[i] = d
+		}
+		return
+	}
+	c.diagIdx[k] = len(c.rep.Diags)
+	c.rep.Diags = append(c.rep.Diags, d)
+}
+
+// exposeCounters publishes the run's mcchecker_static_* counters.
+func (c *checker) exposeCounters() {
+	o := c.opts.Obs
+	if o == nil {
+		return
+	}
+	o.Counter("mcchecker_static_files_parsed_total").Add(int64(c.rep.FilesParsed))
+	o.Counter("mcchecker_static_functions_checked_total").Add(int64(c.rep.FuncsChecked))
+	o.Counter("mcchecker_static_functions_summarized_total").Add(int64(c.rep.FuncsSummarized))
+	for i := range c.rep.Diags {
+		d := &c.rep.Diags[i]
+		o.Counter("mcchecker_static_diagnostics_total",
+			"kind", string(d.Kind), "confidence", d.Confidence.String()).Inc()
+	}
+}

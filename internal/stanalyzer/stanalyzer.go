@@ -118,15 +118,22 @@ type analyzer struct {
 	seeds []string
 
 	funcs map[string]*ast.FuncDecl // same-package functions by name
+
+	// methodVals maps scoped variable names bound to RMA method values
+	// (f := w.Put) to the method name, so calls through them seed too.
+	methodVals map[string]string
 }
 
-// AnalyzeFiles runs the analysis over parsed files sharing one fileset.
-func AnalyzeFiles(fset *token.FileSet, files []*ast.File) (*Report, error) {
+// newAnalyzer builds the alias graph over the files: nodes, edges, seeds,
+// and the function table. Shared by the relevance pass (AnalyzeFiles) and
+// the static checker (Check), which reuses the graph for buffer identity.
+func newAnalyzer(fset *token.FileSet, files []*ast.File) *analyzer {
 	a := &analyzer{
-		fset:  fset,
-		nodes: map[string]*node{},
-		edges: map[string]map[string]bool{},
-		funcs: map[string]*ast.FuncDecl{},
+		fset:       fset,
+		nodes:      map[string]*node{},
+		edges:      map[string]map[string]bool{},
+		funcs:      map[string]*ast.FuncDecl{},
+		methodVals: map[string]string{},
 	}
 	for _, f := range files {
 		for _, d := range f.Decls {
@@ -138,6 +145,12 @@ func AnalyzeFiles(fset *token.FileSet, files []*ast.File) (*Report, error) {
 	for _, f := range files {
 		a.walkFile(f)
 	}
+	return a
+}
+
+// AnalyzeFiles runs the analysis over parsed files sharing one fileset.
+func AnalyzeFiles(fset *token.FileSet, files []*ast.File) (*Report, error) {
+	a := newAnalyzer(fset, files)
 	a.propagate()
 	return a.report(), nil
 }
@@ -276,6 +289,28 @@ func (a *analyzer) walkFunc(fd *ast.FuncDecl) {
 		}
 	}
 
+	// Pre-pass: record method-value bindings (f := w.Put) so that calls
+	// through the bound variable seed their buffer arguments like the
+	// direct method call would. The binding is collected before the main
+	// walk so that binding order in the source does not matter.
+	ast.Inspect(fd.Body, func(nd ast.Node) bool {
+		st, ok := nd.(*ast.AssignStmt)
+		if !ok || len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return true
+		}
+		sel, ok := st.Rhs[0].(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if _, isRMA := rmaSeedCalls[sel.Sel.Name]; !isRMA {
+			return true
+		}
+		if id := baseIdent(st.Lhs[0]); id != nil && id.Name != "_" {
+			a.methodVals[resolve(id)] = sel.Sel.Name
+		}
+		return true
+	})
+
 	var retCount int
 	ast.Inspect(fd.Body, func(nd ast.Node) bool {
 		switch v := nd.(type) {
@@ -310,15 +345,47 @@ func (a *analyzer) handleAssign(fn string, resolve func(*ast.Ident) string, st *
 	}
 	for i := 0; i < n; i++ {
 		lhs := baseIdent(st.Lhs[i])
-		rhs := baseIdent(st.Rhs[i])
-		if lhs == nil || rhs == nil || lhs.Name == "_" {
+		if lhs == nil || lhs.Name == "_" {
 			continue
 		}
 		ln := resolve(lhs)
+		// Composite literals alias the assigned variable with every
+		// element: s := state{buf: b} makes s carry b, and the later
+		// s.buf access reduces to s via baseIdent.
+		if lit, ok := st.Rhs[i].(*ast.CompositeLit); ok {
+			a.getNode(ln, lhs.Pos())
+			a.linkComposite(ln, resolve, lit)
+			continue
+		}
+		rhs := baseIdent(st.Rhs[i])
+		if rhs == nil {
+			continue
+		}
 		rn := resolve(rhs)
 		a.getNode(ln, lhs.Pos())
 		a.getNode(rn, rhs.Pos())
 		a.addEdge(ln, rn)
+	}
+}
+
+// linkComposite aliases a variable with the identifiers stored in a
+// composite literal (struct fields, slice/array/map elements), descending
+// into nested literals.
+func (a *analyzer) linkComposite(ln string, resolve func(*ast.Ident) string, lit *ast.CompositeLit) {
+	for _, el := range lit.Elts {
+		v := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		if inner, ok := v.(*ast.CompositeLit); ok {
+			a.linkComposite(ln, resolve, inner)
+			continue
+		}
+		if id := baseIdent(v); id != nil && id.Name != "_" {
+			rn := resolve(id)
+			a.getNode(rn, id.Pos())
+			a.addEdge(ln, rn)
+		}
 	}
 }
 
@@ -369,6 +436,21 @@ func calleeName(call *ast.CallExpr) string {
 
 func (a *analyzer) handleCall(fn string, resolve func(*ast.Ident) string, call *ast.CallExpr) {
 	name := calleeName(call)
+
+	// Calls through a method value (f := w.Put; f(buf, ...)) seed the same
+	// argument indexes as the underlying method.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if method, bound := a.methodVals[resolve(id)]; bound {
+			for _, argIdx := range rmaSeedCalls[method] {
+				if len(call.Args) <= argIdx {
+					continue
+				}
+				if arg := baseIdent(call.Args[argIdx]); arg != nil {
+					a.seed(resolve(arg), arg.Pos(), "passed to "+method+" (method value)")
+				}
+			}
+		}
+	}
 
 	// Seed: buffers passed to one-sided communication calls.
 	if argIdxs, ok := rmaSeedCalls[name]; ok {

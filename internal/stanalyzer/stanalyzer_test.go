@@ -257,6 +257,63 @@ func TestReportString(t *testing.T) {
 	}
 }
 
+func TestMethodValueSeeds(t *testing.T) {
+	// f := w.Put binds the method; calling f must seed its buffer argument
+	// exactly like a direct w.Put call.
+	src := `package app
+func body(p *P) {
+	buf := p.Alloc(8, "viavalue")
+	other := p.Alloc(8, "unrelated")
+	_ = other
+	f := w.Put
+	f(buf, 0)
+}
+`
+	rep, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.BufferNames(), []string{"viavalue"}) {
+		t.Errorf("method-value seed failed: %v\n%s", rep.BufferNames(), rep)
+	}
+}
+
+func TestCompositeLiteralAlias(t *testing.T) {
+	// A buffer smuggled through a struct literal and pulled back out by
+	// field selection still aliases the allocation.
+	src := `package app
+func body(p *P) {
+	buf := p.Alloc(8, "wrapped")
+	h := holder{data: buf}
+	w.Put(h.data, 0)
+}
+`
+	rep, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.BufferNames(), []string{"wrapped"}) {
+		t.Errorf("composite-literal alias failed: %v\n%s", rep.BufferNames(), rep)
+	}
+}
+
+func TestNestedCompositeLiteralAlias(t *testing.T) {
+	src := `package app
+func body(p *P) {
+	buf := p.Alloc(8, "nested")
+	hs := []holder{{data: buf}}
+	w.Get(hs[0].data, 0)
+}
+`
+	rep, err := AnalyzeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep.BufferNames(), []string{"nested"}) {
+		t.Errorf("nested literal alias failed: %v\n%s", rep.BufferNames(), rep)
+	}
+}
+
 func contains(xs []string, want string) bool {
 	for _, x := range xs {
 		if x == want {

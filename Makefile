@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check staticcheck race cover bench fuzz soak explore experiments table2 fig8 fig9 clean
+.PHONY: all build test check staticcheck race cover bench bench-smoke microbench fuzz soak explore experiments table2 fig8 fig9 clean
 
 all: build test check
 
@@ -48,7 +48,20 @@ explore:
 cover:
 	$(GO) test -cover ./internal/...
 
+# Benchmark-regression harness: measures the pipeline's hot paths
+# (pooled decode, cached signatures, worker-parallel analysis, linear vs
+# quadratic detection) and writes the baseline to BENCH.json.
 bench:
+	$(GO) run ./cmd/mcbench -exp bench -json BENCH.json
+
+# One-iteration pass of the same harness plus the go-test benchmarks:
+# proves every timing loop still runs, cheap enough for CI.
+bench-smoke:
+	$(GO) run ./cmd/mcbench -exp bench -json BENCH.json -benchtime 1x -amplify 2
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# The go-test micro benchmarks alone (full timing).
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 fuzz:

@@ -12,6 +12,7 @@
 //	mcbench -exp ablation                    # linear vs quadratic detector
 //	mcbench -exp synccheck                   # SyncChecker comparison
 //	mcbench -exp explore [-schedules N]      # schedule-exploration throughput
+//	mcbench -exp bench [-json BENCH.json] [-benchtime T] [-amplify M]
 //	mcbench -exp all
 //
 // Absolute times are machine-local; the reproduction targets are the
@@ -20,6 +21,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,13 +33,16 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig8|fig9|fig10|phases|ablation|synccheck|explore|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig8|fig9|fig10|phases|ablation|synccheck|explore|bench|all")
 	ranks := flag.Int("ranks", 64, "rank count for fig8 (paper: 64)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor for fig8")
 	repeats := flag.Int("repeats", 3, "timing repetitions (minimum kept)")
 	luN := flag.Int("lu-n", 192, "LU matrix order for fig9/fig10 (paper: 1500)")
 	paperScale := flag.Bool("paper-scale", false, "table2: use the paper's full process counts (lockopts at 64)")
 	schedules := flag.Int("schedules", 2000, "schedule count for the explore experiment")
+	benchJSON := flag.String("json", "BENCH.json", "bench: output path for the regression baseline")
+	benchTime := flag.String("benchtime", "", "bench: -test.benchtime forwarded to the timing loops (e.g. 1x, 100ms)")
+	amplify := flag.Int("amplify", 8, "bench: bug-case body repetition factor")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -65,6 +70,9 @@ func main() {
 	run("ablation", ablation)
 	run("synccheck", synccheck)
 	run("explore", func() error { return exploreThroughput(*schedules) })
+	if *exp == "bench" { // excluded from "all": it re-times what the others already print
+		run("bench", func() error { return bench(*benchJSON, *benchTime, *amplify) })
+	}
 }
 
 func header(title string) {
@@ -229,6 +237,39 @@ func exploreThroughput(schedules int) error {
 	}
 	w.Flush()
 	fmt.Println("the distinct-violation column must not vary with jobs; speedup should grow toward GOMAXPROCS")
+	return nil
+}
+
+func bench(jsonPath, benchTime string, amplify int) error {
+	header("Benchmark-regression harness (hot paths, amplified Table II corpora)")
+	res, err := experiments.Bench(experiments.BenchConfig{Amplify: amplify, BenchTime: benchTime})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "Measurement\tns/op\tB/op\tallocs/op\tevents/s")
+	line := func(name string, s experiments.BenchStat) {
+		fmt.Fprintf(w, "%s\t%.0f\t%d\t%d\t%.0f\n", name, s.NsPerOp, s.BytesPerOp, s.AllocsPerOp, s.EventsPerSec)
+	}
+	line("decode (pooled)", res.Decode.Pooled)
+	line("decode (pool off)", res.Decode.Unpooled)
+	line("signature", res.Signature)
+	line("analyze (workers=1)", res.Analyze.Workers1)
+	line(fmt.Sprintf("analyze (workers=%d)", res.Analyze.MaxWorkers), res.Analyze.WorkersMax)
+	line("cross-process linear", res.Cross.Linear)
+	line("cross-process quadratic", res.Cross.Quadratic)
+	w.Flush()
+	fmt.Printf("decode alloc reduction: %.1f%%  analyze speedup: %.2fx (GOMAXPROCS=%d)  linear vs quadratic: %.1fx\n",
+		res.Decode.AllocReductionPct, res.Analyze.Speedup, res.GOMAXPROCS, res.Cross.Speedup)
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
 	return nil
 }
 

@@ -40,10 +40,20 @@ func Analyze(set *trace.Set) (*Report, error) {
 // opts.Obs set, each phase (model build, sync matching, DAG construction,
 // epoch extraction, detection) records a wall-time span — the per-phase
 // breakdown of the paper's evaluation (§VII).
+//
+// opts.Workers also parallelizes the per-rank front-end phases (trace
+// validation, model build, epoch extraction); sync matching and DAG
+// construction are inherently cross-rank and stay serial. The report is
+// byte-identical for every worker count.
 func AnalyzeWith(set *trace.Set, opts Options) (*Report, error) {
 	reg := opts.Obs
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	reg.Gauge("mcchecker_pipeline_front_end_workers").Set(int64(workers))
 	sp := reg.StartSpan(PhaseSpanName, "phase", "model")
-	m, err := model.Build(set)
+	m, err := model.BuildWorkers(set, workers)
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -61,7 +71,7 @@ func AnalyzeWith(set *trace.Set, opts Options) (*Report, error) {
 		return nil, err
 	}
 	sp = reg.StartSpan(PhaseSpanName, "phase", "epochs")
-	epochs, opEpoch, err := ExtractEpochs(m)
+	epochs, opEpoch, err := ExtractEpochsWorkers(m, workers)
 	sp.End()
 	if err != nil {
 		return nil, err

@@ -143,14 +143,15 @@ func (a *Analyzer) messageBufferClass(ev *trace.Event) (Op, bool) {
 //   - two issued operations conflict if their origin buffers overlap with
 //     at least one writer, or if their target regions at the same target
 //     process overlap incompatibly per Table I.
+//
+// Epochs are checked independently (each scan reads only its own rank's
+// events), so with Options.Workers > 1 they are checked concurrently and
+// merged in epoch order — the same order the serial loop produces.
 func (a *Analyzer) detectIntraEpoch() error {
-	for _, e := range a.epochs {
-		a.report.EpochsChecked++
-		if err := a.checkEpoch(e); err != nil {
-			return err
-		}
-	}
-	return nil
+	a.report.EpochsChecked += len(a.epochs)
+	return a.parallelCollect(len(a.epochs), func(i int, col *collector) error {
+		return a.checkEpoch(a.epochs[i], col)
+	})
 }
 
 // localSide is one origin-process buffer an issued operation touches: the
@@ -188,10 +189,10 @@ func (a *Analyzer) localSidesOf(ev *trace.Event) ([]localSide, error) {
 	return sides, nil
 }
 
-// checkEpoch finds conflicts inside one epoch. Win_flush completes all
-// pending operations to its target (removing them from consideration);
-// Win_flush_local completes only their local buffers.
-func (a *Analyzer) checkEpoch(e *Epoch) error {
+// checkEpoch finds conflicts inside one epoch, reporting into col.
+// Win_flush completes all pending operations to its target (removing them
+// from consideration); Win_flush_local completes only their local buffers.
+func (a *Analyzer) checkEpoch(e *Epoch, col *collector) error {
 	t := a.m.Set.Traces[e.Rank]
 	var ops []issuedOp
 	opSet := make(map[trace.ID]bool, len(e.Ops))
@@ -244,7 +245,7 @@ func (a *Analyzer) checkEpoch(e *Epoch) error {
 					if !overlap || (!accWrite && !side.write) {
 						continue
 					}
-					a.report.add(a.vindex, &Violation{
+					col.add(&Violation{
 						Severity: SevError,
 						Class:    WithinEpoch,
 						Rule: fmt.Sprintf("local %s overlaps the %s buffer of a pending %s in the same epoch",
@@ -275,7 +276,7 @@ func (a *Analyzer) checkEpoch(e *Epoch) error {
 								continue
 							}
 							if iv, ok := ns.fp.Overlaps(os.fp); ok {
-								a.report.add(a.vindex, &Violation{
+								col.add(&Violation{
 									Severity: SevError,
 									Class:    WithinEpoch,
 									Rule: fmt.Sprintf("%s buffer of %s overlaps the %s buffer of %s within one epoch",
@@ -290,7 +291,7 @@ func (a *Analyzer) checkEpoch(e *Epoch) error {
 				if o.tw == tw {
 					if iv, ok := target.Overlaps(o.target); ok {
 						if EffectiveCompat(o.ev, ev) != Both {
-							a.report.add(a.vindex, &Violation{
+							col.add(&Violation{
 								Severity: SevError,
 								Class:    WithinEpoch,
 								Rule: fmt.Sprintf("%s and %s to overlapping target regions within one epoch",
@@ -330,10 +331,31 @@ type storedOp struct {
 func (a *Analyzer) detectCrossProcess() error {
 	regions := a.d.Regions()
 	a.report.Regions = len(regions)
-	if a.opts.Workers <= 1 || len(regions) < 2 {
+	return a.parallelCollect(len(regions), func(i int, col *collector) error {
+		return a.checkRegion(regions[i], col)
+	})
+}
+
+// collector receives the violations of one analysis scope.
+type collector struct {
+	report *Report
+	vindex map[string]*Violation
+}
+
+func (c *collector) add(v *Violation) { c.report.add(c.vindex, v) }
+
+// parallelCollect runs check over n independent scopes (epochs, regions).
+// With Workers <= 1 (or fewer than two scopes) the scopes share the
+// analyzer's collector and run serially, failing fast. Otherwise each
+// scope gets a private collector on a worker pool and the per-scope
+// results merge into the report in scope index order via addCounted, so
+// the violations, their dedup counts, and the first error reported are
+// identical to the serial run.
+func (a *Analyzer) parallelCollect(n int, check func(i int, col *collector) error) error {
+	if a.opts.Workers <= 1 || n < 2 {
 		col := &collector{report: a.report, vindex: a.vindex}
-		for _, rg := range regions {
-			if err := a.checkRegion(rg, col); err != nil {
+		for i := 0; i < n; i++ {
+			if err := check(i, col); err != nil {
 				return err
 			}
 		}
@@ -344,12 +366,12 @@ func (a *Analyzer) detectCrossProcess() error {
 		col *collector
 		err error
 	}
-	results := make([]result, len(regions))
+	results := make([]result, n)
 	work := make(chan int)
 	var wg sync.WaitGroup
 	workers := a.opts.Workers
-	if workers > len(regions) {
-		workers = len(regions)
+	if workers > n {
+		workers = n
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -357,12 +379,12 @@ func (a *Analyzer) detectCrossProcess() error {
 			defer wg.Done()
 			for i := range work {
 				col := &collector{report: &Report{}, vindex: map[string]*Violation{}}
-				err := a.checkRegion(regions[i], col)
+				err := check(i, col)
 				results[i] = result{col: col, err: err}
 			}
 		}()
 	}
-	for i := range regions {
+	for i := 0; i < n; i++ {
 		work <- i
 	}
 	close(work)
@@ -378,14 +400,6 @@ func (a *Analyzer) detectCrossProcess() error {
 	}
 	return nil
 }
-
-// collector receives the violations of one analysis scope.
-type collector struct {
-	report *Report
-	vindex map[string]*Violation
-}
-
-func (c *collector) add(v *Violation) { c.report.add(c.vindex, v) }
 
 type winTarget struct {
 	win int32

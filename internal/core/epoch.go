@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/model"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -58,130 +59,171 @@ func (e *Epoch) String() string {
 // the epochs within the process by matching the synchronization calls").
 // It returns the epochs and a map from each RMA operation to its epoch.
 func ExtractEpochs(m *model.Model) ([]*Epoch, map[trace.ID]*Epoch, error) {
+	return ExtractEpochsWorkers(m, 1)
+}
+
+// ExtractEpochsWorkers is ExtractEpochs with the per-rank scans fanned
+// out over a worker pool. Epoch matching never crosses ranks, so each
+// rank's epochs and op→epoch assignments are computed independently and
+// concatenated in rank order — the exact sequence the serial walk
+// produces, keeping every downstream consumer byte-identical.
+func ExtractEpochsWorkers(m *model.Model, workers int) ([]*Epoch, map[trace.ID]*Epoch, error) {
+	n := len(m.Set.Traces)
+	type rankResult struct {
+		epochs  []*Epoch
+		opEpoch map[trace.ID]*Epoch
+	}
+	per := make([]rankResult, n)
+	err := par.Ranks(n, workers, func(r int) error {
+		epochs, opEpoch, err := extractRankEpochs(m, m.Set.Traces[r])
+		per[r] = rankResult{epochs: epochs, opEpoch: opEpoch}
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	total, totalOps := 0, 0
+	for r := range per {
+		total += len(per[r].epochs)
+		totalOps += len(per[r].opEpoch)
+	}
+	epochs := make([]*Epoch, 0, total)
+	opEpoch := make(map[trace.ID]*Epoch, totalOps)
+	for r := range per {
+		epochs = append(epochs, per[r].epochs...)
+		for id, e := range per[r].opEpoch {
+			opEpoch[id] = e
+		}
+	}
+	return epochs, opEpoch, nil
+}
+
+// extractRankEpochs matches the synchronization calls of one rank's
+// trace. It reads only the (immutable after Build) model registries and
+// the rank's own events, so ranks may run concurrently.
+func extractRankEpochs(m *model.Model, t *trace.Trace) ([]*Epoch, map[trace.ID]*Epoch, error) {
+	rank := t.Rank
 	var epochs []*Epoch
 	opEpoch := make(map[trace.ID]*Epoch)
+	// Per-window open-epoch state for this rank.
+	fence := map[int32]*Epoch{}    // win → open fence epoch
+	fenceSeen := map[int32]bool{}  // win → at least one fence seen
+	locks := map[[2]int32]*Epoch{} // (win, targetWorld) → open lock epoch
+	pscw := map[int32]*Epoch{}     // win → open access (start) epoch
+	lockAll := map[int32]*Epoch{}  // win → open lock_all epoch
 
-	for _, t := range m.Set.Traces {
-		rank := t.Rank
-		// Per-window open-epoch state for this rank.
-		fence := map[int32]*Epoch{}    // win → open fence epoch
-		fenceSeen := map[int32]bool{}  // win → at least one fence seen
-		locks := map[[2]int32]*Epoch{} // (win, targetWorld) → open lock epoch
-		pscw := map[int32]*Epoch{}     // win → open access (start) epoch
-		lockAll := map[int32]*Epoch{}  // win → open lock_all epoch
+	closeEpoch := func(e *Epoch, end int64) {
+		e.End = end
+		epochs = append(epochs, e)
+	}
 
-		closeEpoch := func(e *Epoch, end int64) {
-			e.End = end
-			epochs = append(epochs, e)
-		}
-
-		for i := range t.Events {
-			ev := &t.Events[i]
-			seq := int64(i)
-			switch ev.Kind {
-			case trace.KindWinFence:
-				if open := fence[ev.Win]; open != nil {
-					closeEpoch(open, seq)
-				}
-				fence[ev.Win] = &Epoch{Kind: EpochFence, Rank: rank, Win: ev.Win, Target: -1, Start: seq}
-				fenceSeen[ev.Win] = true
-			case trace.KindWinLock:
-				tw, err := lockTargetWorld(m, ev)
-				if err != nil {
-					return nil, nil, err
-				}
-				kind := EpochLockShared
-				if ev.Lock == trace.LockExclusive {
-					kind = EpochLockExclusive
-				}
-				key := [2]int32{ev.Win, tw}
-				if locks[key] != nil {
-					return nil, nil, fmt.Errorf("core: rank %d double-locks win %d target %d at %s",
-						rank, ev.Win, tw, ev.Loc())
-				}
-				locks[key] = &Epoch{Kind: kind, Rank: rank, Win: ev.Win, Target: tw, Start: seq}
-			case trace.KindWinUnlock:
-				tw, err := lockTargetWorld(m, ev)
-				if err != nil {
-					return nil, nil, err
-				}
-				key := [2]int32{ev.Win, tw}
-				open := locks[key]
-				if open == nil {
-					return nil, nil, fmt.Errorf("core: rank %d unlocks win %d target %d without lock at %s",
-						rank, ev.Win, tw, ev.Loc())
-				}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		seq := int64(i)
+		switch ev.Kind {
+		case trace.KindWinFence:
+			if open := fence[ev.Win]; open != nil {
 				closeEpoch(open, seq)
-				delete(locks, key)
-			case trace.KindWinStart:
-				if pscw[ev.Win] != nil {
-					return nil, nil, fmt.Errorf("core: rank %d nested Win_start on win %d at %s",
-						rank, ev.Win, ev.Loc())
-				}
-				pscw[ev.Win] = &Epoch{Kind: EpochPSCW, Rank: rank, Win: ev.Win, Target: -1, Start: seq}
-			case trace.KindWinComplete:
-				open := pscw[ev.Win]
-				if open == nil {
-					return nil, nil, fmt.Errorf("core: rank %d Win_complete without Win_start at %s",
-						rank, ev.Loc())
-				}
-				closeEpoch(open, seq)
-				delete(pscw, ev.Win)
-			case trace.KindWinLockAll:
-				if lockAll[ev.Win] != nil {
-					return nil, nil, fmt.Errorf("core: rank %d nested Win_lock_all on win %d at %s",
-						rank, ev.Win, ev.Loc())
-				}
-				lockAll[ev.Win] = &Epoch{Kind: EpochLockAll, Rank: rank, Win: ev.Win, Target: -1, Start: seq}
-			case trace.KindWinUnlockAll:
-				open := lockAll[ev.Win]
-				if open == nil {
-					return nil, nil, fmt.Errorf("core: rank %d Win_unlock_all without Win_lock_all at %s",
-						rank, ev.Loc())
-				}
-				closeEpoch(open, seq)
-				delete(lockAll, ev.Win)
-			case trace.KindPut, trace.KindGet, trace.KindAccumulate,
-				trace.KindGetAccumulate, trace.KindFetchOp, trace.KindCompareSwap:
-				tw, err := m.TargetWorld(ev)
-				if err != nil {
-					return nil, nil, err
-				}
-				var e *Epoch
-				switch {
-				case locks[[2]int32{ev.Win, tw}] != nil:
-					e = locks[[2]int32{ev.Win, tw}]
-				case lockAll[ev.Win] != nil:
-					e = lockAll[ev.Win]
-				case pscw[ev.Win] != nil:
-					e = pscw[ev.Win]
-				case fence[ev.Win] != nil:
-					e = fence[ev.Win]
-				default:
-					return nil, nil, fmt.Errorf("core: rank %d issues %s outside any epoch at %s",
-						rank, ev.Kind, ev.Loc())
-				}
-				e.Ops = append(e.Ops, ev.ID())
-				opEpoch[ev.ID()] = e
 			}
-		}
-
-		// Close epochs truncated by the end of the trace.
-		end := int64(len(t.Events))
-		for _, e := range fence {
-			if e != nil {
-				closeEpoch(e, end)
+			fence[ev.Win] = &Epoch{Kind: EpochFence, Rank: rank, Win: ev.Win, Target: -1, Start: seq}
+			fenceSeen[ev.Win] = true
+		case trace.KindWinLock:
+			tw, err := lockTargetWorld(m, ev)
+			if err != nil {
+				return nil, nil, err
 			}
+			kind := EpochLockShared
+			if ev.Lock == trace.LockExclusive {
+				kind = EpochLockExclusive
+			}
+			key := [2]int32{ev.Win, tw}
+			if locks[key] != nil {
+				return nil, nil, fmt.Errorf("core: rank %d double-locks win %d target %d at %s",
+					rank, ev.Win, tw, ev.Loc())
+			}
+			locks[key] = &Epoch{Kind: kind, Rank: rank, Win: ev.Win, Target: tw, Start: seq}
+		case trace.KindWinUnlock:
+			tw, err := lockTargetWorld(m, ev)
+			if err != nil {
+				return nil, nil, err
+			}
+			key := [2]int32{ev.Win, tw}
+			open := locks[key]
+			if open == nil {
+				return nil, nil, fmt.Errorf("core: rank %d unlocks win %d target %d without lock at %s",
+					rank, ev.Win, tw, ev.Loc())
+			}
+			closeEpoch(open, seq)
+			delete(locks, key)
+		case trace.KindWinStart:
+			if pscw[ev.Win] != nil {
+				return nil, nil, fmt.Errorf("core: rank %d nested Win_start on win %d at %s",
+					rank, ev.Win, ev.Loc())
+			}
+			pscw[ev.Win] = &Epoch{Kind: EpochPSCW, Rank: rank, Win: ev.Win, Target: -1, Start: seq}
+		case trace.KindWinComplete:
+			open := pscw[ev.Win]
+			if open == nil {
+				return nil, nil, fmt.Errorf("core: rank %d Win_complete without Win_start at %s",
+					rank, ev.Loc())
+			}
+			closeEpoch(open, seq)
+			delete(pscw, ev.Win)
+		case trace.KindWinLockAll:
+			if lockAll[ev.Win] != nil {
+				return nil, nil, fmt.Errorf("core: rank %d nested Win_lock_all on win %d at %s",
+					rank, ev.Win, ev.Loc())
+			}
+			lockAll[ev.Win] = &Epoch{Kind: EpochLockAll, Rank: rank, Win: ev.Win, Target: -1, Start: seq}
+		case trace.KindWinUnlockAll:
+			open := lockAll[ev.Win]
+			if open == nil {
+				return nil, nil, fmt.Errorf("core: rank %d Win_unlock_all without Win_lock_all at %s",
+					rank, ev.Loc())
+			}
+			closeEpoch(open, seq)
+			delete(lockAll, ev.Win)
+		case trace.KindPut, trace.KindGet, trace.KindAccumulate,
+			trace.KindGetAccumulate, trace.KindFetchOp, trace.KindCompareSwap:
+			tw, err := m.TargetWorld(ev)
+			if err != nil {
+				return nil, nil, err
+			}
+			var e *Epoch
+			switch {
+			case locks[[2]int32{ev.Win, tw}] != nil:
+				e = locks[[2]int32{ev.Win, tw}]
+			case lockAll[ev.Win] != nil:
+				e = lockAll[ev.Win]
+			case pscw[ev.Win] != nil:
+				e = pscw[ev.Win]
+			case fence[ev.Win] != nil:
+				e = fence[ev.Win]
+			default:
+				return nil, nil, fmt.Errorf("core: rank %d issues %s outside any epoch at %s",
+					rank, ev.Kind, ev.Loc())
+			}
+			e.Ops = append(e.Ops, ev.ID())
+			opEpoch[ev.ID()] = e
 		}
-		for _, e := range locks {
+	}
+
+	// Close epochs truncated by the end of the trace.
+	end := int64(len(t.Events))
+	for _, e := range fence {
+		if e != nil {
 			closeEpoch(e, end)
 		}
-		for _, e := range pscw {
-			closeEpoch(e, end)
-		}
-		for _, e := range lockAll {
-			closeEpoch(e, end)
-		}
+	}
+	for _, e := range locks {
+		closeEpoch(e, end)
+	}
+	for _, e := range pscw {
+		closeEpoch(e, end)
+	}
+	for _, e := range lockAll {
+		closeEpoch(e, end)
 	}
 	return epochs, opEpoch, nil
 }

@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"path"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/memory"
@@ -61,17 +63,36 @@ type Violation struct {
 	Region  int             // concurrent region index (cross-process only)
 
 	Count int // occurrences folded into this report entry
+
+	// Cached identity strings. Both are pure functions of fields fixed at
+	// construction (never of Count), so they are computed once on first
+	// use — key() and Signature() sit on the dedup and sort hot paths and
+	// used to burn six fmt.Sprintf calls per invocation.
+	dedupKey string
+	sig      string
 }
 
 // key identifies a violation for deduplication: the same pair of source
 // locations conflicting by the same rule is reported once with a count.
 func (v *Violation) key() string {
-	a := fmt.Sprintf("%s@%s#%s", v.A.Kind, v.A.Loc(), v.A.Func)
-	b := fmt.Sprintf("%s@%s#%s", v.B.Kind, v.B.Loc(), v.B.Func)
-	if b < a {
-		a, b = b, a
+	if v.dedupKey == "" {
+		a := operandString(&v.A, false)
+		b := operandString(&v.B, false)
+		if b < a {
+			a, b = b, a
+		}
+		var sb strings.Builder
+		sb.Grow(len(a) + len(b) + len(v.Rule) + 16)
+		sb.WriteString(a)
+		sb.WriteByte('|')
+		sb.WriteString(b)
+		sb.WriteByte('|')
+		sb.WriteString(v.Rule)
+		sb.WriteByte('|')
+		sb.WriteString(strconv.FormatInt(int64(v.Win), 10))
+		v.dedupKey = sb.String()
 	}
-	return fmt.Sprintf("%s|%s|%s|%d", a, b, v.Rule, v.Win)
+	return v.dedupKey
 }
 
 // Signature returns the violation's canonical identity: severity, class,
@@ -83,16 +104,58 @@ func (v *Violation) key() string {
 // legal schedule it manifests. The schedule explorer (internal/explore)
 // dedups thousands of schedules down to distinct signatures.
 func (v *Violation) Signature() string {
-	a := fmt.Sprintf("%s@%s#%s", v.A.Kind, v.A.Loc(), shortFunc(v.A.Func))
-	b := fmt.Sprintf("%s@%s#%s", v.B.Kind, v.B.Loc(), shortFunc(v.B.Func))
-	if b < a {
-		a, b = b, a
+	if v.sig == "" {
+		a := operandString(&v.A, true)
+		b := operandString(&v.B, true)
+		if b < a {
+			a, b = b, a
+		}
+		win := "nowin"
+		if v.Win != 0 || v.Class == AcrossProcesses {
+			win = "win"
+		}
+		sev, cls := v.Severity.String(), v.Class.String()
+		var sb strings.Builder
+		sb.Grow(len(sev) + len(cls) + len(v.Rule) + len(a) + len(b) + len(win) + 5)
+		sb.WriteString(sev)
+		sb.WriteByte('|')
+		sb.WriteString(cls)
+		sb.WriteByte('|')
+		sb.WriteString(v.Rule)
+		sb.WriteByte('|')
+		sb.WriteString(a)
+		sb.WriteByte('|')
+		sb.WriteString(b)
+		sb.WriteByte('|')
+		sb.WriteString(win)
+		v.sig = sb.String()
 	}
-	win := "nowin"
-	if v.Win != 0 || v.Class == AcrossProcesses {
-		win = "win"
+	return v.sig
+}
+
+// operandString renders one side of a conflicting pair as
+// "<kind>@<file:line>#<func>" in a single builder pass, matching the
+// fmt.Sprintf("%s@%s#%s", kind, ev.Loc(), fn) rendering it replaced.
+func operandString(ev *trace.Event, short bool) string {
+	fn := ev.Func
+	if short {
+		fn = shortFunc(fn)
 	}
-	return fmt.Sprintf("%s|%s|%s|%s|%s|%s", v.Severity, v.Class, v.Rule, a, b, win)
+	kind := ev.Kind.String()
+	var sb strings.Builder
+	sb.Grow(len(kind) + len(ev.File) + len(fn) + 16)
+	sb.WriteString(kind)
+	sb.WriteByte('@')
+	if ev.File == "" {
+		sb.WriteByte('?')
+	} else {
+		sb.WriteString(path.Base(ev.File))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatInt(int64(ev.Line), 10))
+	}
+	sb.WriteByte('#')
+	sb.WriteString(fn)
+	return sb.String()
 }
 
 // Hint suggests a remediation for the violated rule, in the spirit of the

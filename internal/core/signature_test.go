@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -70,6 +71,94 @@ func TestSignatureSeparatesDistinctBugs(t *testing.T) {
 	for i, v := range []*Violation{diffRule, diffSite, diffSev, diffClass} {
 		if v.Signature() == base.Signature() {
 			t.Errorf("variant %d: distinct bug collided with base signature %q", i, base.Signature())
+		}
+	}
+}
+
+// referenceKey and referenceSignature are the original fmt.Sprintf
+// renderings that the cached strings.Builder paths replaced. The cached
+// values must stay byte-identical to them: signatures are persisted in
+// explorer findings and golden reports.
+func referenceKey(v *Violation) string {
+	a := fmt.Sprintf("%s@%s#%s", v.A.Kind, v.A.Loc(), v.A.Func)
+	b := fmt.Sprintf("%s@%s#%s", v.B.Kind, v.B.Loc(), v.B.Func)
+	if b < a {
+		a, b = b, a
+	}
+	return fmt.Sprintf("%s|%s|%s|%d", a, b, v.Rule, v.Win)
+}
+
+func referenceSignature(v *Violation) string {
+	a := fmt.Sprintf("%s@%s#%s", v.A.Kind, v.A.Loc(), shortFunc(v.A.Func))
+	b := fmt.Sprintf("%s@%s#%s", v.B.Kind, v.B.Loc(), shortFunc(v.B.Func))
+	if b < a {
+		a, b = b, a
+	}
+	win := "nowin"
+	if v.Win != 0 || v.Class == AcrossProcesses {
+		win = "win"
+	}
+	return fmt.Sprintf("%s|%s|%s|%s|%s|%s", v.Severity, v.Class, v.Rule, a, b, win)
+}
+
+// TestSignatureMatchesSprintfReference pins the cached identity strings
+// to the historical fmt.Sprintf formats across the tricky shapes: empty
+// file (Loc "?"), empty func, path-qualified func names, warning
+// severity, both classes, zero and nonzero windows.
+func TestSignatureMatchesSprintfReference(t *testing.T) {
+	cases := []*Violation{
+		sigViolation(0, 1, 3, 2, memory.Iv(100, 8)),
+		sigViolation(5, 2, 0, 0, memory.Interval{}),
+		{
+			Severity: SevWarning, Class: WithinEpoch,
+			Rule: "Put and Get to overlapping target regions within one epoch",
+			A:    trace.Event{Kind: trace.KindPut}, // no file, no func
+			B:    trace.Event{Kind: trace.KindGet, File: "x.go", Line: 1, Func: "f"},
+			Win:  0,
+		},
+		{
+			Severity: SevError, Class: AcrossProcesses,
+			Rule: "rule",
+			A:    trace.Event{Kind: trace.KindStore, File: "/deep/a/b/c.go", Line: 999, Func: "pkg/sub.fn"},
+			B:    trace.Event{Kind: trace.KindAccumulate, File: "c.go", Line: 999, Func: "fn"},
+			Win:  -7,
+		},
+	}
+	for i, v := range cases {
+		if got, want := v.key(), referenceKey(v); got != want {
+			t.Errorf("case %d key:\n got %q\nwant %q", i, got, want)
+		}
+		if got, want := v.Signature(), referenceSignature(v); got != want {
+			t.Errorf("case %d signature:\n got %q\nwant %q", i, got, want)
+		}
+		// Cached: a second call returns the same string.
+		if v.Signature() != referenceSignature(v) || v.key() != referenceKey(v) {
+			t.Errorf("case %d: cached value differs from first computation", i)
+		}
+	}
+}
+
+// BenchmarkSignature measures the first (cache-filling) identity
+// computation — the cost every deduplicated violation pays once.
+func BenchmarkSignature(b *testing.B) {
+	template := *sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := template
+		if v.Signature() == "" {
+			b.Fatal("empty signature")
+		}
+	}
+}
+
+// BenchmarkViolationKey measures the dedup-key computation the same way.
+func BenchmarkViolationKey(b *testing.B) {
+	template := *sigViolation(0, 1, 3, 2, memory.Iv(100, 8))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v := template
+		if v.key() == "" {
+			b.Fatal("empty key")
 		}
 	}
 }

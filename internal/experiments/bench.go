@@ -1,0 +1,346 @@
+// Benchmark-regression harness: a reproducible measurement of the
+// analyzer's hot paths that `make bench` serializes into BENCH.json, so a
+// change that slows the pipeline down or re-inflates its allocation rate
+// shows up as a diff. All measurements run through testing.Benchmark —
+// the same machinery as `go test -bench` — so ns/op, B/op, and allocs/op
+// mean exactly what they mean there.
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/memory"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+)
+
+// BenchStat is one benchmark measurement in go-test units.
+type BenchStat struct {
+	NsPerOp      float64 `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+func statOf(r testing.BenchmarkResult, events int) BenchStat {
+	s := BenchStat{
+		NsPerOp:     float64(r.NsPerOp()),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if events > 0 && s.NsPerOp > 0 {
+		s.EventsPerSec = float64(events) / (s.NsPerOp / float64(time.Second.Nanoseconds()))
+	}
+	return s
+}
+
+// BenchDecode compares the pooled decode path against the pool disabled.
+type BenchDecode struct {
+	Events           int       `json:"events"`
+	Pooled           BenchStat `json:"pooled"`
+	Unpooled         BenchStat `json:"unpooled"`
+	AllocReductionPct float64  `json:"alloc_reduction_pct"`
+}
+
+// BenchAnalyze compares the analyzer at one front-end worker against the
+// machine's width.
+type BenchAnalyze struct {
+	Events     int       `json:"events"`
+	MaxWorkers int       `json:"max_workers"`
+	Workers1   BenchStat `json:"workers_1"`
+	WorkersMax BenchStat `json:"workers_max"`
+	Speedup    float64   `json:"speedup"`
+}
+
+// BenchPhase is one pipeline phase's share of an instrumented analysis.
+type BenchPhase struct {
+	Phase        string  `json:"phase"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+// BenchCross compares the linear cross-process detector against the
+// quadratic baseline on one synthetic region.
+type BenchCross struct {
+	Ops       int       `json:"ops"`
+	Linear    BenchStat `json:"linear"`
+	Quadratic BenchStat `json:"quadratic"`
+	Speedup   float64   `json:"speedup"`
+}
+
+// BenchResult is the schema of BENCH.json.
+type BenchResult struct {
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Amplify    int    `json:"amplify"`
+	BenchTime  string `json:"benchtime,omitempty"`
+
+	Decode    BenchDecode  `json:"decode"`
+	Signature BenchStat    `json:"signature"`
+	Analyze   BenchAnalyze `json:"analyze"`
+	Phases    []BenchPhase `json:"phases"`
+	Cross     BenchCross   `json:"cross_process"`
+}
+
+// BenchConfig parameterizes the harness.
+type BenchConfig struct {
+	// Amplify repeats each bug-case body this many times per rank, scaling
+	// the Table II corpora into trace sets large enough to time.
+	Amplify int
+	// BenchTime forwards to -test.benchtime ("" keeps the 1s default;
+	// "1x" is the CI smoke setting).
+	BenchTime string
+	// CrossOps sizes the synthetic region of the linear-vs-quadratic
+	// comparison (the quadratic baseline is O(ops²)).
+	CrossOps int
+}
+
+var benchInit sync.Once
+
+// Bench measures the pipeline's hot paths on the amplified Table II
+// corpora and returns the BENCH.json payload.
+func Bench(cfg BenchConfig) (*BenchResult, error) {
+	if cfg.Amplify < 1 {
+		cfg.Amplify = 8
+	}
+	if cfg.CrossOps < 1 {
+		cfg.CrossOps = 1024
+	}
+	benchInit.Do(testing.Init)
+	if cfg.BenchTime != "" {
+		if err := flag.Set("test.benchtime", cfg.BenchTime); err != nil {
+			return nil, fmt.Errorf("bench: invalid benchtime %q: %w", cfg.BenchTime, err)
+		}
+	}
+
+	sets, err := benchCorpora(cfg.Amplify)
+	if err != nil {
+		return nil, err
+	}
+	events := 0
+	for _, set := range sets {
+		events += set.TotalEvents()
+	}
+
+	res := &BenchResult{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Amplify:    cfg.Amplify,
+		BenchTime:  cfg.BenchTime,
+	}
+	if err := benchDecode(sets, events, &res.Decode); err != nil {
+		return nil, err
+	}
+	res.Signature = benchSignature()
+	if err := benchAnalyze(sets, events, &res.Analyze); err != nil {
+		return nil, err
+	}
+	phases, err := benchPhases(sets)
+	if err != nil {
+		return nil, err
+	}
+	res.Phases = phases
+	if err := benchCross(cfg.CrossOps, &res.Cross); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// repeatBody amplifies a per-rank program: each repetition allocates
+// fresh windows and communicators, so the repeated trace is a legal MPI
+// execution m times the size.
+func repeatBody(body func(p *mpi.Proc) error, times int) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		for i := 0; i < times; i++ {
+			if err := body(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// benchCorpora simulates every Table II buggy case (ranks clamped to 8,
+// like the default bug table) with the body amplified, producing the
+// trace sets the timing loops run over.
+func benchCorpora(amplify int) ([]*trace.Set, error) {
+	var sets []*trace.Set
+	for _, bc := range apps.BugCases() {
+		ranks := bc.Ranks
+		if ranks > 8 {
+			ranks = 8
+		}
+		sink := trace.NewMemorySink()
+		var rel profiler.Relevance
+		if bc.RelevantBuffers != nil {
+			rel = profiler.FromNames(bc.RelevantBuffers)
+		}
+		pr := profiler.New(sink, rel)
+		if err := mpi.Run(ranks, mpi.Options{Hook: pr}, repeatBody(bc.Buggy, amplify)); err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", bc.Name, err)
+		}
+		sets = append(sets, sink.Set())
+	}
+	return sets, nil
+}
+
+// benchDecode times one full decode pass over the encoded corpora, with
+// the decode-context pool on and off.
+func benchDecode(sets []*trace.Set, events int, out *BenchDecode) error {
+	var bufs [][]byte
+	for _, set := range sets {
+		for _, t := range set.Traces {
+			b, err := trace.EncodeTrace(t)
+			if err != nil {
+				return fmt.Errorf("bench: encoding corpus: %w", err)
+			}
+			bufs = append(bufs, b)
+		}
+	}
+	decodeAll := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, buf := range bufs {
+				if _, err := trace.ReadTrace(bytes.NewReader(buf)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	prev := trace.SetDecodePool(true)
+	pooled := testing.Benchmark(decodeAll)
+	trace.SetDecodePool(false)
+	unpooled := testing.Benchmark(decodeAll)
+	trace.SetDecodePool(prev)
+
+	out.Events = events
+	out.Pooled = statOf(pooled, events)
+	out.Unpooled = statOf(unpooled, events)
+	if out.Unpooled.AllocsPerOp > 0 {
+		out.AllocReductionPct = (1 - float64(out.Pooled.AllocsPerOp)/float64(out.Unpooled.AllocsPerOp)) * 100
+	}
+	return nil
+}
+
+// benchSignature times the cached violation-identity path on a fresh
+// violation per iteration (the first, cache-filling computation — the
+// cost every deduplicated violation pays exactly once).
+func benchSignature() BenchStat {
+	template := core.Violation{
+		Severity: core.SevError,
+		Class:    core.AcrossProcesses,
+		Rule:     "concurrent Put and Get from different processes overlap in the target window",
+		A: trace.Event{Kind: trace.KindPut, Rank: 0, File: "bench/origin.go", Line: 42,
+			Func: "repro/internal/apps.benchOrigin"},
+		B: trace.Event{Kind: trace.KindGet, Rank: 1, File: "bench/target.go", Line: 97,
+			Func: "repro/internal/apps.benchTarget"},
+		Win:     3,
+		Overlap: memory.Iv(0x1000, 64),
+	}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			v := template
+			if v.Signature() == "" {
+				b.Fatal("empty signature")
+			}
+		}
+	})
+	return statOf(r, 0)
+}
+
+// benchAnalyze times the full offline analysis over the corpora at one
+// worker and at GOMAXPROCS workers.
+func benchAnalyze(sets []*trace.Set, events int, out *BenchAnalyze) error {
+	analyzeAll := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, set := range sets {
+					opts := core.DefaultOptions()
+					opts.Workers = workers
+					if _, err := core.AnalyzeWith(set, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+	max := runtime.GOMAXPROCS(0)
+	w1 := testing.Benchmark(analyzeAll(1))
+	wm := testing.Benchmark(analyzeAll(max))
+
+	out.Events = events
+	out.MaxWorkers = max
+	out.Workers1 = statOf(w1, events)
+	out.WorkersMax = statOf(wm, events)
+	if out.WorkersMax.NsPerOp > 0 {
+		out.Speedup = out.Workers1.NsPerOp / out.WorkersMax.NsPerOp
+	}
+	return nil
+}
+
+// benchPhases runs one instrumented analysis over the corpora and reads
+// the per-phase wall times back from the observability spans.
+func benchPhases(sets []*trace.Set) ([]BenchPhase, error) {
+	reg := obs.NewRegistry()
+	events := 0
+	for _, set := range sets {
+		opts := core.DefaultOptions()
+		opts.Workers = runtime.GOMAXPROCS(0)
+		opts.Obs = reg
+		if _, err := core.AnalyzeWith(set, opts); err != nil {
+			return nil, err
+		}
+		events += set.TotalEvents()
+	}
+	snap := reg.Snapshot()
+	var phases []BenchPhase
+	for _, name := range []string{"model", "match", "dag", "epochs", "detect_intra", "detect_cross"} {
+		secs := snap.Span(core.PhaseSpanName, "phase", name).Total().Seconds()
+		p := BenchPhase{Phase: name, Seconds: secs}
+		if secs > 0 {
+			p.EventsPerSec = float64(events) / secs
+		}
+		phases = append(phases, p)
+	}
+	return phases, nil
+}
+
+// benchCross times the linear cross-process detector against the
+// quadratic baseline on one synthetic concurrent region.
+func benchCross(ops int, out *BenchCross) error {
+	set := SyntheticRegion(16, ops)
+	linear := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeWith(set, core.Options{CrossProcess: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	quadratic := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := baseline.QuadraticAnalyze(set); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	out.Ops = ops
+	out.Linear = statOf(linear, set.TotalEvents())
+	out.Quadratic = statOf(quadratic, set.TotalEvents())
+	if out.Linear.NsPerOp > 0 {
+		out.Speedup = out.Quadratic.NsPerOp / out.Linear.NsPerOp
+	}
+	return nil
+}

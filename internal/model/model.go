@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"repro/internal/memory"
+	"repro/internal/par"
 	"repro/internal/trace"
 )
 
@@ -65,8 +66,16 @@ type typeKey struct {
 // Build scans the trace set and constructs the registries. It validates
 // definition events for consistency (duplicate window definitions with
 // conflicting communicators, datatype redefinitions).
-func Build(set *trace.Set) (*Model, error) {
-	if err := set.Validate(); err != nil {
+func Build(set *trace.Set) (*Model, error) { return BuildWorkers(set, 1) }
+
+// BuildWorkers is Build with the per-rank scans fanned out over a worker
+// pool: validation and the definition-event sweep are per-rank
+// independent, so only the registry merge runs serially. Definition
+// events are merged in (rank, sequence) order — exactly the order the
+// serial scan visits them — so the registries, and any conflict error,
+// are identical whatever the worker count.
+func BuildWorkers(set *trace.Set, workers int) (*Model, error) {
+	if err := set.ValidateWorkers(workers); err != nil {
 		return nil, err
 	}
 	m := &Model{
@@ -82,9 +91,23 @@ func Build(set *trace.Set) (*Model, error) {
 	}
 	m.Comms[0] = world
 
-	for _, t := range set.Traces {
+	// Parallel sweep: collect each rank's definition events (a tiny
+	// fraction of the trace) without touching shared state.
+	defs := make([][]*trace.Event, len(set.Traces))
+	_ = par.Ranks(len(set.Traces), workers, func(r int) error {
+		t := set.Traces[r]
 		for i := range t.Events {
-			ev := &t.Events[i]
+			switch t.Events[i].Kind {
+			case trace.KindCommCreate, trace.KindWinCreate, trace.KindTypeCreate:
+				defs[r] = append(defs[r], &t.Events[i])
+			}
+		}
+		return nil
+	})
+
+	// Serial merge in (rank, seq) order.
+	for _, rankDefs := range defs {
+		for _, ev := range rankDefs {
 			switch ev.Kind {
 			case trace.KindCommCreate:
 				if err := m.addComm(ev); err != nil {

@@ -1,0 +1,56 @@
+// Package par provides the deterministic fan-out helper shared by the
+// pipeline's per-rank stages (trace decode, model build, epoch
+// extraction). The contract that keeps parallel analysis byte-identical
+// to serial analysis lives here in one place: workers write only to
+// per-index state, results are consumed in index order by the caller,
+// and the error reported is always the one of the lowest failing index —
+// the same error a serial left-to-right loop would have returned.
+package par
+
+import "sync"
+
+// Ranks runs fn(0) … fn(n-1) on min(workers, n) goroutines and returns
+// the error of the lowest index that failed, or nil. With workers <= 1
+// the calls run inline in index order (no goroutines, fail-fast), which
+// is the reference behaviour the parallel path must reproduce: fn must
+// write only to state owned by its index.
+func Ranks(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	errs := make([]error, n)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRanksRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		var hits [50]atomic.Int32
+		if err := Ranks(len(hits), workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRanksLowestIndexError(t *testing.T) {
+	// Whatever the worker count, the reported error must be the lowest
+	// failing index's — the one a serial loop would have hit first.
+	for _, workers := range []int{1, 3, runtime.GOMAXPROCS(0) + 2} {
+		err := Ranks(40, workers, func(i int) error {
+			if i == 7 || i == 23 {
+				return fmt.Errorf("fail %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail 7" {
+			t.Fatalf("workers=%d: got %v, want fail 7", workers, err)
+		}
+	}
+}
+
+func TestRanksEmpty(t *testing.T) {
+	if err := Ranks(0, 4, func(int) error { return fmt.Errorf("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

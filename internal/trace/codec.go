@@ -7,13 +7,15 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/memory"
 )
 
 // Binary stream format, per rank:
 //
-//	magic "MCCT" | version u8 | rank varint
+//	magic "MCCT" | version u8 | rank varint | count-hint uvarint (v2+)
 //	repeated records:
 //	  0x01 strdef  | id uvarint | len uvarint | bytes   (file-name intern)
 //	  0x02 event   | field-encoded Event (see below)
@@ -22,14 +24,24 @@ import (
 // Events are encoded as kind byte followed by varint fields in a fixed
 // order; slices/data-maps are length-prefixed. Seq is not stored (it is the
 // record index); Rank is stored once in the header.
+//
+// Version 2 adds the count hint: the expected event count (0 when the
+// writer streams and cannot know it), letting readers preallocate the
+// event slice in one shot. Readers accept both versions; the hint is
+// advisory and clamped, never trusted.
 
 const (
-	codecMagic   = "MCCT"
-	codecVersion = 1
+	codecMagic     = "MCCT"
+	codecVersionV1 = 1
+	codecVersion   = 2
 
 	recEnd    = 0x00
 	recStrDef = 0x01
 	recEvent  = 0x02
+
+	// maxPreallocEvents caps how many events the count hint may
+	// preallocate, so a hostile header cannot force a huge allocation.
+	maxPreallocEvents = 1 << 16
 )
 
 // Writer encodes one rank's events to an io.Writer.
@@ -42,7 +54,18 @@ type Writer struct {
 }
 
 // NewWriter writes the stream header for rank and returns the Writer.
+// The count hint is written as 0 (unknown): a streaming writer cannot
+// know how many events will follow. Use NewWriterHint when the event
+// count is known up front (whole-trace encoders), so readers can
+// preallocate.
 func NewWriter(w io.Writer, rank int32) (*Writer, error) {
+	return NewWriterHint(w, rank, 0)
+}
+
+// NewWriterHint is NewWriter with an explicit event-count hint in the
+// stream header. events <= 0 writes 0 ("unknown"); the hint is advisory
+// only — emitting more or fewer events than hinted is legal.
+func NewWriterHint(w io.Writer, rank int32, events int) (*Writer, error) {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(codecMagic); err != nil {
 		return nil, err
@@ -52,6 +75,13 @@ func NewWriter(w io.Writer, rank int32) (*Writer, error) {
 	}
 	var tmp [binary.MaxVarintLen64]byte
 	n := binary.PutVarint(tmp[:], int64(rank))
+	if _, err := bw.Write(tmp[:n]); err != nil {
+		return nil, err
+	}
+	if events < 0 {
+		events = 0
+	}
+	n = binary.PutUvarint(tmp[:], uint64(events))
 	if _, err := bw.Write(tmp[:n]); err != nil {
 		return nil, err
 	}
@@ -170,13 +200,117 @@ func (w *Writer) Close() error {
 // Err returns the first write error, if any.
 func (w *Writer) Err() error { return w.err }
 
+// reader is the per-stream decode context: the buffered reader, the
+// string intern table, and a scratch buffer for string definitions. It is
+// recycled through readerPool across streams — decoding a trace directory
+// touches one context per rank file, and without pooling each decode pays
+// a fresh bufio buffer, intern table, and scratch allocation.
 type reader struct {
-	r    *bufio.Reader
-	strs []string
+	r       *bufio.Reader
+	strs    []string
+	scratch []byte
+}
+
+// decodeReaderBufSize is the bufio buffer for pooled decode contexts —
+// large enough that typical rank files decode in a few refills.
+const decodeReaderBufSize = 1 << 16
+
+var readerPool sync.Pool // of *reader
+
+var (
+	decodePoolOff    atomic.Bool
+	decodePoolHits   atomic.Int64
+	decodePoolMisses atomic.Int64
+)
+
+// SetDecodePool enables or disables decode-context recycling and returns
+// the previous setting. It exists for the benchmark harness, which
+// measures the pool's allocation effect by flipping it off; production
+// paths leave it on.
+func SetDecodePool(enabled bool) bool {
+	return !decodePoolOff.Swap(!enabled)
+}
+
+// DecodePoolStats returns the cumulative decode-context pool hits and
+// misses. ReadDirObs exposes the per-read deltas as
+// mcchecker_pipeline_decode_pool_{hits,misses}_total.
+func DecodePoolStats() (hits, misses int64) {
+	return decodePoolHits.Load(), decodePoolMisses.Load()
+}
+
+// getReader returns a decode context wrapping r, recycled when possible.
+func getReader(r io.Reader) *reader {
+	if !decodePoolOff.Load() {
+		if v := readerPool.Get(); v != nil {
+			rd := v.(*reader)
+			decodePoolHits.Add(1)
+			rd.r.Reset(r)
+			rd.strs = rd.strs[:1]
+			return rd
+		}
+	}
+	decodePoolMisses.Add(1)
+	return &reader{r: bufio.NewReaderSize(r, decodeReaderBufSize), strs: []string{""}}
+}
+
+// putReader recycles a decode context. The interned strings handed out to
+// decoded events are immutable Go strings; dropping the table references
+// here cannot invalidate them.
+func (rd *reader) release() {
+	if decodePoolOff.Load() {
+		return
+	}
+	strs := rd.strs[:cap(rd.strs)]
+	for i := 1; i < len(strs); i++ {
+		strs[i] = "" // do not pin decoded file/func names beyond this stream
+	}
+	rd.strs = strs[:1]
+	rd.r.Reset(nil)
+	readerPool.Put(rd)
 }
 
 func (rd *reader) uvarint() (uint64, error) { return binary.ReadUvarint(rd.r) }
 func (rd *reader) varint() (int64, error)   { return binary.ReadVarint(rd.r) }
+
+// readHeader parses the stream header (magic, version, rank, and the v2
+// count hint) shared by the strict and salvage decoders. The hint is 0
+// for v1 streams and for v2 writers that streamed without knowing their
+// event count.
+func (rd *reader) readHeader() (rank int32, hint uint64, err error) {
+	var hdr [len(codecMagic) + 1]byte
+	if _, err := io.ReadFull(rd.r, hdr[:]); err != nil {
+		return 0, 0, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(hdr[:len(codecMagic)]) != codecMagic {
+		return 0, 0, errors.New("trace: bad magic")
+	}
+	version := hdr[len(codecMagic)]
+	if version != codecVersionV1 && version != codecVersion {
+		return 0, 0, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	rank64, err := rd.varint()
+	if err != nil {
+		return 0, 0, fmt.Errorf("trace: reading rank: %w", err)
+	}
+	if version >= codecVersion {
+		if hint, err = rd.uvarint(); err != nil {
+			return 0, 0, fmt.Errorf("trace: reading event-count hint: %w", err)
+		}
+	}
+	return int32(rank64), hint, nil
+}
+
+// preallocEvents sizes a trace's event slice from the header hint,
+// clamped against hostile or mistaken headers.
+func preallocEvents(t *Trace, hint uint64) {
+	if hint == 0 {
+		return
+	}
+	if hint > maxPreallocEvents {
+		hint = maxPreallocEvents
+	}
+	t.Events = make([]Event, 0, hint)
+}
 
 func (rd *reader) varint32(dst *int32, err *error) {
 	if *err != nil {
@@ -206,24 +340,45 @@ func (rd *reader) uvarint64(dst *uint64, err *error) {
 	*dst = v
 }
 
-// ReadTrace decodes one rank stream produced by Writer.
-func ReadTrace(r io.Reader) (*Trace, error) {
-	rd := &reader{r: bufio.NewReader(r), strs: []string{""}}
-	hdr := make([]byte, len(codecMagic)+1)
-	if _, err := io.ReadFull(rd.r, hdr); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
-	}
-	if string(hdr[:len(codecMagic)]) != codecMagic {
-		return nil, errors.New("trace: bad magic")
-	}
-	if hdr[len(codecMagic)] != codecVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", hdr[len(codecMagic)])
-	}
-	rank64, err := rd.varint()
+// readStrDef decodes one string-definition record into the intern table,
+// reusing the context's scratch buffer for the byte read.
+func (rd *reader) readStrDef() error {
+	id, err := rd.uvarint()
 	if err != nil {
-		return nil, fmt.Errorf("trace: reading rank: %w", err)
+		return err
 	}
-	t := &Trace{Rank: int32(rank64)}
+	n, err := rd.uvarint()
+	if err != nil {
+		return err
+	}
+	if n > 1<<20 {
+		return fmt.Errorf("trace: string of %d bytes too long", n)
+	}
+	if uint64(cap(rd.scratch)) < n {
+		rd.scratch = make([]byte, n)
+	}
+	buf := rd.scratch[:n]
+	if _, err := io.ReadFull(rd.r, buf); err != nil {
+		return err
+	}
+	if id != uint64(len(rd.strs)) {
+		return fmt.Errorf("trace: string id %d out of order", id)
+	}
+	rd.strs = append(rd.strs, string(buf))
+	return nil
+}
+
+// ReadTrace decodes one rank stream produced by Writer (codec version 1
+// or 2).
+func ReadTrace(r io.Reader) (*Trace, error) {
+	rd := getReader(r)
+	defer rd.release()
+	rank, hint, err := rd.readHeader()
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Rank: rank}
+	preallocEvents(t, hint)
 
 	for {
 		tag, err := rd.r.ReadByte()
@@ -234,25 +389,9 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		case recEnd:
 			return t, nil
 		case recStrDef:
-			id, err := rd.uvarint()
-			if err != nil {
+			if err := rd.readStrDef(); err != nil {
 				return nil, err
 			}
-			n, err := rd.uvarint()
-			if err != nil {
-				return nil, err
-			}
-			if n > 1<<20 {
-				return nil, fmt.Errorf("trace: string of %d bytes too long", n)
-			}
-			buf := make([]byte, n)
-			if _, err := io.ReadFull(rd.r, buf); err != nil {
-				return nil, err
-			}
-			if id != uint64(len(rd.strs)) {
-				return nil, fmt.Errorf("trace: string id %d out of order", id)
-			}
-			rd.strs = append(rd.strs, string(buf))
 		case recEvent:
 			ev, err := rd.readEvent(t.Rank, int64(len(t.Events)))
 			if err != nil {

@@ -22,9 +22,11 @@ func WriteDir(dir string, s *Set) error {
 }
 
 // ReadDir loads all trace.<rank>.bin files from dir into a Set. All ranks
-// [0, n) must be present.
+// [0, n) must be present. Rank files are independent streams and decode
+// concurrently (one worker per processor); the assembled Set and any
+// error are identical to a serial read.
 func ReadDir(dir string) (*Set, error) {
-	return readDirWith(dir, func(f *os.File) (*Trace, error) { return ReadTrace(f) })
+	return readDirWith(dir, decodeWorkers(), func(f *os.File) (*Trace, error) { return ReadTrace(f) })
 }
 
 // nameRank pairs a trace file name with the rank its name claims.

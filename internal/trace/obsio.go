@@ -5,8 +5,12 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 // Observability wrappers around the trace codec: byte and event volumes of
@@ -85,7 +89,7 @@ func writeFileObs(path string, t *Trace, m *codecMetrics) error {
 		cw = &countingWriter{w: f}
 		out = cw
 	}
-	w, err := NewWriter(out, t.Rank)
+	w, err := NewWriterHint(out, t.Rank, len(t.Events))
 	if err != nil {
 		f.Close()
 		return err
@@ -105,13 +109,20 @@ func writeFileObs(path string, t *Trace, m *codecMetrics) error {
 }
 
 // ReadDirObs is ReadDir with codec metrics recorded into reg (events and
-// bytes decoded per rank file). reg may be nil, which is exactly ReadDir.
+// bytes decoded per rank file) plus the pipeline front-end gauges: decode
+// throughput, decode-pool hit/miss deltas, and the worker count used for
+// the concurrent per-file decode. reg may be nil, which is exactly
+// ReadDir.
 func ReadDirObs(dir string, reg *obs.Registry) (*Set, error) {
 	m := newCodecMetrics(reg)
 	if m == nil {
 		return ReadDir(dir)
 	}
-	set, err := readDirWith(dir, func(f *os.File) (*Trace, error) {
+	workers := decodeWorkers()
+	hits0, misses0 := DecodePoolStats()
+	start := time.Now()
+	var decodedBytes atomic.Int64
+	set, err := readDirWith(dir, workers, func(f *os.File) (*Trace, error) {
 		cr := &countingReader{r: f}
 		t, err := ReadTrace(cr)
 		if err != nil {
@@ -119,40 +130,62 @@ func ReadDirObs(dir string, reg *obs.Registry) (*Set, error) {
 		}
 		m.decodedEvents.Add(int64(len(t.Events)))
 		m.decodedBytes.Add(cr.n)
+		decodedBytes.Add(cr.n)
 		return t, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	elapsed := time.Since(start)
+	hits1, misses1 := DecodePoolStats()
+	reg.Gauge("mcchecker_pipeline_decode_workers").Set(int64(workers))
+	reg.Counter("mcchecker_pipeline_decode_pool_hits_total").Add(hits1 - hits0)
+	reg.Counter("mcchecker_pipeline_decode_pool_misses_total").Add(misses1 - misses0)
+	if secs := elapsed.Seconds(); secs > 0 {
+		reg.Gauge("mcchecker_pipeline_decode_events_per_sec").Set(int64(float64(set.TotalEvents()) / secs))
+	}
 	return set, nil
 }
 
+// decodeWorkers is the concurrency used for per-file trace decoding:
+// ranks are independent streams, so the front end fans them out across
+// the machine.
+func decodeWorkers() int { return runtime.GOMAXPROCS(0) }
+
 // readDirWith is the directory-scanning body of ReadDir with the per-file
-// decode step parameterized.
-func readDirWith(dir string, readOne func(f *os.File) (*Trace, error)) (*Set, error) {
+// decode step parameterized. Rank files decode concurrently on up to
+// `workers` goroutines; assembly stays deterministic because each file's
+// trace lands in its name's slot and errors surface in name order
+// (par.Ranks picks the lowest failing index).
+func readDirWith(dir string, workers int, readOne func(f *os.File) (*Trace, error)) (*Set, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	names := traceFileNames(entries)
-	var parts []*Trace
-	for _, nr := range names {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("trace: no trace files in %s", dir)
+	}
+	parts := make([]*Trace, len(names))
+	err = par.Ranks(len(names), workers, func(i int) error {
+		nr := names[i]
 		f, err := os.Open(filepath.Join(dir, nr.name))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		t, err := readOne(f)
 		f.Close()
 		if err != nil {
-			return nil, fmt.Errorf("reading %s: %w", nr.name, err)
+			return fmt.Errorf("reading %s: %w", nr.name, err)
 		}
 		if int(t.Rank) != nr.rank {
-			return nil, fmt.Errorf("%s contains rank %d", nr.name, t.Rank)
+			return fmt.Errorf("%s contains rank %d", nr.name, t.Rank)
 		}
-		parts = append(parts, t)
-	}
-	if len(parts) == 0 {
-		return nil, fmt.Errorf("trace: no trace files in %s", dir)
+		parts[i] = t
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return Merge(parts...)
 }

@@ -1,7 +1,6 @@
 package trace
 
 import (
-	"bufio"
 	"bytes"
 	"fmt"
 	"io"
@@ -37,23 +36,15 @@ type SalvageResult struct {
 // recovery and is reported in the SalvageResult instead. The returned
 // trace always has dense sequence numbers and valid event kinds.
 func ReadTraceSalvage(r io.Reader) (*Trace, SalvageResult, error) {
-	rd := &reader{r: bufio.NewReader(r), strs: []string{""}}
+	rd := getReader(r)
+	defer rd.release()
 	var res SalvageResult
-	hdr := make([]byte, len(codecMagic)+1)
-	if _, err := io.ReadFull(rd.r, hdr); err != nil {
-		return nil, res, fmt.Errorf("trace: reading header: %w", err)
-	}
-	if string(hdr[:len(codecMagic)]) != codecMagic {
-		return nil, res, fmt.Errorf("trace: bad magic")
-	}
-	if hdr[len(codecMagic)] != codecVersion {
-		return nil, res, fmt.Errorf("trace: unsupported version %d", hdr[len(codecMagic)])
-	}
-	rank64, err := rd.varint()
+	rank, hint, err := rd.readHeader()
 	if err != nil {
-		return nil, res, fmt.Errorf("trace: reading rank: %w", err)
+		return nil, res, err
 	}
-	t := &Trace{Rank: int32(rank64)}
+	t := &Trace{Rank: rank}
+	preallocEvents(t, hint)
 
 	stop := func(format string, args ...any) (*Trace, SalvageResult, error) {
 		res.Events = len(t.Events)
@@ -71,25 +62,9 @@ func ReadTraceSalvage(r io.Reader) (*Trace, SalvageResult, error) {
 			res.Events = len(t.Events)
 			return t, res, nil
 		case recStrDef:
-			id, err := rd.uvarint()
-			if err != nil {
-				return stop("truncated string definition: %v", err)
+			if err := rd.readStrDef(); err != nil {
+				return stop("bad string definition: %v", err)
 			}
-			n, err := rd.uvarint()
-			if err != nil {
-				return stop("truncated string definition: %v", err)
-			}
-			if n > 1<<20 {
-				return stop("string of %d bytes too long", n)
-			}
-			buf := make([]byte, n)
-			if _, err := io.ReadFull(rd.r, buf); err != nil {
-				return stop("truncated string definition: %v", err)
-			}
-			if id != uint64(len(rd.strs)) {
-				return stop("string id %d out of order", id)
-			}
-			rd.strs = append(rd.strs, string(buf))
 		case recEvent:
 			ev, err := rd.readEvent(t.Rank, int64(len(t.Events)))
 			if err != nil {
@@ -192,10 +167,11 @@ func ReadDirSalvage(dir string, reg *obs.Registry) (*Set, []string, error) {
 	return set, notes, nil
 }
 
-// EncodeTrace renders one rank's trace in the binary stream format.
+// EncodeTrace renders one rank's trace in the binary stream format, with
+// the event count hinted in the header so decoders preallocate.
 func EncodeTrace(t *Trace) ([]byte, error) {
 	var buf bytes.Buffer
-	w, err := NewWriter(&buf, t.Rank)
+	w, err := NewWriterHint(&buf, t.Rank, len(t.Events))
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/par"
 )
 
 // Trace is the ordered event stream of one rank.
@@ -50,25 +52,33 @@ func (s *Set) Get(id ID) *Event {
 
 // Validate checks the per-rank sequence invariants: ranks labelled
 // correctly and Seq dense from zero. Readers call it after loading.
-func (s *Set) Validate() error {
-	for r, t := range s.Traces {
-		if t == nil {
-			return fmt.Errorf("trace: missing trace for rank %d", r)
+func (s *Set) Validate() error { return s.ValidateWorkers(1) }
+
+// ValidateWorkers is Validate with the per-rank scans fanned out over a
+// worker pool; ranks are independent, and the error reported is the one
+// the serial scan would have hit first (lowest failing rank).
+func (s *Set) ValidateWorkers(workers int) error {
+	return par.Ranks(len(s.Traces), workers, s.validateRank)
+}
+
+func (s *Set) validateRank(r int) error {
+	t := s.Traces[r]
+	if t == nil {
+		return fmt.Errorf("trace: missing trace for rank %d", r)
+	}
+	if t.Rank != int32(r) {
+		return fmt.Errorf("trace: trace at index %d labelled rank %d", r, t.Rank)
+	}
+	for i := range t.Events {
+		ev := &t.Events[i]
+		if ev.Rank != int32(r) {
+			return fmt.Errorf("trace: rank %d event %d labelled rank %d", r, i, ev.Rank)
 		}
-		if t.Rank != int32(r) {
-			return fmt.Errorf("trace: trace at index %d labelled rank %d", r, t.Rank)
+		if ev.Seq != int64(i) {
+			return fmt.Errorf("trace: rank %d event %d has seq %d", r, i, ev.Seq)
 		}
-		for i := range t.Events {
-			ev := &t.Events[i]
-			if ev.Rank != int32(r) {
-				return fmt.Errorf("trace: rank %d event %d labelled rank %d", r, i, ev.Rank)
-			}
-			if ev.Seq != int64(i) {
-				return fmt.Errorf("trace: rank %d event %d has seq %d", r, i, ev.Seq)
-			}
-			if ev.Kind == KindInvalid || ev.Kind >= kindMax {
-				return fmt.Errorf("trace: rank %d event %d has invalid kind %d", r, i, ev.Kind)
-			}
+		if ev.Kind == KindInvalid || ev.Kind >= kindMax {
+			return fmt.Errorf("trace: rank %d event %d has invalid kind %d", r, i, ev.Kind)
 		}
 	}
 	return nil
@@ -126,8 +136,23 @@ func (m *MemorySink) Emit(ev Event) {
 }
 
 // Set assembles the collected events into a Set covering ranks [0, n) where
-// n is one past the highest rank seen (or 0 for an empty sink).
+// n is one past the highest rank seen (or 0 for an empty sink). The
+// per-rank event slices are copies, independent of the sink's buffers.
 func (m *MemorySink) Set() *Set {
+	return m.assemble(true)
+}
+
+// TakeSet is Set without the copy: the returned Set's per-rank event
+// slices alias the sink's internal buffers. It exists for run-recycling
+// callers (internal/explore) that analyze the set, keep only value
+// copies of events out of it, and then Reset the sink for the next run —
+// which invalidates the aliased slices. Use Set when the result must
+// outlive the sink.
+func (m *MemorySink) TakeSet() *Set {
+	return m.assemble(false)
+}
+
+func (m *MemorySink) assemble(copyEvents bool) *Set {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
 	maxRank := int32(-1)
@@ -139,10 +164,27 @@ func (m *MemorySink) Set() *Set {
 	s := NewSet(int(maxRank + 1))
 	for r, rs := range m.byRank {
 		rs.mu.Lock()
-		s.Traces[r].Events = append([]Event(nil), rs.evs...)
+		if copyEvents {
+			s.Traces[r].Events = append([]Event(nil), rs.evs...)
+		} else {
+			s.Traces[r].Events = rs.evs
+		}
 		rs.mu.Unlock()
 	}
 	return s
+}
+
+// Reset clears the sink for reuse, keeping the per-rank buffers' capacity
+// so a recycled sink re-collects a comparable run without reallocating.
+// Any Set previously obtained through TakeSet is invalidated.
+func (m *MemorySink) Reset() {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, rs := range m.byRank {
+		rs.mu.Lock()
+		rs.evs = rs.evs[:0]
+		rs.mu.Unlock()
+	}
 }
 
 // CountingSink wraps another sink and tallies events by class with atomic

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check staticcheck race cover bench bench-smoke microbench fuzz soak explore experiments table2 fig8 fig9 clean
+.PHONY: all build test check staticcheck race cover bench bench-smoke microbench fuzz soak explore experiments table2 fig8 fig9 trace-smoke clean
 
 all: build test check
 
@@ -59,6 +59,22 @@ bench:
 bench-smoke:
 	$(GO) run ./cmd/mcbench -exp bench -json BENCH.json -benchtime 1x -amplify 2
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+# Causal-timeline smoke: run a bug case, analyze its traces recording a
+# Chrome trace JSON timeline (with witness tracks), and validate the
+# file's shape with mcviz. The leading `-` on run/analyze tolerates the
+# exit-3 findings convention; the validation itself must pass strictly.
+TRACE_TMP ?= /tmp/mcchecker-trace-smoke
+trace-smoke:
+	rm -rf $(TRACE_TMP) && mkdir -p $(TRACE_TMP)
+	-$(GO) run ./cmd/mcchecker run -app emulate -trace $(TRACE_TMP)/traces
+	-$(GO) run ./cmd/mcchecker analyze -trace $(TRACE_TMP)/analyze.json $(TRACE_TMP)/traces
+	-$(GO) run ./cmd/mcchecker run -app ping-pong -trace $(TRACE_TMP)/run.json
+	$(GO) run ./cmd/mcbench -exp bench -benchtime 1x -amplify 2 \
+		-json $(TRACE_TMP)/BENCH.json -trace $(TRACE_TMP)/bench.json
+	$(GO) run ./cmd/mcviz -check-trace $(TRACE_TMP)/analyze.json
+	$(GO) run ./cmd/mcviz -check-trace $(TRACE_TMP)/run.json
+	$(GO) run ./cmd/mcviz -check-trace $(TRACE_TMP)/bench.json
 
 # The go-test micro benchmarks alone (full timing).
 microbench:

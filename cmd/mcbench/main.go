@@ -12,7 +12,10 @@
 //	mcbench -exp ablation                    # linear vs quadratic detector
 //	mcbench -exp synccheck                   # SyncChecker comparison
 //	mcbench -exp explore [-schedules N]      # schedule-exploration throughput
-//	mcbench -exp bench [-json BENCH.json] [-benchtime T] [-amplify M]
+//	mcbench -exp bench [-json BENCH.json] [-benchtime T] [-amplify M] [-trace timeline.json]
+//
+// Global flags: -cpuprofile FILE and -memprofile FILE write pprof
+// profiles of the whole invocation.
 //	mcbench -exp all
 //
 // Absolute times are machine-local; the reproduction targets are the
@@ -26,10 +29,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"text/tabwriter"
 
 	"repro/internal/experiments"
+	"repro/internal/obs/tracing"
 )
 
 func main() {
@@ -43,7 +48,42 @@ func main() {
 	benchJSON := flag.String("json", "BENCH.json", "bench: output path for the regression baseline")
 	benchTime := flag.String("benchtime", "", "bench: -test.benchtime forwarded to the timing loops (e.g. 1x, 100ms)")
 	amplify := flag.Int("amplify", 8, "bench: bug-case body repetition factor")
+	tracePath := flag.String("trace", "", "bench: record the instrumented phase pass as Chrome trace JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
+
+	stopCPU := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err == nil {
+			err = pprof.StartCPUProfile(f)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mcbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	finish := func() {
+		stopCPU()
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err == nil {
+				runtime.GC()
+				err = pprof.WriteHeapProfile(f)
+				f.Close()
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mcbench: memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+	defer finish()
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
@@ -51,6 +91,7 @@ func main() {
 		}
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "mcbench %s: %v\n", name, err)
+			finish()
 			os.Exit(1)
 		}
 	}
@@ -71,7 +112,7 @@ func main() {
 	run("synccheck", synccheck)
 	run("explore", func() error { return exploreThroughput(*schedules) })
 	if *exp == "bench" { // excluded from "all": it re-times what the others already print
-		run("bench", func() error { return bench(*benchJSON, *benchTime, *amplify) })
+		run("bench", func() error { return bench(*benchJSON, *benchTime, *amplify, *tracePath) })
 	}
 }
 
@@ -240,11 +281,28 @@ func exploreThroughput(schedules int) error {
 	return nil
 }
 
-func bench(jsonPath, benchTime string, amplify int) error {
+func bench(jsonPath, benchTime string, amplify int, tracePath string) error {
 	header("Benchmark-regression harness (hot paths, amplified Table II corpora)")
-	res, err := experiments.Bench(experiments.BenchConfig{Amplify: amplify, BenchTime: benchTime})
+	var tr *tracing.Recorder
+	if tracePath != "" {
+		tr = tracing.New()
+	}
+	res, err := experiments.Bench(experiments.BenchConfig{Amplify: amplify, BenchTime: benchTime, Trace: tr})
 	if err != nil {
 		return err
+	}
+	if tr != nil {
+		f, err := os.Create(tracePath)
+		if err == nil {
+			err = tr.WriteChromeTrace(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("timeline: %w", err)
+		}
+		fmt.Printf("wrote timeline (%d events) to %s — open in https://ui.perfetto.dev\n", tr.Len(), tracePath)
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "Measurement\tns/op\tB/op\tallocs/op\tevents/s")

@@ -38,8 +38,16 @@
 //	    yields), pct (rank priorities with change points), delay
 //	    (delay-bounded completion steps).
 //
-//	mcchecker analyze -trace DIR [-intra-only] [-json] [-stats] [-stats-format F]
-//	    Run DN-Analyzer offline over per-rank trace files.
+//	mcchecker analyze [-trace timeline.json] [-intra-only] [-json] [-stats]
+//	              [-stats-format F] [-cpuprofile FILE] [-memprofile FILE] [-stats-listen ADDR] DIR
+//	    Run DN-Analyzer offline over per-rank trace files. With a
+//	    positional DIR (flags first), -trace names a Chrome trace JSON timeline of the
+//	    pipeline (per-worker decode/model/epochs/detect lanes plus one
+//	    track per violation's happens-before witness chain; open it in
+//	    ui.perfetto.dev). The legacy `analyze -trace DIR` spelling, with
+//	    no positional argument, still reads DIR and records no timeline.
+//	    -cpuprofile/-memprofile write pprof profiles; -stats-listen
+//	    serves /metrics and /debug/pprof while the analysis runs.
 //
 //	mcchecker analyze -static [-app NAME] [-fixed] [-min-confidence L] [-json] [-stats]
 //	    Cross-validate the static epoch-state checker (internal/stanalyzer)
@@ -64,6 +72,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/apps"
@@ -72,6 +83,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/profiler"
 	"repro/internal/stanalyzer"
 	"repro/internal/stream"
@@ -111,11 +123,14 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   mcchecker apps
-  mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR] [-full] [-intra-only] [-online] [-json] [-stats] [-stats-format text|prom|json]
-                [-faults PLAN] [-failstop] [-timeout D] [-soak N]
+  mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR|timeline.json] [-full] [-intra-only] [-online] [-json] [-stats] [-stats-format text|prom|json]
+                [-faults PLAN] [-failstop] [-timeout D] [-soak N] [-stats-listen ADDR]
   mcchecker explore -app NAME [-fixed] [-n N] [-schedules N] [-strategy sweep|walk|pct|delay] [-jobs K] [-budget D] [-seed N]
                 [-minimize] [-minimize-runs N] [-static-seed] [-full] [-intra-only] [-json] [-stats] [-stats-format text|prom|json] [-timeout D]
-  mcchecker analyze -trace DIR [-intra-only] [-json] [-stats] [-stats-format text|prom|json]
+                [-trace timeline.json] [-stats-listen ADDR]
+  mcchecker analyze [-trace timeline.json] [-intra-only] [-json] [-stats] [-stats-format text|prom|json]
+                [-cpuprofile FILE] [-memprofile FILE] [-stats-listen ADDR] DIR
+  mcchecker analyze -trace DIR [...]          (legacy spelling, no timeline)
   mcchecker analyze -static [-app NAME] [-fixed] [-min-confidence low|medium|high] [-json] [-stats]
   mcchecker dump -trace DIR [-rank N] [-limit N]`)
 }
@@ -157,6 +172,7 @@ type runConfig struct {
 	failstop  bool
 	timeout   time.Duration
 	traceDir  string
+	tl        *timeline
 	reg       *obs.Registry
 	progress  io.Writer
 }
@@ -166,7 +182,8 @@ func runCmd(args []string) error {
 	appName := fs.String("app", "", "application name (see `mcchecker apps`)")
 	fixed := fs.Bool("fixed", false, "run the fixed variant instead of the buggy one")
 	ranks := fs.Int("ranks", 0, "process count (default: the paper's count for the app)")
-	traceDir := fs.String("trace", "", "also write per-rank trace files to this directory")
+	traceDir := fs.String("trace", "", "write per-rank trace files to this directory; a .json path records a pipeline timeline instead")
+	statsListen := fs.String("stats-listen", "", "serve /metrics and /debug/pprof on this address while running (e.g. :6060)")
 	full := fs.Bool("full", false, "instrument every buffer (no static analysis)")
 	intraOnly := fs.Bool("intra-only", false, "intra-epoch detection only (SyncChecker baseline)")
 	online := fs.Bool("online", false, "analyze regions while the program runs (streaming mode)")
@@ -183,6 +200,12 @@ func runCmd(args []string) error {
 	reg, err := statsRegistry(*stats, *statsFormat)
 	if err != nil {
 		return err
+	}
+	// -stats-listen without -stats still needs a live registry so
+	// /metrics serves real data; printing stays gated on -stats.
+	printReg := reg
+	if *statsListen != "" && reg == nil {
+		reg = obs.NewRegistry()
 	}
 	plan, err := faults.Parse(*faultsFlag)
 	if err != nil {
@@ -213,10 +236,22 @@ func runCmd(args []string) error {
 	if *jsonOut {
 		progress = os.Stderr
 	}
+	// A .json -trace path means "record the pipeline timeline there";
+	// anything else keeps the original meaning of a trace directory.
+	outDir := *traceDir
+	var tl *timeline
+	if strings.HasSuffix(outDir, ".json") {
+		tl, outDir = newTimeline(outDir), ""
+	}
+	closeStats, err := startStatsListener(*statsListen, reg, progress)
+	if err != nil {
+		return err
+	}
+	defer closeStats()
 	cfg := runConfig{
 		body: body, n: n, rel: rel, intraOnly: *intraOnly,
 		plan: plan, failstop: *failstop, timeout: *timeout,
-		traceDir: *traceDir, reg: reg, progress: progress,
+		traceDir: outDir, tl: tl, reg: reg, progress: progress,
 	}
 
 	if *soak > 0 {
@@ -228,6 +263,9 @@ func runCmd(args []string) error {
 	}
 	fmt.Fprintf(progress, "running %s (%s) on %d simulated ranks, %s\n", bc.Name, variant, n, mode)
 
+	if *online && tl != nil {
+		return fmt.Errorf("timeline recording (-trace %s) requires the offline pipeline (drop -online)", tl.path)
+	}
 	if *online {
 		sc := stream.New(n, func(v *core.Violation) {
 			fmt.Fprintf(progress, "[online] %s\n", v)
@@ -249,14 +287,18 @@ func runCmd(args []string) error {
 		}
 		rep.Degraded = append(notes, rep.Degraded...)
 		fmt.Fprintf(progress, "analyzed %d slab(s) online\n", sc.Slabs())
-		return printReport(rep, *jsonOut, reg, *statsFormat)
+		return printReport(rep, *jsonOut, printReg, *statsFormat)
 	}
 
 	rep, err := runOffline(cfg)
 	if err != nil {
 		return err
 	}
-	return printReport(rep, *jsonOut, reg, *statsFormat)
+	core.AddWitnessTracks(tl.recorder(), rep)
+	if err := tl.flush(progress); err != nil {
+		return err
+	}
+	return printReport(rep, *jsonOut, printReg, *statsFormat)
 }
 
 // tolerant reports whether injected crashes use the survival model.
@@ -293,12 +335,19 @@ func exploreCmd(args []string) error {
 	stats := fs.Bool("stats", false, "collect and print run metrics")
 	statsFormat := fs.String("stats-format", "text", "stats output format: text, prom, or json")
 	timeout := fs.Duration("timeout", 0, "per-run deadlock watchdog (0 = default 2m)")
+	tracePath := fs.String("trace", "", "record a per-schedule timeline to this Chrome trace JSON file")
+	statsListen := fs.String("stats-listen", "", "serve /metrics and /debug/pprof on this address while exploring (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	reg, err := statsRegistry(*stats, *statsFormat)
 	if err != nil {
 		return err
+	}
+	// As in runCmd: a listener needs a registry even without -stats.
+	printReg := reg
+	if *statsListen != "" && reg == nil {
+		reg = obs.NewRegistry()
 	}
 	strat, err := explore.ParseStrategy(*strategyName)
 	if err != nil {
@@ -343,6 +392,12 @@ func exploreCmd(args []string) error {
 	fmt.Fprintf(progress, "exploring %s (%s) on %d simulated ranks: %d schedules, strategy %s\n",
 		bc.Name, variant, n, *schedules, strat.Name())
 
+	closeStats, err := startStatsListener(*statsListen, reg, progress)
+	if err != nil {
+		return err
+	}
+	defer closeStats()
+	tl := newTimeline(*tracePath)
 	res, err := explore.Explore(explore.Config{
 		Runner: &explore.Runner{
 			Body: body, Ranks: n, Rel: rel,
@@ -356,11 +411,15 @@ func exploreCmd(args []string) error {
 		Minimize:     *minimize,
 		MinimizeRuns: *minimizeRuns,
 		Progress:     progress,
+		Trace:        tl.recorder(),
 	})
 	if err != nil {
 		return err
 	}
-	if err := printExplore(res, bc.Name, *jsonOut, reg, *statsFormat); err != nil {
+	if err := tl.flush(progress); err != nil {
+		return err
+	}
+	if err := printExplore(res, bc.Name, *jsonOut, printReg, *statsFormat); err != nil {
 		return err
 	}
 	if res.Distinct() > 0 {
@@ -459,6 +518,7 @@ func (cfg *runConfig) runner() *explore.Runner {
 		Body: cfg.body, Ranks: cfg.n, Rel: cfg.rel,
 		Timeout: cfg.timeout, Failstop: cfg.failstop,
 		IntraOnly: cfg.intraOnly, Obs: cfg.reg,
+		Trace: cfg.tl.recorder(),
 	}
 	if cfg.traceDir != "" {
 		r.OnTrace = func(set *trace.Set) {
@@ -552,6 +612,105 @@ func statsRegistry(enabled bool, format string) (*obs.Registry, error) {
 	return obs.NewRegistry(), nil
 }
 
+// timeline owns one -trace timeline recording: the span recorder threaded
+// through the pipeline and the Chrome trace JSON file it is written to.
+// A nil *timeline is inert, so call sites can thread tl.recorder()
+// unconditionally.
+type timeline struct {
+	rec  *tracing.Recorder
+	path string
+}
+
+func newTimeline(path string) *timeline {
+	if path == "" {
+		return nil
+	}
+	return &timeline{rec: tracing.New(), path: path}
+}
+
+func (tl *timeline) recorder() *tracing.Recorder {
+	if tl == nil {
+		return nil
+	}
+	return tl.rec
+}
+
+// flush writes the recorded timeline. It must run before printReport or
+// printExplore, which may os.Exit(3) on findings.
+func (tl *timeline) flush(progress io.Writer) error {
+	if tl == nil {
+		return nil
+	}
+	f, err := os.Create(tl.path)
+	if err != nil {
+		return fmt.Errorf("timeline: %w", err)
+	}
+	if err := tl.rec.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("timeline: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("timeline: %w", err)
+	}
+	fmt.Fprintf(progress, "wrote timeline (%d events) to %s — open in https://ui.perfetto.dev\n",
+		tl.rec.Len(), tl.path)
+	return nil
+}
+
+// startCPUProfile begins a CPU profile to path ("" = disabled). The
+// returned stop function must run before any os.Exit, including the
+// findings exit in printReport.
+func startCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeMemProfile dumps a heap profile to path ("" = disabled) after a GC,
+// so the profile reflects live objects rather than garbage.
+func writeMemProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}
+
+// startStatsListener serves /metrics, /stats, and /debug/pprof/ on addr
+// for the duration of the command ("" = disabled). The registry may be
+// nil, leaving the pprof endpoints as the useful surface.
+func startStatsListener(addr string, reg *obs.Registry, progress io.Writer) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	srv, err := obs.ServeStats(addr, reg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(progress, "stats listener on http://%s (/metrics, /stats, /debug/pprof/)\n", srv.Addr())
+	return func() { srv.Close() }, nil
+}
+
 // printReport renders the report (text or JSON) and exits with status 3
 // when errors were found, like compilers and linters signal findings.
 // When reg is non-nil its snapshot is printed before any error exit: as a
@@ -594,7 +753,7 @@ func printReport(rep *core.Report, asJSON bool, reg *obs.Registry, statsFormat s
 
 func analyzeCmd(args []string) error {
 	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
-	traceDir := fs.String("trace", "", "trace directory written by `mcchecker run -trace`")
+	traceDir := fs.String("trace", "", "trace directory to analyze; with a positional DIR argument, the timeline output file instead")
 	static := fs.Bool("static", false, "cross-validate the static checker against dynamic runs of the bundled apps")
 	appName := fs.String("app", "", "with -static: cross-validate only this app (default: all)")
 	fixed := fs.Bool("fixed", false, "with -static: cross-validate the fixed variants")
@@ -603,10 +762,16 @@ func analyzeCmd(args []string) error {
 	jsonOut := fs.Bool("json", false, "print the report as JSON")
 	stats := fs.Bool("stats", false, "collect and print analysis metrics")
 	statsFormat := fs.String("stats-format", "text", "stats output format: text, prom, or json")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
+	statsListen := fs.String("stats-listen", "", "serve /metrics and /debug/pprof on this address while analyzing (e.g. :6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *static {
+		if fs.NArg() > 0 {
+			return fmt.Errorf("-static takes no positional arguments")
+		}
 		reg, err := statsRegistry(*stats, *statsFormat)
 		if err != nil {
 			return err
@@ -617,26 +782,69 @@ func analyzeCmd(args []string) error {
 		}
 		return staticCrossValidate(*appName, *fixed, *jsonOut, min, reg, *statsFormat)
 	}
-	if *traceDir == "" {
-		return fmt.Errorf("-trace is required (or -static for static/dynamic cross-validation)")
+	// Two spellings: `analyze DIR [-trace timeline.json]` (positional
+	// input, -trace names the timeline output) and the legacy
+	// `analyze -trace DIR` (no timeline).
+	inputDir := *traceDir
+	timelinePath := ""
+	switch {
+	case fs.NArg() > 1:
+		return fmt.Errorf("at most one trace directory argument, got %d", fs.NArg())
+	case fs.NArg() == 1:
+		inputDir = fs.Arg(0)
+		timelinePath = *traceDir
+	}
+	if inputDir == "" {
+		return fmt.Errorf("a trace directory is required (positional, or -trace DIR; or -static)")
 	}
 	reg, err := statsRegistry(*stats, *statsFormat)
 	if err != nil {
 		return err
 	}
+	// As in runCmd: a listener needs a registry even without -stats.
+	printReg := reg
+	if *statsListen != "" && reg == nil {
+		reg = obs.NewRegistry()
+	}
+	stopCPU, err := startCPUProfile(*cpuprofile)
+	if err != nil {
+		return err
+	}
+	defer stopCPU()
+	closeStats, err := startStatsListener(*statsListen, reg, os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer closeStats()
+	tl := newTimeline(timelinePath)
 	opts := core.DefaultOptions()
 	if *intraOnly {
 		opts.CrossProcess = false
 	}
 	opts.Obs = reg
+	opts.Trace = tl.recorder()
 
-	set, err := trace.ReadDirObs(*traceDir, reg)
+	// finish flushes everything that must not be lost to the findings
+	// exit inside printReport: profiles, witness tracks, the timeline.
+	finish := func(rep *core.Report) error {
+		stopCPU()
+		if err := writeMemProfile(*memprofile); err != nil {
+			return err
+		}
+		core.AddWitnessTracks(tl.recorder(), rep)
+		if err := tl.flush(os.Stderr); err != nil {
+			return err
+		}
+		return printReport(rep, *jsonOut, printReg, *statsFormat)
+	}
+
+	set, err := trace.ReadDirTraced(inputDir, reg, tl.recorder())
 	if err != nil {
 		// Strict reading failed (truncated or damaged files): salvage the
 		// valid per-rank prefixes and produce a degraded report instead of
 		// nothing.
 		fmt.Fprintf(os.Stderr, "mcchecker: strict trace read failed (%v); salvaging\n", err)
-		salvaged, notes, serr := trace.ReadDirSalvage(*traceDir, reg)
+		salvaged, notes, serr := trace.ReadDirSalvageTraced(inputDir, reg, tl.recorder())
 		if serr != nil {
 			return serr
 		}
@@ -645,13 +853,13 @@ func analyzeCmd(args []string) error {
 		if derr != nil {
 			return derr
 		}
-		return printReport(rep, *jsonOut, reg, *statsFormat)
+		return finish(rep)
 	}
 	rep, err := core.AnalyzeWith(set, opts)
 	if err != nil {
 		return err
 	}
-	return printReport(rep, *jsonOut, reg, *statsFormat)
+	return finish(rep)
 }
 
 // dumpCmd pretty-prints trace files for debugging instrumented runs.

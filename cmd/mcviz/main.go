@@ -8,6 +8,11 @@
 //
 //	mcviz -trace DIR [-max-events N] > dag.dot
 //	dot -Tsvg dag.dot > dag.svg
+//
+//	mcviz -check-trace timeline.json
+//	    Validate a Chrome trace JSON timeline written by
+//	    `mcchecker ... -trace` or `mcbench -trace` and print a summary
+//	    (event, track, and lane counts). Exits nonzero on malformed input.
 package main
 
 import (
@@ -19,21 +24,45 @@ import (
 	"repro/internal/dag"
 	"repro/internal/match"
 	"repro/internal/model"
+	"repro/internal/obs/tracing"
 	"repro/internal/trace"
 )
 
 func main() {
 	traceDir := flag.String("trace", "", "trace directory")
 	maxEvents := flag.Int("max-events", 400, "refuse to render more events than this")
+	checkTrace := flag.String("check-trace", "", "validate a Chrome trace JSON timeline file and print a summary")
 	flag.Parse()
+	if *checkTrace != "" {
+		if err := checkTimeline(*checkTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "mcviz:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *traceDir == "" {
-		fmt.Fprintln(os.Stderr, "usage: mcviz -trace DIR [-max-events N] > dag.dot")
+		fmt.Fprintln(os.Stderr, "usage: mcviz -trace DIR [-max-events N] > dag.dot\n       mcviz -check-trace timeline.json")
 		os.Exit(2)
 	}
 	if err := run(*traceDir, *maxEvents); err != nil {
 		fmt.Fprintln(os.Stderr, "mcviz:", err)
 		os.Exit(1)
 	}
+}
+
+// checkTimeline validates a recorded timeline and prints its shape.
+func checkTimeline(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sum, err := tracing.ValidateChromeTrace(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	fmt.Printf("%s: valid Chrome trace JSON: %d event(s), %d track(s), %d lane(s), %d metadata record(s)\n",
+		path, sum.Events, sum.Tracks, sum.Lanes, sum.Metadata)
+	return nil
 }
 
 func run(dir string, maxEvents int) error {

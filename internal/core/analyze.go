@@ -47,31 +47,40 @@ func Analyze(set *trace.Set) (*Report, error) {
 // byte-identical for every worker count.
 func AnalyzeWith(set *trace.Set, opts Options) (*Report, error) {
 	reg := opts.Obs
+	tr := opts.Trace
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
 	}
 	reg.Gauge("mcchecker_pipeline_front_end_workers").Set(int64(workers))
 	sp := reg.StartSpan(PhaseSpanName, "phase", "model")
-	m, err := model.BuildWorkers(set, workers)
+	psp := tr.Start("pipeline", "main", "model")
+	m, err := model.BuildWorkersTraced(set, workers, tr)
+	psp.End()
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	sp = reg.StartSpan(PhaseSpanName, "phase", "match")
+	psp = tr.Start("pipeline", "main", "match")
 	ms, err := match.Run(m)
+	psp.End()
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	sp = reg.StartSpan(PhaseSpanName, "phase", "dag")
+	psp = tr.Start("pipeline", "main", "dag")
 	d, err := dag.Build(m, ms)
+	psp.End()
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
 	sp = reg.StartSpan(PhaseSpanName, "phase", "epochs")
-	epochs, opEpoch, err := ExtractEpochsWorkers(m, workers)
+	psp = tr.Start("pipeline", "main", "epochs")
+	epochs, opEpoch, err := ExtractEpochsWorkersTraced(m, workers, tr)
+	psp.End()
 	sp.End()
 	if err != nil {
 		return nil, err

@@ -28,8 +28,11 @@ const maxSalvageRetries = 32
 func AnalyzeDegraded(set *trace.Set, opts Options, notes []string) (*Report, error) {
 	mDegraded := opts.Obs.Counter("mcchecker_analysis_degraded_total")
 	mRetries := opts.Obs.Counter("mcchecker_analysis_salvage_retries_total")
+	tr := opts.Trace
 
+	sp := tr.Start("pipeline", "main", "strict attempt")
 	rep, err := AnalyzeWith(set, opts)
+	sp.End()
 	if err == nil {
 		rep.Degraded = append(rep.Degraded, notes...)
 		if len(rep.Degraded) > 0 {
@@ -38,6 +41,7 @@ func AnalyzeDegraded(set *trace.Set, opts Options, notes []string) (*Report, err
 		return rep, nil
 	}
 	mDegraded.Inc()
+	tr.Instant("pipeline", "main", "strict analysis failed; salvaging", "error", err.Error())
 	notes = append(notes[:len(notes):len(notes)],
 		fmt.Sprintf("full analysis failed (%v); salvaging a clean prefix", err))
 
@@ -55,7 +59,9 @@ func AnalyzeDegraded(set *trace.Set, opts Options, notes []string) (*Report, err
 	}
 	for try := 0; k >= 0 && try < maxSalvageRetries; k, try = k-1, try+1 {
 		cut := cutAt(set, syncs, k)
+		sp := tr.Start("pipeline", "main", fmt.Sprintf("salvage attempt (cut at sync %d)", k))
 		rep, err := AnalyzeWith(cut, opts)
+		sp.End()
 		if err != nil {
 			mRetries.Inc()
 			continue

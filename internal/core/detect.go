@@ -8,6 +8,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/trace"
 )
 
@@ -31,6 +32,12 @@ type Options struct {
 	// volume counters (events, regions, epochs). Nil disables the
 	// accounting entirely.
 	Obs *obs.Registry
+
+	// Trace, when non-nil, records the pipeline's causal timeline: one
+	// span per phase on the "pipeline" track and one span per unit of
+	// work (rank decode, epoch check, region check) on the per-stage
+	// tracks, with per-worker lanes. Nil disables span recording.
+	Trace *tracing.Recorder
 }
 
 // DefaultOptions runs the full MC-Checker analysis.
@@ -60,10 +67,13 @@ func NewAnalyzer(m *model.Model, d *dag.DAG, epochs []*Epoch, opEpoch map[trace.
 // Run executes the enabled detectors and returns the report.
 func (a *Analyzer) Run() (*Report, error) {
 	reg := a.opts.Obs
+	tr := a.opts.Trace
 	a.report.EventsAnalyzed = a.m.Set.TotalEvents()
 	if a.opts.IntraEpoch {
 		sp := reg.StartSpan(PhaseSpanName, "phase", "detect_intra")
+		psp := tr.Start("pipeline", "main", "detect_intra")
 		err := a.detectIntraEpoch()
+		psp.End()
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -71,7 +81,9 @@ func (a *Analyzer) Run() (*Report, error) {
 	}
 	if a.opts.CrossProcess {
 		sp := reg.StartSpan(PhaseSpanName, "phase", "detect_cross")
+		psp := tr.Start("pipeline", "main", "detect_cross")
 		err := a.detectCrossProcess()
+		psp.End()
 		sp.End()
 		if err != nil {
 			return nil, err
@@ -149,7 +161,11 @@ func (a *Analyzer) messageBufferClass(ev *trace.Event) (Op, bool) {
 // merged in epoch order — the same order the serial loop produces.
 func (a *Analyzer) detectIntraEpoch() error {
 	a.report.EpochsChecked += len(a.epochs)
-	return a.parallelCollect(len(a.epochs), func(i int, col *collector) error {
+	scope := func(i int) string {
+		e := a.epochs[i]
+		return fmt.Sprintf("epoch %d (rank %d, %s)", i, e.Rank, e.Kind)
+	}
+	return a.parallelCollect(len(a.epochs), "detect_intra", scope, func(i int, col *collector) error {
 		return a.checkEpoch(a.epochs[i], col)
 	})
 }
@@ -245,7 +261,7 @@ func (a *Analyzer) checkEpoch(e *Epoch, col *collector) error {
 					if !overlap || (!accWrite && !side.write) {
 						continue
 					}
-					col.add(&Violation{
+					a.addIntra(col, e, &Violation{
 						Severity: SevError,
 						Class:    WithinEpoch,
 						Rule: fmt.Sprintf("local %s overlaps the %s buffer of a pending %s in the same epoch",
@@ -276,7 +292,7 @@ func (a *Analyzer) checkEpoch(e *Epoch, col *collector) error {
 								continue
 							}
 							if iv, ok := ns.fp.Overlaps(os.fp); ok {
-								col.add(&Violation{
+								a.addIntra(col, e, &Violation{
 									Severity: SevError,
 									Class:    WithinEpoch,
 									Rule: fmt.Sprintf("%s buffer of %s overlaps the %s buffer of %s within one epoch",
@@ -291,7 +307,7 @@ func (a *Analyzer) checkEpoch(e *Epoch, col *collector) error {
 				if o.tw == tw {
 					if iv, ok := target.Overlaps(o.target); ok {
 						if EffectiveCompat(o.ev, ev) != Both {
-							col.add(&Violation{
+							a.addIntra(col, e, &Violation{
 								Severity: SevError,
 								Class:    WithinEpoch,
 								Rule: fmt.Sprintf("%s and %s to overlapping target regions within one epoch",
@@ -331,7 +347,8 @@ type storedOp struct {
 func (a *Analyzer) detectCrossProcess() error {
 	regions := a.d.Regions()
 	a.report.Regions = len(regions)
-	return a.parallelCollect(len(regions), func(i int, col *collector) error {
+	scope := func(i int) string { return fmt.Sprintf("region %d", i) }
+	return a.parallelCollect(len(regions), "detect_cross", scope, func(i int, col *collector) error {
 		return a.checkRegion(regions[i], col)
 	})
 }
@@ -350,12 +367,26 @@ func (c *collector) add(v *Violation) { c.report.add(c.vindex, v) }
 // scope gets a private collector on a worker pool and the per-scope
 // results merge into the report in scope index order via addCounted, so
 // the violations, their dedup counts, and the first error reported are
-// identical to the serial run.
-func (a *Analyzer) parallelCollect(n int, check func(i int, col *collector) error) error {
+// identical to the serial run. Each scope's check is recorded as a span
+// on opts.Trace (track names the detector, lanes name the workers); the
+// scope string is only built when tracing is on.
+func (a *Analyzer) parallelCollect(n int, track string, scope func(i int) string,
+	check func(i int, col *collector) error) error {
+	tr := a.opts.Trace
+	startSpan := func(worker, i int) *tracing.Span {
+		if tr == nil {
+			return nil
+		}
+		s := scope(i)
+		return tr.Start(track, tr.Lane(fmt.Sprintf("worker %d", worker), s), s)
+	}
 	if a.opts.Workers <= 1 || n < 2 {
 		col := &collector{report: a.report, vindex: a.vindex}
 		for i := 0; i < n; i++ {
-			if err := check(i, col); err != nil {
+			sp := startSpan(0, i)
+			err := check(i, col)
+			sp.End()
+			if err != nil {
 				return err
 			}
 		}
@@ -375,14 +406,16 @@ func (a *Analyzer) parallelCollect(n int, check func(i int, col *collector) erro
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range work {
 				col := &collector{report: &Report{}, vindex: map[string]*Violation{}}
+				sp := startSpan(w, i)
 				err := check(i, col)
+				sp.End()
 				results[i] = result{col: col, err: err}
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		work <- i
@@ -439,7 +472,7 @@ func (a *Analyzer) checkRegion(rg dag.Region, col *collector) error {
 				if EffectiveCompat(prev.ev, ev) == Both {
 					continue
 				}
-				col.add(&Violation{
+				a.addCross(col, rg, prev.epoch, cur.epoch, &Violation{
 					Severity: a.rmaPairSeverity(prev, &cur),
 					Class:    AcrossProcesses,
 					Rule: fmt.Sprintf("concurrent %s and %s from different processes overlap in the target window",
@@ -548,7 +581,7 @@ func (a *Analyzer) checkLocalAgainstVectors(rg dag.Region, vectors map[winTarget
 				rule = fmt.Sprintf("local %s to window %d while a concurrent remote %s updates the window (erroneous even without overlap)",
 					cls, wi.ID, op.ev.Kind)
 			}
-			col.add(&Violation{
+			a.addCross(col, rg, op.epoch, a.opEpoch[ev.ID()], &Violation{
 				Severity: a.localPairSeverity(op),
 				Class:    AcrossProcesses,
 				Rule:     rule,

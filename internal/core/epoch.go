@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/model"
+	"repro/internal/obs/tracing"
 	"repro/internal/par"
 	"repro/internal/trace"
 )
@@ -68,15 +70,27 @@ func ExtractEpochs(m *model.Model) ([]*Epoch, map[trace.ID]*Epoch, error) {
 // concatenated in rank order — the exact sequence the serial walk
 // produces, keeping every downstream consumer byte-identical.
 func ExtractEpochsWorkers(m *model.Model, workers int) ([]*Epoch, map[trace.ID]*Epoch, error) {
+	return ExtractEpochsWorkersTraced(m, workers, nil)
+}
+
+// ExtractEpochsWorkersTraced is ExtractEpochsWorkers with each rank's
+// sync-matching scan recorded as a span on tr (track "epochs"). tr may
+// be nil.
+func ExtractEpochsWorkersTraced(m *model.Model, workers int, tr *tracing.Recorder) ([]*Epoch, map[trace.ID]*Epoch, error) {
 	n := len(m.Set.Traces)
 	type rankResult struct {
 		epochs  []*Epoch
 		opEpoch map[trace.ID]*Epoch
 	}
 	per := make([]rankResult, n)
-	err := par.Ranks(n, workers, func(r int) error {
+	scope := func(r int) string { return fmt.Sprintf("rank %d", r) }
+	err := par.RanksTraced(n, workers, tr, "epochs", scope, func(r int, sp *tracing.Span) error {
 		epochs, opEpoch, err := extractRankEpochs(m, m.Set.Traces[r])
 		per[r] = rankResult{epochs: epochs, opEpoch: opEpoch}
+		if sp != nil {
+			sp.Annotate("epochs", strconv.Itoa(len(epochs)))
+			sp.Annotate("ops", strconv.Itoa(len(opEpoch)))
+		}
 		return err
 	})
 	if err != nil {

@@ -23,18 +23,34 @@ type overlapJSON struct {
 	Hi uint64 `json:"hi"`
 }
 
+// witnessStepJSON is one step of the happens-before witness chain: side
+// attributes the event ("sync" for shared synchronization context, "first"
+// or "second" for the operands' sides), role names its function on the
+// chain, and seq is the event's position in its rank's trace.
+type witnessStepJSON struct {
+	Side string `json:"side"`
+	Role string `json:"role"`
+	Rank int32  `json:"rank"`
+	Seq  int64  `json:"seq"`
+	Op   string `json:"op"`
+	File string `json:"file"`
+	Line int32  `json:"line"`
+	Func string `json:"func,omitempty"`
+}
+
 type violationJSON struct {
-	Severity  string       `json:"severity"`
-	Class     string       `json:"class"`
-	Rule      string       `json:"rule"`
-	Signature string       `json:"signature"`
-	Hint      string       `json:"hint"`
-	First     eventJSON    `json:"first"`
-	Second    eventJSON    `json:"second"`
-	Window    int32        `json:"window"`
-	Overlap   *overlapJSON `json:"overlap,omitempty"`
-	Region    int          `json:"region"`
-	Count     int          `json:"count"`
+	Severity  string            `json:"severity"`
+	Class     string            `json:"class"`
+	Rule      string            `json:"rule"`
+	Signature string            `json:"signature"`
+	Hint      string            `json:"hint"`
+	First     eventJSON         `json:"first"`
+	Second    eventJSON         `json:"second"`
+	Window    int32             `json:"window"`
+	Overlap   *overlapJSON      `json:"overlap,omitempty"`
+	Region    int               `json:"region"`
+	Count     int               `json:"count"`
+	Witness   []witnessStepJSON `json:"witness,omitempty"`
 }
 
 type reportJSON struct {
@@ -77,6 +93,20 @@ func (r *Report) JSON() ([]byte, error) {
 		}
 		if !v.Overlap.Empty() {
 			vj.Overlap = &overlapJSON{Lo: v.Overlap.Lo, Hi: v.Overlap.Hi}
+		}
+		for _, s := range v.Witness {
+			side := "sync"
+			switch s.Side {
+			case 1:
+				side = "first"
+			case 2:
+				side = "second"
+			}
+			vj.Witness = append(vj.Witness, witnessStepJSON{
+				Side: side, Role: s.Role, Rank: s.Ev.Rank, Seq: s.Ev.Seq,
+				Op: s.Ev.Kind.String(), File: path.Base(s.Ev.File), Line: s.Ev.Line,
+				Func: shortFunc(s.Ev.Func),
+			})
 		}
 		out.Violations = append(out.Violations, vj)
 	}

@@ -131,7 +131,7 @@ func (a *Analyzer) checkSitePair(rg dag.Region, x, y *site) {
 		}
 		sx := storedOp{ev: x.ev, target: x.fp, epoch: x.epoch}
 		sy := storedOp{ev: y.ev, target: y.fp, epoch: y.epoch}
-		a.report.add(a.vindex, &Violation{
+		a.addCross(&collector{report: a.report, vindex: a.vindex}, rg, x.epoch, y.epoch, &Violation{
 			Severity: a.rmaPairSeverity(&sx, &sy),
 			Class:    AcrossProcesses,
 			Rule: fmt.Sprintf("concurrent %s and %s from different processes overlap in the target window",
@@ -183,7 +183,7 @@ func (a *Analyzer) checkSitePair(rg dag.Region, x, y *site) {
 			y.cls, x.ev.Win, x.ev.Kind)
 	}
 	sx := storedOp{ev: x.ev, target: x.fp, epoch: x.epoch}
-	a.report.add(a.vindex, &Violation{
+	a.addCross(&collector{report: a.report, vindex: a.vindex}, rg, x.epoch, y.epoch, &Violation{
 		Severity: a.localPairSeverity(&sx),
 		Class:    AcrossProcesses,
 		Rule:     rule,

@@ -64,6 +64,18 @@ type Violation struct {
 
 	Count int // occurrences folded into this report entry
 
+	// Witness is the happens-before chain left open between A and B: the
+	// ordered synchronization and epoch events showing why the pair is
+	// unordered (see witness.go). It describes the first recorded
+	// instance of the violation; folded duplicates share it. Excluded
+	// from key() and Signature().
+	Witness []WitnessStep
+
+	// witnessFn lazily builds Witness: detectors attach a closure so the
+	// chain is only reconstructed for violations that survive dedup (the
+	// add sites sit on the detection hot paths). Resolved by Report.add.
+	witnessFn func() []WitnessStep
+
 	// Cached identity strings. Both are pure functions of fields fixed at
 	// construction (never of Count), so they are computed once on first
 	// use — key() and Signature() sit on the dedup and sort hot paths and
@@ -198,6 +210,10 @@ func (v *Violation) String() string {
 	if v.Count > 1 {
 		fmt.Fprintf(&sb, "; occurred %d times", v.Count)
 	}
+	if len(v.Witness) > 0 {
+		sb.WriteByte('\n')
+		sb.WriteString(witnessString(v.Witness))
+	}
 	fmt.Fprintf(&sb, "\n  hint: %s", v.Hint())
 	return sb.String()
 }
@@ -235,13 +251,17 @@ type Report struct {
 	Degraded []string
 }
 
-// add records a violation, folding duplicates.
+// add records a violation, folding duplicates. The first instance of a
+// key wins, witness included — in parallel runs the merge happens in
+// scope index order, so the surviving instance (and its witness) is the
+// one the serial scan would have kept.
 func (r *Report) add(index map[string]*Violation, v *Violation) {
 	if prev, ok := index[v.key()]; ok {
 		prev.Count++
 		return
 	}
 	v.Count = 1
+	v.resolveWitness()
 	index[v.key()] = v
 	r.Violations = append(r.Violations, v)
 }
@@ -253,8 +273,18 @@ func (r *Report) addCounted(index map[string]*Violation, v *Violation) {
 		prev.Count += v.Count
 		return
 	}
+	v.resolveWitness()
 	index[v.key()] = v
 	r.Violations = append(r.Violations, v)
+}
+
+// resolveWitness materializes the lazy witness chain once the violation
+// is known to enter a report.
+func (v *Violation) resolveWitness() {
+	if v.Witness == nil && v.witnessFn != nil {
+		v.Witness = v.witnessFn()
+	}
+	v.witnessFn = nil
 }
 
 // Errors returns the violations with Severity == SevError.

@@ -21,6 +21,7 @@ import (
 	"repro/internal/memory"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/profiler"
 	"repro/internal/trace"
 )
@@ -103,6 +104,10 @@ type BenchConfig struct {
 	// CrossOps sizes the synthetic region of the linear-vs-quadratic
 	// comparison (the quadratic baseline is O(ops²)).
 	CrossOps int
+	// Trace, when non-nil, records the instrumented phase pass (the one
+	// benchPhases reads the span registry from) as a causal timeline with
+	// per-worker lanes.
+	Trace *tracing.Recorder
 }
 
 var benchInit sync.Once
@@ -144,7 +149,7 @@ func Bench(cfg BenchConfig) (*BenchResult, error) {
 	if err := benchAnalyze(sets, events, &res.Analyze); err != nil {
 		return nil, err
 	}
-	phases, err := benchPhases(sets)
+	phases, err := benchPhases(sets, cfg.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -290,14 +295,16 @@ func benchAnalyze(sets []*trace.Set, events int, out *BenchAnalyze) error {
 }
 
 // benchPhases runs one instrumented analysis over the corpora and reads
-// the per-phase wall times back from the observability spans.
-func benchPhases(sets []*trace.Set) ([]BenchPhase, error) {
+// the per-phase wall times back from the observability spans. A non-nil
+// tr additionally records the pass as a causal timeline.
+func benchPhases(sets []*trace.Set, tr *tracing.Recorder) ([]BenchPhase, error) {
 	reg := obs.NewRegistry()
 	events := 0
 	for _, set := range sets {
 		opts := core.DefaultOptions()
 		opts.Workers = runtime.GOMAXPROCS(0)
 		opts.Obs = reg
+		opts.Trace = tr
 		if _, err := core.AnalyzeWith(set, opts); err != nil {
 			return nil, err
 		}

@@ -32,6 +32,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mpi"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/profiler"
 	"repro/internal/trace"
 )
@@ -56,6 +57,12 @@ type Runner struct {
 	IntraOnly bool
 	// Obs receives run metrics; nil disables the accounting.
 	Obs *obs.Registry
+	// Trace, when non-nil, records the analysis pipeline's span timeline
+	// for runs started through this runner. Only set it on single-run
+	// paths (`mcchecker run`): the fine-grained pipeline lanes are not
+	// meaningful when many schedules analyze concurrently — Explore uses
+	// the coarser per-schedule Config.Trace instead.
+	Trace *tracing.Recorder
 	// OnTrace, when non-nil, observes the padded trace set of each run
 	// before analysis (used by `mcchecker run -trace` to persist files).
 	OnTrace func(*trace.Set)
@@ -122,6 +129,7 @@ func (r *Runner) Run(plan *faults.Plan) (*core.Report, error) {
 	opts := core.DefaultOptions()
 	opts.CrossProcess = !r.IntraOnly
 	opts.Obs = r.Obs
+	opts.Trace = r.Trace
 	if plan.Active() || len(notes) > 0 {
 		return core.AnalyzeDegraded(set, opts, notes)
 	}
@@ -178,6 +186,12 @@ type Config struct {
 	// Progress, when non-nil, receives a live one-line progress display
 	// (schedules/sec, distinct violations) and a final summary line.
 	Progress io.Writer
+	// Trace, when non-nil, records one span per schedule run on the
+	// "explore" track (lanes per pool worker), annotated with the plan
+	// and the run's outcome — the sweep-level timeline that shows pool
+	// occupancy and stragglers. It is distinct from Runner.Trace, which
+	// records pipeline-internal lanes and must stay nil during a sweep.
+	Trace *tracing.Recorder
 }
 
 // Finding is one distinct violation signature discovered by a sweep,
@@ -314,14 +328,29 @@ func Explore(cfg Config) (*Result, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < jobs; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range idx {
 				plan := cfg.Strategy.Plan(i, cfg.Seed, cfg.Runner.Ranks)
+				var sp *tracing.Span
+				if cfg.Trace != nil {
+					scope := fmt.Sprintf("schedule %d", i)
+					sp = cfg.Trace.Start("explore", cfg.Trace.Lane(fmt.Sprintf("worker %d", w), scope), scope)
+					sp.Annotate("plan", plan.String())
+				}
 				rep, err := cfg.Runner.Run(plan)
+				if sp != nil {
+					switch {
+					case err != nil:
+						sp.Annotate("outcome", "failure")
+					default:
+						sp.Annotate("violations", fmt.Sprintf("%d", len(rep.Violations)))
+					}
+					sp.End()
+				}
 				record(i, plan, rep, err)
 			}
-		}()
+		}(w)
 	}
 
 	lastProgress := start

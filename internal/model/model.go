@@ -8,8 +8,10 @@ package model
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/memory"
+	"repro/internal/obs/tracing"
 	"repro/internal/par"
 	"repro/internal/trace"
 )
@@ -75,6 +77,12 @@ func Build(set *trace.Set) (*Model, error) { return BuildWorkers(set, 1) }
 // serial scan visits them — so the registries, and any conflict error,
 // are identical whatever the worker count.
 func BuildWorkers(set *trace.Set, workers int) (*Model, error) {
+	return BuildWorkersTraced(set, workers, nil)
+}
+
+// BuildWorkersTraced is BuildWorkers with each rank's validation+sweep
+// recorded as a span on tr (track "model"). tr may be nil.
+func BuildWorkersTraced(set *trace.Set, workers int, tr *tracing.Recorder) (*Model, error) {
 	if err := set.ValidateWorkers(workers); err != nil {
 		return nil, err
 	}
@@ -94,13 +102,18 @@ func BuildWorkers(set *trace.Set, workers int) (*Model, error) {
 	// Parallel sweep: collect each rank's definition events (a tiny
 	// fraction of the trace) without touching shared state.
 	defs := make([][]*trace.Event, len(set.Traces))
-	_ = par.Ranks(len(set.Traces), workers, func(r int) error {
+	scope := func(r int) string { return fmt.Sprintf("rank %d", r) }
+	_ = par.RanksTraced(len(set.Traces), workers, tr, "model", scope, func(r int, sp *tracing.Span) error {
 		t := set.Traces[r]
 		for i := range t.Events {
 			switch t.Events[i].Kind {
 			case trace.KindCommCreate, trace.KindWinCreate, trace.KindTypeCreate:
 				defs[r] = append(defs[r], &t.Events[i])
 			}
+		}
+		if sp != nil {
+			sp.Annotate("events", strconv.Itoa(len(t.Events)))
+			sp.Annotate("defs", strconv.Itoa(len(defs[r])))
 		}
 		return nil
 	})

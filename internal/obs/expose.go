@@ -207,15 +207,28 @@ func promSample(name, labels string, suffix, extraLabel string) string {
 	return name + suffix + "{" + all + "}"
 }
 
+// escapeHelp escapes a metric help string for a "# HELP" line in the
+// text exposition format: backslash and newline are the only characters
+// the format requires escaped there.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
 // WritePrometheus renders the snapshot in the Prometheus text exposition
 // format (version 0.0.4): counters and gauges as scalar samples, spans as
-// summaries over seconds, histograms with cumulative le buckets.
+// summaries over seconds, histograms with cumulative le buckets. Families
+// with registered help text get a "# HELP" line immediately before their
+// "# TYPE" line.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	var sb strings.Builder
 	lastType := func() func(name, typ string) {
 		prev := ""
 		return func(name, typ string) {
 			if name != prev {
+				if help := Help(name); help != "" {
+					fmt.Fprintf(&sb, "# HELP %s %s\n", name, escapeHelp(help))
+				}
 				fmt.Fprintf(&sb, "# TYPE %s %s\n", name, typ)
 				prev = name
 			}

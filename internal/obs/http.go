@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StatsServer is a small HTTP listener exposing the live metric registry
+// and the runtime profiling endpoints while a long-running command
+// (analyze, explore, soak) is in flight:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/stats          human-readable breakdown (WriteText)
+//	/stats.json     JSON snapshot
+//	/debug/pprof/*  net/http/pprof handlers (profile, heap, trace, ...)
+type StatsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeStats starts a stats server on addr (":0" picks a free port) and
+// returns once the listener is bound; requests are served in the
+// background. The registry may be nil, in which case the metric endpoints
+// serve empty snapshots and only the pprof endpoints are interesting.
+func ServeStats(addr string, reg *Registry) (*StatsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stats listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/stats.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		reg.Snapshot().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &StatsServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *StatsServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *StatsServer) Close() error { return s.srv.Close() }

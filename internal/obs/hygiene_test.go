@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The metric surface is governed by three invariants: every family name
+// in the source has help text, every name is well-formed snake_case, and
+// the registry refuses to merge conflicting registrations. These tests
+// pin all three.
+
+var metricNameRe = regexp.MustCompile(`mcchecker_[a-z0-9_]*`)
+
+// sourceMetricNames scans every non-test .go file in the repository for
+// mcchecker_* string fragments. Concatenated names (e.g. a "_total"
+// suffix appended at runtime) surface as prefixes of full names.
+func sourceMetricNames(t *testing.T) map[string][]string {
+	t.Helper()
+	root := filepath.Join("..", "..")
+	found := map[string][]string{} // fragment -> files
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() {
+			name := info.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range metricNameRe.FindAllString(string(data), -1) {
+			found[m] = append(found[m], path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	return found
+}
+
+func TestEveryMetricInSourceHasHelp(t *testing.T) {
+	names := sourceMetricNames(t)
+	if len(names) == 0 {
+		t.Fatal("found no mcchecker_* metric names in source; scan is broken")
+	}
+	for name, files := range names {
+		if _, ok := helpText[name]; ok {
+			continue
+		}
+		// A concatenation fragment is fine if at least one full family
+		// name extends it.
+		fragment := false
+		for full := range helpText {
+			if len(full) > len(name) && strings.HasPrefix(full, name) {
+				fragment = true
+				break
+			}
+		}
+		if !fragment {
+			t.Errorf("metric %q (used in %s) has no helpText entry; add one in help.go",
+				name, files[0])
+		}
+	}
+}
+
+func TestHelpEntriesAreWellFormed(t *testing.T) {
+	wellFormed := regexp.MustCompile(`^mcchecker_[a-z0-9]+(_[a-z0-9]+)*$`)
+	for name, h := range helpText {
+		if !wellFormed.MatchString(name) {
+			t.Errorf("metric name %q is not snake_case with the mcchecker_ prefix", name)
+		}
+		if strings.TrimSpace(h.Help) == "" {
+			t.Errorf("metric %q has empty help text", name)
+		}
+		switch h.Kind {
+		case kindCounter, kindGauge, kindHistogram, kindSummary:
+		default:
+			t.Errorf("metric %q has unknown kind %q", name, h.Kind)
+		}
+		if h.Kind == kindCounter != strings.HasSuffix(name, "_total") {
+			t.Errorf("metric %q: counters and only counters must end in _total (kind %s)", name, h.Kind)
+		}
+	}
+}
+
+func TestHelpNamesSortedAndComplete(t *testing.T) {
+	names := HelpNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("HelpNames not strictly sorted at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+	for _, name := range names {
+		if Help(name) == "" {
+			t.Errorf("Help(%q) empty despite inventory entry", name)
+		}
+	}
+	if Help("mcchecker_no_such_metric") != "" {
+		t.Error("Help of unknown metric should be empty")
+	}
+}
+
+func expectPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic, got none", what)
+		}
+	}()
+	f()
+}
+
+func TestRegistryRejectsCollisions(t *testing.T) {
+	// Family-level: one name cannot expose as two different kinds.
+	reg := NewRegistry()
+	reg.Counter("mcchecker_test_total")
+	expectPanic(t, "counter family reused as gauge", func() {
+		reg.Gauge("mcchecker_test_total")
+	})
+	reg2 := NewRegistry()
+	reg2.Histogram("mcchecker_test_events")
+	expectPanic(t, "histogram family reused as summary", func() {
+		reg2.Span("mcchecker_test_events")
+	})
+
+	// Instrument-level: the same (name, labels) cannot be two Go types
+	// even when the exposition kind matches.
+	reg3 := NewRegistry()
+	reg3.Counter("mcchecker_test_ops_total", "state", "applied")
+	expectPanic(t, "Counter instrument reused as RankCounter", func() {
+		reg3.RankCounter("mcchecker_test_ops_total", "state", "applied")
+	})
+}
+
+func TestRegistryAllowsCounterRankCounterSplitFamilies(t *testing.T) {
+	// The simulator's mcchecker_sim_rma_ops_total pattern: one family,
+	// plain Counter for one label value and RankCounter for another.
+	// Same exposition kind, different label sets — legal.
+	reg := NewRegistry()
+	reg.Counter("mcchecker_test_ops_total", "state", "applied").Inc()
+	reg.RankCounter("mcchecker_test_ops_total", "state", "deferred").Inc(0)
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("mcchecker_test_ops_total", "state", "applied"); got != 1 {
+		t.Errorf("applied = %d, want 1", got)
+	}
+	if got := snap.CounterValue("mcchecker_test_ops_total", "state", "deferred"); got != 1 {
+		t.Errorf("deferred = %d, want 1", got)
+	}
+}
+
+func TestRegistryIdempotentReregistration(t *testing.T) {
+	// Same name, labels, and type returns the same instrument — no panic.
+	reg := NewRegistry()
+	a := reg.Counter("mcchecker_test_total")
+	b := reg.Counter("mcchecker_test_total")
+	if a != b {
+		t.Error("re-registration returned a distinct counter")
+	}
+}

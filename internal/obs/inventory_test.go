@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateInventory = flag.Bool("update-inventory", false,
+	"rewrite README.md's generated metric inventory table instead of diffing it")
+
+const (
+	inventoryBegin = "<!-- metrics:begin -->\n"
+	inventoryEnd   = "<!-- metrics:end -->"
+)
+
+// TestReadmeMetricInventoryCurrent is the golden test keeping README's
+// metric table in lockstep with the help registry: the table between the
+// metrics markers must be exactly InventoryMarkdown(). Regenerate with
+//
+//	go test ./internal/obs -run Inventory -update-inventory
+func TestReadmeMetricInventoryCurrent(t *testing.T) {
+	path := filepath.Join("..", "..", "README.md")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	i := strings.Index(s, inventoryBegin)
+	j := strings.Index(s, inventoryEnd)
+	if i < 0 || j < 0 || j < i {
+		t.Fatalf("README.md lacks the %q/%q markers", strings.TrimSpace(inventoryBegin), inventoryEnd)
+	}
+	got := s[i+len(inventoryBegin) : j]
+	want := InventoryMarkdown()
+	if got == want {
+		return
+	}
+	if *updateInventory {
+		out := s[:i+len(inventoryBegin)] + want + s[j:]
+		if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s metric inventory", path)
+		return
+	}
+	t.Errorf("README.md metric inventory is stale; regenerate with:\n"+
+		"  go test ./internal/obs -run Inventory -update-inventory\n"+
+		"--- README ---\n%s\n--- generated ---\n%s", got, want)
+}

@@ -314,6 +314,15 @@ type Registry struct {
 	hists      map[string]*Histogram
 	spans      map[string]*SpanStats
 	collectors []func() []GaugeValue
+
+	// famKind records each family name's exposition kind ("counter",
+	// "gauge", "histogram", "summary") and instKind each full (name,
+	// labels) key's Go instrument type. Both exist to fail loudly on
+	// collisions that the per-type maps would otherwise silently merge
+	// or, worse, double-render: one name exposed under two TYPEs, or the
+	// same sample emitted by both a Counter and a RankCounter.
+	famKind  map[string]string
+	instKind map[string]string
 }
 
 // NewRegistry returns an empty registry, safe for concurrent use.
@@ -324,7 +333,24 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		spans:    map[string]*SpanStats{},
+		famKind:  map[string]string{},
+		instKind: map[string]string{},
 	}
+}
+
+// checkKindsLocked validates one registration against the collision
+// rules and records it. Caller holds mu.
+func (r *Registry) checkKindsLocked(m meta, instrument, exposition string) {
+	if prev, ok := r.famKind[m.name]; ok && prev != exposition {
+		panic(fmt.Sprintf("obs: metric family %q registered as both %s and %s",
+			m.name, prev, exposition))
+	}
+	r.famKind[m.name] = exposition
+	if prev, ok := r.instKind[m.key()]; ok && prev != instrument {
+		panic(fmt.Sprintf("obs: metric %s registered as both %s and %s",
+			m.key(), prev, instrument))
+	}
+	r.instKind[m.key()] = instrument
 }
 
 // Counter returns (registering on first use) the counter with the given
@@ -339,6 +365,7 @@ func (r *Registry) Counter(name string, kv ...string) *Counter {
 	if c, ok := r.counters[m.key()]; ok {
 		return c
 	}
+	r.checkKindsLocked(m, "Counter", "counter")
 	c := &Counter{meta: m}
 	r.counters[m.key()] = c
 	return c
@@ -356,6 +383,7 @@ func (r *Registry) RankCounter(name string, kv ...string) *RankCounter {
 	if c, ok := r.rankCtrs[m.key()]; ok {
 		return c
 	}
+	r.checkKindsLocked(m, "RankCounter", "counter")
 	c := &RankCounter{meta: m}
 	r.rankCtrs[m.key()] = c
 	return c
@@ -373,6 +401,7 @@ func (r *Registry) Gauge(name string, kv ...string) *Gauge {
 	if g, ok := r.gauges[m.key()]; ok {
 		return g
 	}
+	r.checkKindsLocked(m, "Gauge", "gauge")
 	g := &Gauge{meta: m}
 	r.gauges[m.key()] = g
 	return g
@@ -390,6 +419,7 @@ func (r *Registry) Histogram(name string, kv ...string) *Histogram {
 	if h, ok := r.hists[m.key()]; ok {
 		return h
 	}
+	r.checkKindsLocked(m, "Histogram", "histogram")
 	h := &Histogram{meta: m}
 	r.hists[m.key()] = h
 	return h
@@ -407,6 +437,7 @@ func (r *Registry) Span(name string, kv ...string) *SpanStats {
 	if s, ok := r.spans[m.key()]; ok {
 		return s
 	}
+	r.checkKindsLocked(m, "SpanStats", "summary")
 	s := &SpanStats{meta: m}
 	r.spans[m.key()] = s
 	return s

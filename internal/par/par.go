@@ -7,7 +7,12 @@
 // the same error a serial left-to-right loop would have returned.
 package par
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/obs/tracing"
+)
 
 // Ranks runs fn(0) … fn(n-1) on min(workers, n) goroutines and returns
 // the error of the lowest index that failed, or nil. With workers <= 1
@@ -15,6 +20,19 @@ import "sync"
 // is the reference behaviour the parallel path must reproduce: fn must
 // write only to state owned by its index.
 func Ranks(n, workers int, fn func(i int) error) error {
+	return RanksTraced(n, workers, nil, "", nil, func(i int, _ *tracing.Span) error {
+		return fn(i)
+	})
+}
+
+// RanksTraced is Ranks with each index's execution recorded as a span on
+// tr: track is the pipeline stage, scope names the unit of work (e.g.
+// "rank 3"), and the lane is the executing worker (wall mode) or the
+// scope itself (deterministic mode) via tracing.Recorder.Lane. fn
+// receives its span for annotation; both tr and the span may be nil
+// (tracing off), which is exactly Ranks.
+func RanksTraced(n, workers int, tr *tracing.Recorder, track string,
+	scope func(i int) string, fn func(i int, sp *tracing.Span) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -23,7 +41,10 @@ func Ranks(n, workers int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			sp := startSpan(tr, track, 0, scope, i)
+			err := fn(i, sp)
+			sp.End()
+			if err != nil {
 				return err
 			}
 		}
@@ -35,12 +56,14 @@ func Ranks(n, workers int, fn func(i int) error) error {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range work {
-				errs[i] = fn(i)
+				sp := startSpan(tr, track, w, scope, i)
+				errs[i] = fn(i, sp)
+				sp.End()
 			}
-		}()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		work <- i
@@ -53,4 +76,18 @@ func Ranks(n, workers int, fn func(i int) error) error {
 		}
 	}
 	return nil
+}
+
+// startSpan opens one unit-of-work span, or returns nil when tracing is
+// off (the scope string is then never built — fan-out sites run in hot
+// loops).
+func startSpan(tr *tracing.Recorder, track string, worker int, scope func(i int) string, i int) *tracing.Span {
+	if tr == nil {
+		return nil
+	}
+	s := fmt.Sprintf("work %d", i)
+	if scope != nil {
+		s = scope(i)
+	}
+	return tr.Start(track, tr.Lane(fmt.Sprintf("worker %d", worker), s), s)
 }

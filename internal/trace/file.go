@@ -8,6 +8,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/obs/tracing"
 )
 
 // Trace files are named trace.<rank>.bin inside a trace directory, one per
@@ -26,7 +28,7 @@ func WriteDir(dir string, s *Set) error {
 // concurrently (one worker per processor); the assembled Set and any
 // error are identical to a serial read.
 func ReadDir(dir string) (*Set, error) {
-	return readDirWith(dir, decodeWorkers(), func(f *os.File) (*Trace, error) { return ReadTrace(f) })
+	return readDirWith(dir, decodeWorkers(), nil, func(f *os.File, _ *tracing.Span) (*Trace, error) { return ReadTrace(f) })
 }
 
 // nameRank pairs a trace file name with the rank its name claims.

@@ -6,10 +6,12 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 	"repro/internal/par"
 )
 
@@ -114,27 +116,41 @@ func writeFileObs(path string, t *Trace, m *codecMetrics) error {
 // the concurrent per-file decode. reg may be nil, which is exactly
 // ReadDir.
 func ReadDirObs(dir string, reg *obs.Registry) (*Set, error) {
+	return ReadDirTraced(dir, reg, nil)
+}
+
+// ReadDirTraced is ReadDirObs with each rank file's decode recorded as a
+// span on tr (track "decode", one lane per worker — or per rank in
+// deterministic mode). Both reg and tr may be nil.
+func ReadDirTraced(dir string, reg *obs.Registry, tr *tracing.Recorder) (*Set, error) {
 	m := newCodecMetrics(reg)
-	if m == nil {
+	if m == nil && tr == nil {
 		return ReadDir(dir)
 	}
 	workers := decodeWorkers()
 	hits0, misses0 := DecodePoolStats()
 	start := time.Now()
 	var decodedBytes atomic.Int64
-	set, err := readDirWith(dir, workers, func(f *os.File) (*Trace, error) {
+	set, err := readDirWith(dir, workers, tr, func(f *os.File, sp *tracing.Span) (*Trace, error) {
 		cr := &countingReader{r: f}
 		t, err := ReadTrace(cr)
 		if err != nil {
 			return nil, err
 		}
-		m.decodedEvents.Add(int64(len(t.Events)))
-		m.decodedBytes.Add(cr.n)
+		if m != nil {
+			m.decodedEvents.Add(int64(len(t.Events)))
+			m.decodedBytes.Add(cr.n)
+		}
 		decodedBytes.Add(cr.n)
+		sp.Annotate("events", strconv.Itoa(len(t.Events)))
+		sp.Annotate("bytes", strconv.FormatInt(cr.n, 10))
 		return t, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	if reg == nil {
+		return set, nil
 	}
 	elapsed := time.Since(start)
 	hits1, misses1 := DecodePoolStats()
@@ -157,7 +173,7 @@ func decodeWorkers() int { return runtime.GOMAXPROCS(0) }
 // `workers` goroutines; assembly stays deterministic because each file's
 // trace lands in its name's slot and errors surface in name order
 // (par.Ranks picks the lowest failing index).
-func readDirWith(dir string, workers int, readOne func(f *os.File) (*Trace, error)) (*Set, error) {
+func readDirWith(dir string, workers int, tr *tracing.Recorder, readOne func(f *os.File, sp *tracing.Span) (*Trace, error)) (*Set, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -167,13 +183,14 @@ func readDirWith(dir string, workers int, readOne func(f *os.File) (*Trace, erro
 		return nil, fmt.Errorf("trace: no trace files in %s", dir)
 	}
 	parts := make([]*Trace, len(names))
-	err = par.Ranks(len(names), workers, func(i int) error {
+	scope := func(i int) string { return fmt.Sprintf("rank %d", names[i].rank) }
+	err = par.RanksTraced(len(names), workers, tr, "decode", scope, func(i int, sp *tracing.Span) error {
 		nr := names[i]
 		f, err := os.Open(filepath.Join(dir, nr.name))
 		if err != nil {
 			return err
 		}
-		t, err := readOne(f)
+		t, err := readOne(f, sp)
 		f.Close()
 		if err != nil {
 			return fmt.Errorf("reading %s: %w", nr.name, err)

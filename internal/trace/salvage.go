@@ -6,9 +6,11 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/tracing"
 )
 
 // Salvage-mode decoding: recover the longest valid event prefix from a
@@ -109,6 +111,15 @@ func (m *salvageMetrics) record(res SalvageResult) {
 // notes are empty exactly when the directory was read losslessly. It
 // fails only when the directory holds no trace files at all.
 func ReadDirSalvage(dir string, reg *obs.Registry) (*Set, []string, error) {
+	return ReadDirSalvageTraced(dir, reg, nil)
+}
+
+// ReadDirSalvageTraced is ReadDirSalvage with each rank file's salvage
+// recorded as a span on tr (track "decode"; salvage is sequential, so
+// lane "worker 0" in wall mode, per-rank lanes in deterministic mode).
+// Spans are annotated with the recovered event count and, when the file
+// degraded, the salvage reason. Both reg and tr may be nil.
+func ReadDirSalvageTraced(dir string, reg *obs.Registry, tr *tracing.Recorder) (*Set, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -125,29 +136,48 @@ func ReadDirSalvage(dir string, reg *obs.Registry) (*Set, []string, error) {
 		if int32(nr.rank) > maxRank {
 			maxRank = int32(nr.rank)
 		}
+		var sp *tracing.Span
+		if tr != nil {
+			scope := fmt.Sprintf("rank %d (salvage)", nr.rank)
+			sp = tr.Start("decode", tr.Lane("worker 0", scope), scope)
+		}
 		f, err := os.Open(filepath.Join(dir, nr.name))
 		if err != nil {
 			notes = append(notes, fmt.Sprintf("%s: unreadable: %v", nr.name, err))
+			sp.Annotate("outcome", "unreadable")
+			sp.End()
 			continue
 		}
 		t, res, err := ReadTraceSalvage(f)
 		f.Close()
+		bad := ""
 		switch {
 		case err != nil:
 			notes = append(notes, fmt.Sprintf("%s: lost entirely: %v", nr.name, err))
-			continue
+			bad = "lost"
 		case int(t.Rank) != nr.rank:
 			notes = append(notes, fmt.Sprintf("%s: header claims rank %d; file ignored", nr.name, t.Rank))
-			continue
+			bad = "rank mismatch"
 		case byRank[t.Rank] != nil:
 			notes = append(notes, fmt.Sprintf("%s: duplicate of rank %d; file ignored", nr.name, t.Rank))
+			bad = "duplicate"
+		}
+		if bad != "" {
+			sp.Annotate("outcome", bad)
+			sp.End()
 			continue
 		}
 		m.record(res)
 		if !res.Complete {
 			notes = append(notes, fmt.Sprintf("%s: truncated, salvaged %d-event prefix (%s)",
 				nr.name, res.Events, res.Reason))
+			sp.Annotate("reason", res.Reason)
 		}
+		if sp != nil {
+			sp.Annotate("events", strconv.Itoa(res.Events))
+			sp.Annotate("complete", strconv.FormatBool(res.Complete))
+		}
+		sp.End()
 		byRank[t.Rank] = t
 	}
 	if len(byRank) == 0 {

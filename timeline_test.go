@@ -1,0 +1,122 @@
+package mcchecker
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/obs/tracing"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+)
+
+// traceBugCase simulates one bug case and writes its traces to a
+// directory, so the timeline tests exercise the full decode → analyze
+// pipeline the CLI runs.
+func traceBugCase(t *testing.T, bc apps.BugCase) string {
+	t.Helper()
+	ranks := bc.Ranks
+	if ranks > 8 {
+		ranks = 8
+	}
+	sink := trace.NewMemorySink()
+	var rel profiler.Relevance
+	if bc.RelevantBuffers != nil {
+		rel = profiler.FromNames(bc.RelevantBuffers)
+	}
+	pr := profiler.New(sink, rel)
+	if err := mpi.Run(ranks, mpi.Options{Hook: pr}, bc.Buggy); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := trace.WriteDir(dir, sink.Set()); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestTimelineByteIdenticalAcrossWorkers is the determinism contract of
+// the causal-tracing layer: a full bug-case analysis recorded in
+// deterministic mode (logical ticks, scope lanes) exports byte-identical
+// Chrome trace JSON however many times it runs and at any worker count.
+func TestTimelineByteIdenticalAcrossWorkers(t *testing.T) {
+	workerCounts := []int{1, 1, 4, runtime.GOMAXPROCS(0)} // repeat w=1 to cover run-to-run too
+	for _, bc := range apps.BugCases() {
+		bc := bc
+		t.Run(bc.Name, func(t *testing.T) {
+			dir := traceBugCase(t, bc)
+			record := func(workers int) []byte {
+				tr := tracing.NewDeterministic()
+				set, err := trace.ReadDirTraced(dir, nil, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := core.DefaultOptions()
+				opts.Workers = workers
+				opts.Trace = tr
+				rep, err := core.AnalyzeWith(set, opts)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				core.AddWitnessTracks(tr, rep)
+				var buf bytes.Buffer
+				if err := tr.WriteChromeTrace(&buf); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := tracing.ValidateChromeTrace(buf.Bytes()); err != nil {
+					t.Fatalf("workers=%d: invalid export: %v", workers, err)
+				}
+				return buf.Bytes()
+			}
+			base := record(workerCounts[0])
+			for _, w := range workerCounts[1:] {
+				if got := record(w); !bytes.Equal(got, base) {
+					t.Errorf("workers=%d: timeline diverged from workers=%d baseline", w, workerCounts[0])
+				}
+			}
+		})
+	}
+}
+
+// TestEveryViolationCarriesWitness pins the provenance guarantee: every
+// violation the dynamic analyzer reports explains itself with a non-empty
+// happens-before witness chain, in the struct, the text rendering, and
+// the JSON export.
+func TestEveryViolationCarriesWitness(t *testing.T) {
+	for _, bc := range apps.BugCases() {
+		bc := bc
+		t.Run(bc.Name, func(t *testing.T) {
+			dir := traceBugCase(t, bc)
+			set, err := trace.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := core.AnalyzeWith(set, core.DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Violations) == 0 {
+				t.Fatalf("%s: no violations detected", bc.Name)
+			}
+			for i, v := range rep.Violations {
+				if len(v.Witness) == 0 {
+					t.Errorf("violation %d has no witness chain: %s", i+1, v.Rule)
+					continue
+				}
+				if !bytes.Contains([]byte(v.String()), []byte("witness (happens-before chain left open)")) {
+					t.Errorf("violation %d text rendering lacks the witness block", i+1)
+				}
+			}
+			js, err := rep.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Contains(js, []byte(`"witness"`)) {
+				t.Error("JSON export lacks the witness field")
+			}
+		})
+	}
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check staticcheck race cover bench bench-smoke microbench fuzz soak explore experiments table2 fig8 fig9 trace-smoke clean
+.PHONY: all build test check staticcheck race cover bench bench-smoke microbench fuzz soak explore experiments table2 fig8 fig9 trace-smoke serve-smoke serve-bench clean
 
 all: build test check
 
@@ -75,6 +75,18 @@ trace-smoke:
 	$(GO) run ./cmd/mcviz -check-trace $(TRACE_TMP)/analyze.json
 	$(GO) run ./cmd/mcviz -check-trace $(TRACE_TMP)/run.json
 	$(GO) run ./cmd/mcviz -check-trace $(TRACE_TMP)/bench.json
+
+# Daemon smoke: start `mcchecker serve`, submit one clean and one
+# truncated job over real HTTP, assert healthy/degraded results, then
+# SIGTERM and assert a clean drain with exit 0.
+serve-smoke:
+	sh scripts/serve_smoke.sh
+
+# Daemon load experiment: saturate the serve queue from concurrent
+# clients (a fraction with damaged payloads) and record p50/p99 latency,
+# shed rate, and throughput into the serve section of BENCH.json.
+serve-bench:
+	$(GO) run ./cmd/mcbench -exp serve -json BENCH.json
 
 # The go-test micro benchmarks alone (full timing).
 microbench:

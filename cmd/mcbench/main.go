@@ -13,6 +13,7 @@
 //	mcbench -exp synccheck                   # SyncChecker comparison
 //	mcbench -exp explore [-schedules N]      # schedule-exploration throughput
 //	mcbench -exp bench [-json BENCH.json] [-benchtime T] [-amplify M] [-trace timeline.json]
+//	mcbench -exp serve [-json BENCH.json] [-clients N] [-serve-jobs N] [-serve-queue N] [-fault-frac F]
 //
 // Global flags: -cpuprofile FILE and -memprofile FILE write pprof
 // profiles of the whole invocation.
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig8|fig9|fig10|phases|ablation|synccheck|explore|bench|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig8|fig9|fig10|phases|ablation|synccheck|explore|bench|serve|all")
 	ranks := flag.Int("ranks", 64, "rank count for fig8 (paper: 64)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor for fig8")
 	repeats := flag.Int("repeats", 3, "timing repetitions (minimum kept)")
@@ -49,6 +50,10 @@ func main() {
 	benchTime := flag.String("benchtime", "", "bench: -test.benchtime forwarded to the timing loops (e.g. 1x, 100ms)")
 	amplify := flag.Int("amplify", 8, "bench: bug-case body repetition factor")
 	tracePath := flag.String("trace", "", "bench: record the instrumented phase pass as Chrome trace JSON")
+	clients := flag.Int("clients", 8, "serve: concurrent load-generator clients")
+	serveJobs := flag.Int("serve-jobs", 120, "serve: total jobs to push through the daemon")
+	serveQueue := flag.Int("serve-queue", 0, "serve: daemon queue budget (0 = 2x workers)")
+	faultFrac := flag.Float64("fault-frac", 0.25, "serve: fraction of submissions with damaged uploads")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -113,6 +118,11 @@ func main() {
 	run("explore", func() error { return exploreThroughput(*schedules) })
 	if *exp == "bench" { // excluded from "all": it re-times what the others already print
 		run("bench", func() error { return bench(*benchJSON, *benchTime, *amplify, *tracePath) })
+	}
+	if *exp == "serve" { // excluded from "all": saturating the daemon takes a while
+		run("serve", func() error {
+			return serveLoad(*benchJSON, *clients, *serveJobs, *serveQueue, *faultFrac)
+		})
 	}
 }
 
@@ -319,15 +329,80 @@ func bench(jsonPath, benchTime string, amplify int, tracePath string) error {
 	w.Flush()
 	fmt.Printf("decode alloc reduction: %.1f%%  analyze speedup: %.2fx (GOMAXPROCS=%d)  linear vs quadratic: %.1fx\n",
 		res.Decode.AllocReductionPct, res.Analyze.Speedup, res.GOMAXPROCS, res.Cross.Speedup)
-	out, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	out = append(out, '\n')
-	if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+	if err := mergeBenchJSON(jsonPath, res, "serve"); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", jsonPath)
+	return nil
+}
+
+// mergeBenchJSON writes `section` into jsonPath, preserving the listed
+// other top-level keys from an existing file — so `-exp bench` and
+// `-exp serve` each own their part of BENCH.json without wiping the
+// other's baseline. With a struct section, its own fields replace the
+// file's; a corrupt existing file is rewritten from scratch.
+func mergeBenchJSON(jsonPath string, section any, preserve ...string) error {
+	kept := map[string]json.RawMessage{}
+	if old, err := os.ReadFile(jsonPath); err == nil {
+		var prev map[string]json.RawMessage
+		if json.Unmarshal(old, &prev) == nil {
+			for _, k := range preserve {
+				if v, ok := prev[k]; ok {
+					kept[k] = v
+				}
+			}
+		}
+	}
+	data, err := json.Marshal(section)
+	if err != nil {
+		return err
+	}
+	merged := map[string]json.RawMessage{}
+	if err := json.Unmarshal(data, &merged); err != nil {
+		return err
+	}
+	for k, v := range kept {
+		if _, ok := merged[k]; !ok {
+			merged[k] = v
+		}
+	}
+	out, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(out, '\n'), 0o644)
+}
+
+// serveLoad drives the analysis daemon to saturation with concurrent,
+// partly fault-injected clients and folds the latency/shed numbers into
+// BENCH.json next to the bench section.
+func serveLoad(jsonPath string, clients, jobs, queue int, faultFrac float64) error {
+	header("Serve-load: daemon under concurrent, fault-injected submissions")
+	res, err := experiments.ServeLoad(experiments.ServeLoadConfig{
+		Clients: clients, Jobs: jobs, QueueBudget: queue, FaultFraction: faultFrac,
+	})
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "Clients\t%d\n", res.Clients)
+	fmt.Fprintf(w, "Jobs\t%d (done %d, degraded %d, quarantined %d, failed %d)\n",
+		res.Jobs, res.Done, res.Degraded, res.Quarantined, res.Failed)
+	fmt.Fprintf(w, "Workers / queue budget\t%d / %d\n", res.Workers, res.QueueBudget)
+	fmt.Fprintf(w, "Submit attempts\t%d (shed %d, rate %.1f%%)\n", res.SubmitAttempts, res.Shed, 100*res.ShedRate)
+	fmt.Fprintf(w, "Job latency p50 / p99\t%.1f ms / %.1f ms\n", res.P50LatencyMs, res.P99LatencyMs)
+	fmt.Fprintf(w, "Saturation throughput\t%.1f jobs/s over %.2fs\n", res.JobsPerSec, res.ElapsedSec)
+	fmt.Fprintf(w, "Panics recovered / retries\t%d / %d\n", res.PanicsRecovered, res.Retries)
+	fmt.Fprintf(w, "Drained cleanly\t%v\n", res.DrainedCleanly)
+	w.Flush()
+	if !res.DrainedCleanly {
+		return fmt.Errorf("daemon failed to drain")
+	}
+	if err := mergeBenchJSON(jsonPath, map[string]any{"serve": res},
+		"gomaxprocs", "amplify", "benchtime", "decode", "signature", "analyze", "phases", "cross_process"); err != nil {
+		return err
+	}
+	fmt.Printf("wrote serve section to %s\n", jsonPath)
 	return nil
 }
 

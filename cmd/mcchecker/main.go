@@ -58,6 +58,17 @@
 //	    static-only, or dynamic-only. `mcchecker explore -static-seed`
 //	    prioritizes the ranks named by static-only findings.
 //
+//	mcchecker serve [-addr HOST:PORT] [-workers N] [-queue N] [-job-timeout D]
+//	                [-max-attempts N] [-retry-backoff D] [-analyze-workers N] [-drain-timeout D]
+//	    Run the analysis daemon (internal/serve): clients POST trace sets
+//	    to /jobs (inline uploads or a server-local directory) and poll
+//	    /jobs/{id} for the report. Admission is bounded by -queue (excess
+//	    submissions get 429 + Retry-After), each attempt runs under the
+//	    -job-timeout watchdog, failures retry with backoff until
+//	    -max-attempts then quarantine, and damaged uploads degrade via
+//	    the salvage pipeline. SIGTERM drains: in-flight jobs finish, new
+//	    ones are refused, then the process exits 0.
+//
 //	mcchecker dump -trace DIR [-rank N] [-limit N] [-format text|jsonl]
 //	    Pretty-print trace files for debugging instrumented runs.
 //
@@ -105,6 +116,8 @@ func main() {
 		err = exploreCmd(os.Args[2:])
 	case "analyze":
 		err = analyzeCmd(os.Args[2:])
+	case "serve":
+		err = serveCmd(os.Args[2:])
 	case "dump":
 		err = dumpCmd(os.Args[2:])
 	case "-h", "--help", "help":
@@ -132,6 +145,8 @@ func usage() {
                 [-cpuprofile FILE] [-memprofile FILE] [-stats-listen ADDR] DIR
   mcchecker analyze -trace DIR [...]          (legacy spelling, no timeline)
   mcchecker analyze -static [-app NAME] [-fixed] [-min-confidence low|medium|high] [-json] [-stats]
+  mcchecker serve [-addr HOST:PORT] [-workers N] [-queue N] [-job-timeout D] [-max-attempts N]
+                [-retry-backoff D] [-analyze-workers N] [-drain-timeout D]
   mcchecker dump -trace DIR [-rank N] [-limit N]`)
 }
 

@@ -45,12 +45,20 @@ func Analyze(set *trace.Set) (*Report, error) {
 // validation, model build, epoch extraction); sync matching and DAG
 // construction are inherently cross-rank and stay serial. The report is
 // byte-identical for every worker count.
+//
+// opts.Ctx, when non-nil, cancels the pipeline cooperatively at phase
+// boundaries (and, inside the detectors, between epochs/regions): a
+// serving watchdog can reclaim a stuck analysis without killing the
+// process.
 func AnalyzeWith(set *trace.Set, opts Options) (*Report, error) {
 	reg := opts.Obs
 	tr := opts.Trace
 	workers := opts.Workers
 	if workers < 1 {
 		workers = 1
+	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
 	}
 	reg.Gauge("mcchecker_pipeline_front_end_workers").Set(int64(workers))
 	sp := reg.StartSpan(PhaseSpanName, "phase", "model")
@@ -61,6 +69,9 @@ func AnalyzeWith(set *trace.Set, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
 	sp = reg.StartSpan(PhaseSpanName, "phase", "match")
 	psp = tr.Start("pipeline", "main", "match")
 	ms, err := match.Run(m)
@@ -69,12 +80,18 @@ func AnalyzeWith(set *trace.Set, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.ctxErr(); err != nil {
+		return nil, err
+	}
 	sp = reg.StartSpan(PhaseSpanName, "phase", "dag")
 	psp = tr.Start("pipeline", "main", "dag")
 	d, err := dag.Build(m, ms)
 	psp.End()
 	sp.End()
 	if err != nil {
+		return nil, err
+	}
+	if err := opts.ctxErr(); err != nil {
 		return nil, err
 	}
 	sp = reg.StartSpan(PhaseSpanName, "phase", "epochs")

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/testutil"
+	"repro/internal/trace"
+)
+
+// fenceConflictSet builds a small two-rank set with a fence epoch so the
+// full pipeline (model, match, dag, epochs, detectors) has work to do.
+func fenceConflictSet() *trace.Set {
+	b := testutil.NewTraceBuilder(2)
+	b.WinCreate(1, 0x1000, 64)
+	b.Fence(1)
+	b.Add(0, trace.Event{
+		Kind: trace.KindPut, Win: 1, Target: 1,
+		OriginAddr: 0x2000, OriginType: trace.TypeInt32, OriginCount: 8,
+		TargetDisp: 0, TargetType: trace.TypeInt32, TargetCount: 8,
+	})
+	b.Fence(1)
+	b.Barrier()
+	return b.Set()
+}
+
+func TestAnalyzeCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.Ctx = ctx
+	_, err := AnalyzeWith(fenceConflictSet(), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AnalyzeWith under canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAnalyzeNilContextRuns(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Ctx = nil
+	if _, err := AnalyzeWith(fenceConflictSet(), opts); err != nil {
+		t.Fatalf("AnalyzeWith with nil ctx: %v", err)
+	}
+	// A live (uncanceled) context must be equally transparent.
+	opts.Ctx = context.Background()
+	if _, err := AnalyzeWith(fenceConflictSet(), opts); err != nil {
+		t.Fatalf("AnalyzeWith with background ctx: %v", err)
+	}
+}
+
+func TestAnalyzeCanceledContextParallelWorkers(t *testing.T) {
+	// The parallel detector path drains its work channel even when the
+	// context is already dead; the cancellation must surface as the error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.Ctx = ctx
+	opts.Workers = 4
+	_, err := AnalyzeWith(fenceConflictSet(), opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel AnalyzeWith under canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestAnalyzeDegradedDoesNotSalvageCanceled(t *testing.T) {
+	// AnalyzeDegraded retries salvage cuts on strict failure; a canceled
+	// context must short-circuit that loop and report the cancellation,
+	// not return an empty "salvaged" report.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := DefaultOptions()
+	opts.Ctx = ctx
+	_, err := AnalyzeDegraded(fenceConflictSet(), opts, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("AnalyzeDegraded under canceled ctx: err = %v, want context.Canceled", err)
+	}
+}

@@ -41,6 +41,12 @@ func AnalyzeDegraded(set *trace.Set, opts Options, notes []string) (*Report, err
 		return rep, nil
 	}
 	mDegraded.Inc()
+	// A canceled analysis must not be "salvaged": the watchdog asked for
+	// the worker back, and each salvage retry would just re-hit the dead
+	// context. Surface the cancellation instead.
+	if cerr := opts.ctxErr(); cerr != nil {
+		return nil, cerr
+	}
 	tr.Instant("pipeline", "main", "strict analysis failed; salvaging", "error", err.Error())
 	notes = append(notes[:len(notes):len(notes)],
 		fmt.Sprintf("full analysis failed (%v); salvaging a clean prefix", err))
@@ -58,6 +64,9 @@ func AnalyzeDegraded(set *trace.Set, opts Options, notes []string) (*Report, err
 		}
 	}
 	for try := 0; k >= 0 && try < maxSalvageRetries; k, try = k-1, try+1 {
+		if cerr := opts.ctxErr(); cerr != nil {
+			return nil, cerr
+		}
 		cut := cutAt(set, syncs, k)
 		sp := tr.Start("pipeline", "main", fmt.Sprintf("salvage attempt (cut at sync %d)", k))
 		rep, err := AnalyzeWith(cut, opts)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -38,6 +39,25 @@ type Options struct {
 	// work (rank decode, epoch check, region check) on the per-stage
 	// tracks, with per-worker lanes. Nil disables span recording.
 	Trace *tracing.Recorder
+
+	// Ctx, when non-nil, cancels the analysis cooperatively: the
+	// pipeline checks it between phases and between per-epoch /
+	// per-region detection scopes, returning an error wrapping the
+	// context's cause. This is how a serving watchdog reclaims a worker
+	// from a stuck or oversized job. Nil never cancels.
+	Ctx context.Context
+}
+
+// ctxErr reports the cancellation state of the analysis context; a nil
+// Ctx never cancels.
+func (o *Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return fmt.Errorf("analysis canceled: %w", err)
+	}
+	return nil
 }
 
 // DefaultOptions runs the full MC-Checker analysis.
@@ -383,6 +403,9 @@ func (a *Analyzer) parallelCollect(n int, track string, scope func(i int) string
 	if a.opts.Workers <= 1 || n < 2 {
 		col := &collector{report: a.report, vindex: a.vindex}
 		for i := 0; i < n; i++ {
+			if err := a.opts.ctxErr(); err != nil {
+				return err
+			}
 			sp := startSpan(0, i)
 			err := check(i, col)
 			sp.End()
@@ -409,6 +432,10 @@ func (a *Analyzer) parallelCollect(n int, track string, scope func(i int) string
 		go func(w int) {
 			defer wg.Done()
 			for i := range work {
+				if err := a.opts.ctxErr(); err != nil {
+					results[i] = result{col: &collector{report: &Report{}}, err: err}
+					continue // keep draining so the feeder never blocks
+				}
 				col := &collector{report: &Report{}, vindex: map[string]*Violation{}}
 				sp := startSpan(w, i)
 				err := check(i, col)

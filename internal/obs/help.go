@@ -79,6 +79,22 @@ var helpText = map[string]metricHelp{
 		"Events currently attributed to each rank by the online profiler."},
 	"mcchecker_profiler_relevance_total": {kindCounter,
 		"Profiler relevance-filter decisions, labeled hit (kept) or miss (discarded)."},
+	"mcchecker_serve_inflight_jobs": {kindGauge,
+		"Jobs admitted by the serve daemon and not yet in a terminal state."},
+	"mcchecker_serve_job_latency_us": {kindHistogram,
+		"Submission-to-terminal latency of serve jobs, in microseconds (log2 buckets)."},
+	"mcchecker_serve_jobs_submitted_total": {kindCounter,
+		"Jobs admitted by the serve daemon."},
+	"mcchecker_serve_jobs_total": {kindCounter,
+		"Serve jobs reaching a terminal state, labeled by result (done, degraded, failed, quarantined)."},
+	"mcchecker_serve_panics_recovered_total": {kindCounter,
+		"Analysis panics the serve daemon recovered into degraded reports."},
+	"mcchecker_serve_queue_depth": {kindGauge,
+		"Jobs sitting in the serve daemon's run queue."},
+	"mcchecker_serve_retries_total": {kindCounter,
+		"Failed serve job attempts scheduled for a backoff retry."},
+	"mcchecker_serve_shed_total": {kindCounter,
+		"Submissions shed by admission control because the queue budget was exhausted."},
 	"mcchecker_sim_collectives_total": {kindCounter,
 		"Collective operations executed by the simulator, per rank."},
 	"mcchecker_sim_epochs_total": {kindCounter,

@@ -21,16 +21,12 @@ type StatsServer struct {
 	srv *http.Server
 }
 
-// ServeStats starts a stats server on addr (":0" picks a free port) and
-// returns once the listener is bound; requests are served in the
-// background. The registry may be nil, in which case the metric endpoints
-// serve empty snapshots and only the pprof endpoints are interesting.
-func ServeStats(addr string, reg *Registry) (*StatsServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("stats listener: %w", err)
-	}
-	mux := http.NewServeMux()
+// RegisterStats mounts the metric and profiling endpoints (/metrics,
+// /stats, /stats.json, /debug/pprof/*) on an existing mux, so servers
+// with their own API surface — the serve daemon — expose the same
+// observability contract as the standalone stats listener. The registry
+// may be nil, in which case the metric endpoints serve empty snapshots.
+func RegisterStats(mux *http.ServeMux, reg *Registry) {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.Snapshot().WritePrometheus(w)
@@ -48,6 +44,19 @@ func ServeStats(addr string, reg *Registry) (*StatsServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// ServeStats starts a stats server on addr (":0" picks a free port) and
+// returns once the listener is bound; requests are served in the
+// background. The registry may be nil, in which case the metric endpoints
+// serve empty snapshots and only the pprof endpoints are interesting.
+func ServeStats(addr string, reg *Registry) (*StatsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stats listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	RegisterStats(mux, reg)
 	s := &StatsServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
 	go s.srv.Serve(ln)
 	return s, nil

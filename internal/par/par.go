@@ -9,10 +9,41 @@ package par
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/obs/tracing"
 )
+
+// PanicError is a worker panic converted into an ordinary error: under a
+// long-running daemon a panicking unit of work must degrade the one job
+// that contained it, not kill the process. Index is the unit of work that
+// panicked, Worker the pool goroutine executing it (0 in serial mode),
+// Value the recovered panic value, and Stack the goroutine stack captured
+// at recovery.
+type PanicError struct {
+	Index  int
+	Worker int
+	Value  any
+	Stack  []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: panic in work %d (worker %d): %v", e.Index, e.Worker, e.Value)
+}
+
+// safeCall runs one unit of work, converting a panic into a *PanicError.
+// Both the serial and parallel paths route through it, so the
+// serial-identical error-semantics contract extends to panics: either
+// mode reports the same *PanicError for the same panicking index.
+func safeCall(i, worker int, sp *tracing.Span, fn func(i int, sp *tracing.Span) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Worker: worker, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i, sp)
+}
 
 // Ranks runs fn(0) … fn(n-1) on min(workers, n) goroutines and returns
 // the error of the lowest index that failed, or nil. With workers <= 1
@@ -42,7 +73,7 @@ func RanksTraced(n, workers int, tr *tracing.Recorder, track string,
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			sp := startSpan(tr, track, 0, scope, i)
-			err := fn(i, sp)
+			err := safeCall(i, 0, sp, fn)
 			sp.End()
 			if err != nil {
 				return err
@@ -60,7 +91,7 @@ func RanksTraced(n, workers int, tr *tracing.Recorder, track string,
 			defer wg.Done()
 			for i := range work {
 				sp := startSpan(tr, track, w, scope, i)
-				errs[i] = fn(i, sp)
+				errs[i] = safeCall(i, w, sp, fn)
 				sp.End()
 			}
 		}(w)

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync/atomic"
@@ -43,5 +44,53 @@ func TestRanksLowestIndexError(t *testing.T) {
 func TestRanksEmpty(t *testing.T) {
 	if err := Ranks(0, 4, func(int) error { return fmt.Errorf("never") }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRanksRecoversPanics(t *testing.T) {
+	// A worker panic must come back as an error carrying the panicking
+	// index and a stack, not kill the process — regression for the serve
+	// daemon, where one poisoned job must not take down the pool.
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0) + 2} {
+		err := Ranks(20, workers, func(i int) error {
+			if i == 11 {
+				panic(fmt.Sprintf("poison %d", i))
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v (%T), want *PanicError", workers, err, err)
+		}
+		if pe.Index != 11 {
+			t.Fatalf("workers=%d: panic index = %d, want 11", workers, pe.Index)
+		}
+		if pe.Value != "poison 11" {
+			t.Fatalf("workers=%d: panic value = %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: no stack captured", workers)
+		}
+	}
+}
+
+func TestRanksPanicLowestIndexWins(t *testing.T) {
+	// The serial-identical contract extends to panics: among several
+	// failing indexes (panic at 5, error at 9) the lowest wins in every
+	// mode, and it is the panic converted to an error.
+	for _, workers := range []int{1, 4} {
+		err := Ranks(30, workers, func(i int) error {
+			switch i {
+			case 5:
+				panic("first")
+			case 9:
+				return fmt.Errorf("fail 9")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) || pe.Index != 5 {
+			t.Fatalf("workers=%d: got %v, want panic at index 5", workers, err)
+		}
 	}
 }

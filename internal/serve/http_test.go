@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func postJob(t *testing.T, url string, sub *Submission) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeJob(t *testing.T, resp *http.Response) jobResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	var jr jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	return jr
+}
+
+func TestHTTPSubmitPollAndReport(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postJob(t, ts.URL, &Submission{Traces: uploads(t, conflictSet())})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, want 202", resp.StatusCode)
+	}
+	jr := decodeJob(t, resp)
+	if jr.ID == "" {
+		t.Fatal("no job id in submit response")
+	}
+
+	resp2, err := http.Get(ts.URL + "/jobs/" + jr.ID + "?wait=10s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := decodeJob(t, resp2)
+	if done.Status != StatusDone {
+		t.Fatalf("polled status = %s (error %q)", done.Status, done.Error)
+	}
+	if done.Violations != 1 || len(done.Report) == 0 {
+		t.Fatalf("violations = %d, report bytes = %d", done.Violations, len(done.Report))
+	}
+	var rep struct {
+		Violations []struct {
+			Rule string `json:"rule"`
+		} `json:"violations"`
+	}
+	if err := json.Unmarshal(done.Report, &rep); err != nil {
+		t.Fatalf("embedded report is not valid JSON: %v", err)
+	}
+	if len(rep.Violations) != 1 {
+		t.Fatalf("embedded report has %d violations", len(rep.Violations))
+	}
+
+	listResp, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listResp.Body.Close()
+	var list struct {
+		Jobs []jobResponse `json:"jobs"`
+	}
+	if err := json.NewDecoder(listResp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != jr.ID {
+		t.Fatalf("job list = %+v", list.Jobs)
+	}
+
+	if resp, err := http.Get(ts.URL + "/jobs/job-999999"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %v status %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	if resp, err := http.Get(ts.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v status %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+func TestHTTPBadSubmissionIs400(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader([]byte(`{"bogus":`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad submission status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestHTTPShedsWith429 pins the back-pressure contract: past the queue
+// budget the daemon answers 429 with a Retry-After hint instead of
+// buffering, and a draining daemon answers 503.
+func TestHTTPShedsWith429(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueBudget: 1})
+	release := make(chan struct{})
+	s.testHook = func(ctx context.Context, _ *Submission) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	defer close(release)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sub := &Submission{Traces: uploads(t, conflictSet())}
+	resp := postJob(t, ts.URL, sub)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit status = %d", resp.StatusCode)
+	}
+	resp = postJob(t, ts.URL, sub)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget submit status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+
+	s.BeginDrain()
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil || resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining: %v status %d", err, resp.StatusCode)
+	} else {
+		resp.Body.Close()
+	}
+	resp = postJob(t, ts.URL, sub)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining status = %d, want 503", resp.StatusCode)
+	}
+}

@@ -1,0 +1,81 @@
+package stream
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/mpi"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+)
+
+// finishOnce runs the counter bug app through a checker and finalizes it.
+func finishedChecker(t *testing.T) *Checker {
+	t.Helper()
+	bc, ok := findCase(t, "counter")
+	if !ok {
+		t.Fatal("counter app missing from registry")
+	}
+	sc := New(bc.Ranks, nil)
+	pr := profiler.New(sc, profiler.FromNames(bc.RelevantBuffers))
+	if err := mpi.Run(bc.Ranks, mpi.Options{Hook: pr}, bc.Buggy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+func findCase(t *testing.T, name string) (bc apps.BugCase, ok bool) {
+	t.Helper()
+	for _, c := range apps.AllCases() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return bc, false
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	sc := finishedChecker(t)
+	rep1, err1 := sc.Finish()
+	rep2, err2 := sc.Finish()
+	if err1 != nil || err2 != nil {
+		t.Fatalf("repeat Finish errored: %v / %v", err1, err2)
+	}
+	if rep1 != rep2 {
+		t.Fatalf("repeat Finish returned a different report: %p vs %p", rep1, rep2)
+	}
+	if len(rep1.Violations) == 0 {
+		t.Fatal("counter bug produced no violations; fixture is broken")
+	}
+}
+
+func TestEmitAfterFinishIsDefined(t *testing.T) {
+	sc := finishedChecker(t)
+	rep, _ := sc.Finish()
+	before := len(rep.Violations)
+	// A straggler producer goroutine emits after finalization: the event
+	// must be dropped, the report unchanged, and the misuse observable.
+	sc.Emit(trace.Event{Kind: trace.KindBarrier, Rank: 0})
+	sc.Emit(trace.Event{Kind: trace.KindBarrier, Rank: 1})
+	if err := sc.Err(); !errors.Is(err, ErrEmitAfterFinish) {
+		t.Fatalf("Err() = %v, want ErrEmitAfterFinish", err)
+	}
+	rep2, err := sc.Finish()
+	if err != nil {
+		t.Fatalf("Finish after late Emit: %v", err)
+	}
+	if rep2 != rep || len(rep2.Violations) != before {
+		t.Fatal("late Emit mutated the finalized report")
+	}
+}
+
+func TestErrNilOnCleanRun(t *testing.T) {
+	sc := finishedChecker(t)
+	if err := sc.Err(); err != nil {
+		t.Fatalf("Err() on a clean finished run = %v, want nil", err)
+	}
+}

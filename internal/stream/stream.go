@@ -26,6 +26,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -34,6 +35,12 @@ import (
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
+
+// ErrEmitAfterFinish is the defined misuse error recorded when Emit is
+// called on an already-finished checker. Under the serving daemon a
+// late-emitting producer goroutine must not corrupt a finalized report;
+// the stray event is dropped and the misuse is observable via Err.
+var ErrEmitAfterFinish = errors.New("stream: Emit after Finish (event dropped)")
 
 // Checker consumes runtime events and analyzes completed regions online.
 type Checker struct {
@@ -75,6 +82,16 @@ type Checker struct {
 	err           error
 	tolerant      bool     // degrade failing slabs instead of aborting
 	notes         []string // accumulated degradation diagnostics
+
+	// Lifecycle guards. finished latches on the first Finish call:
+	// Finish becomes idempotent (repeat calls return the cached result)
+	// and later Emits drop their event, recording misuse instead of
+	// mutating a report the caller may already hold.
+	finished  bool
+	finalRep  *core.Report
+	finalErr  error
+	misuse    error // ErrEmitAfterFinish once a late Emit arrives
+	lateEmits int
 
 	// Observability. buffered/peakBuffered track the events held across
 	// all ranks — the memory-boundedness claim of online analysis, made
@@ -168,6 +185,11 @@ func (c *Checker) SetTolerant(v bool) {
 func (c *Checker) Emit(ev trace.Event) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.finished {
+		c.misuse = ErrEmitAfterFinish
+		c.lateEmits++
+		return
+	}
 	if c.err != nil {
 		return
 	}
@@ -485,9 +507,39 @@ func violationKey(v *core.Violation) string {
 }
 
 // Finish analyzes the remaining tail and returns the cumulative report.
+// It is idempotent: repeat calls return the first call's report and error
+// unchanged, so racing shutdown paths (drain, watchdog, signal handler)
+// can all safely finalize the same checker.
 func (c *Checker) Finish() (*core.Report, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.finished {
+		return c.finalRep, c.finalErr
+	}
+	rep, err := c.finishLocked()
+	c.finished = true
+	c.finalRep, c.finalErr = rep, err
+	return rep, err
+}
+
+// Err reports sticky failure and misuse state: the first slab-analysis
+// error, or ErrEmitAfterFinish when events arrived after finalization.
+// A nil result means every event was accepted and analyzed (or is still
+// pending analysis).
+func (c *Checker) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	if c.misuse != nil {
+		return fmt.Errorf("%w (%d dropped)", c.misuse, c.lateEmits)
+	}
+	return nil
+}
+
+// finishLocked is the single-shot body of Finish, running under c.mu.
+func (c *Checker) finishLocked() (*core.Report, error) {
 	if c.err != nil {
 		return nil, c.err
 	}

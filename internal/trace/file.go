@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -28,7 +29,15 @@ func WriteDir(dir string, s *Set) error {
 // concurrently (one worker per processor); the assembled Set and any
 // error are identical to a serial read.
 func ReadDir(dir string) (*Set, error) {
-	return readDirWith(dir, decodeWorkers(), nil, func(f *os.File, _ *tracing.Span) (*Trace, error) { return ReadTrace(f) })
+	return ReadDirContext(nil, dir)
+}
+
+// ReadDirContext is ReadDir with cooperative cancellation: ctx is checked
+// before each rank file decodes, so a serving watchdog can abandon the
+// read of a large or slow trace directory without killing the process. A
+// nil ctx never cancels.
+func ReadDirContext(ctx context.Context, dir string) (*Set, error) {
+	return readDirWith(ctx, dir, decodeWorkers(), nil, func(f *os.File, _ *tracing.Span) (*Trace, error) { return ReadTrace(f) })
 }
 
 // nameRank pairs a trace file name with the rank its name claims.

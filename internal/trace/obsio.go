@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -123,15 +124,21 @@ func ReadDirObs(dir string, reg *obs.Registry) (*Set, error) {
 // span on tr (track "decode", one lane per worker — or per rank in
 // deterministic mode). Both reg and tr may be nil.
 func ReadDirTraced(dir string, reg *obs.Registry, tr *tracing.Recorder) (*Set, error) {
+	return ReadDirTracedContext(nil, dir, reg, tr)
+}
+
+// ReadDirTracedContext is ReadDirTraced with cooperative cancellation
+// checked before each rank file decodes. A nil ctx never cancels.
+func ReadDirTracedContext(ctx context.Context, dir string, reg *obs.Registry, tr *tracing.Recorder) (*Set, error) {
 	m := newCodecMetrics(reg)
 	if m == nil && tr == nil {
-		return ReadDir(dir)
+		return ReadDirContext(ctx, dir)
 	}
 	workers := decodeWorkers()
 	hits0, misses0 := DecodePoolStats()
 	start := time.Now()
 	var decodedBytes atomic.Int64
-	set, err := readDirWith(dir, workers, tr, func(f *os.File, sp *tracing.Span) (*Trace, error) {
+	set, err := readDirWith(ctx, dir, workers, tr, func(f *os.File, sp *tracing.Span) (*Trace, error) {
 		cr := &countingReader{r: f}
 		t, err := ReadTrace(cr)
 		if err != nil {
@@ -172,8 +179,9 @@ func decodeWorkers() int { return runtime.GOMAXPROCS(0) }
 // decode step parameterized. Rank files decode concurrently on up to
 // `workers` goroutines; assembly stays deterministic because each file's
 // trace lands in its name's slot and errors surface in name order
-// (par.Ranks picks the lowest failing index).
-func readDirWith(dir string, workers int, tr *tracing.Recorder, readOne func(f *os.File, sp *tracing.Span) (*Trace, error)) (*Set, error) {
+// (par.Ranks picks the lowest failing index). ctx (which may be nil) is
+// checked before each file decodes.
+func readDirWith(ctx context.Context, dir string, workers int, tr *tracing.Recorder, readOne func(f *os.File, sp *tracing.Span) (*Trace, error)) (*Set, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -185,6 +193,11 @@ func readDirWith(dir string, workers int, tr *tracing.Recorder, readOne func(f *
 	parts := make([]*Trace, len(names))
 	scope := func(i int) string { return fmt.Sprintf("rank %d", names[i].rank) }
 	err = par.RanksTraced(len(names), workers, tr, "decode", scope, func(i int, sp *tracing.Span) error {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("trace: read canceled: %w", err)
+			}
+		}
 		nr := names[i]
 		f, err := os.Open(filepath.Join(dir, nr.name))
 		if err != nil {

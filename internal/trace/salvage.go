@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/obs/tracing"
+	"repro/internal/par"
 )
 
 // Salvage-mode decoding: recover the longest valid event prefix from a
@@ -114,12 +116,37 @@ func ReadDirSalvage(dir string, reg *obs.Registry) (*Set, []string, error) {
 	return ReadDirSalvageTraced(dir, reg, nil)
 }
 
+// ReadDirSalvageContext is ReadDirSalvage with cooperative cancellation
+// checked before each rank file decodes (nil ctx never cancels) — the
+// form the serving watchdog uses for directory-path jobs.
+func ReadDirSalvageContext(ctx context.Context, dir string, reg *obs.Registry) (*Set, []string, error) {
+	return readDirSalvage(ctx, dir, decodeWorkers(), reg, nil)
+}
+
 // ReadDirSalvageTraced is ReadDirSalvage with each rank file's salvage
-// recorded as a span on tr (track "decode"; salvage is sequential, so
-// lane "worker 0" in wall mode, per-rank lanes in deterministic mode).
-// Spans are annotated with the recovered event count and, when the file
-// degraded, the salvage reason. Both reg and tr may be nil.
+// recorded as a span on tr (track "decode", one lane per worker — or per
+// rank in deterministic mode). Spans are annotated with the recovered
+// event count and, when the file degraded, the salvage reason. Both reg
+// and tr may be nil.
 func ReadDirSalvageTraced(dir string, reg *obs.Registry, tr *tracing.Recorder) (*Set, []string, error) {
+	return readDirSalvage(nil, dir, decodeWorkers(), reg, tr)
+}
+
+// salvageFile is one rank file's decoded-but-unmerged salvage outcome.
+type salvageFile struct {
+	t       *Trace
+	res     SalvageResult
+	openErr error // file could not be opened
+	lostErr error // header unreadable, nothing attributable
+}
+
+// readDirSalvage is the parameterized body of ReadDirSalvage. Rank files
+// salvage-decode concurrently on up to `workers` goroutines (they are
+// independent streams, exactly like the strict readDirWith path); the
+// merge — note order, duplicate and rank-mismatch policing, metric
+// recording — runs serially in name order afterward, so the returned
+// set, notes, and error are identical at any worker count.
+func readDirSalvage(ctx context.Context, dir string, workers int, reg *obs.Registry, tr *tracing.Recorder) (*Set, []string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, nil, err
@@ -129,56 +156,70 @@ func ReadDirSalvageTraced(dir string, reg *obs.Registry, tr *tracing.Recorder) (
 	if len(names) == 0 {
 		return nil, nil, fmt.Errorf("trace: no trace files in %s", dir)
 	}
-	var notes []string
-	byRank := map[int32]*Trace{}
-	maxRank := int32(-1)
-	for _, nr := range names {
-		if int32(nr.rank) > maxRank {
-			maxRank = int32(nr.rank)
+	files := make([]salvageFile, len(names))
+	scope := func(i int) string { return fmt.Sprintf("rank %d (salvage)", names[i].rank) }
+	err = par.RanksTraced(len(names), workers, tr, "decode", scope, func(i int, sp *tracing.Span) error {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("trace: salvage canceled: %w", err)
+			}
 		}
-		var sp *tracing.Span
-		if tr != nil {
-			scope := fmt.Sprintf("rank %d (salvage)", nr.rank)
-			sp = tr.Start("decode", tr.Lane("worker 0", scope), scope)
-		}
+		nr := names[i]
 		f, err := os.Open(filepath.Join(dir, nr.name))
 		if err != nil {
-			notes = append(notes, fmt.Sprintf("%s: unreadable: %v", nr.name, err))
+			files[i].openErr = err
 			sp.Annotate("outcome", "unreadable")
-			sp.End()
-			continue
+			return nil
 		}
 		t, res, err := ReadTraceSalvage(f)
 		f.Close()
-		bad := ""
-		switch {
-		case err != nil:
-			notes = append(notes, fmt.Sprintf("%s: lost entirely: %v", nr.name, err))
-			bad = "lost"
-		case int(t.Rank) != nr.rank:
-			notes = append(notes, fmt.Sprintf("%s: header claims rank %d; file ignored", nr.name, t.Rank))
-			bad = "rank mismatch"
-		case byRank[t.Rank] != nil:
-			notes = append(notes, fmt.Sprintf("%s: duplicate of rank %d; file ignored", nr.name, t.Rank))
-			bad = "duplicate"
+		if err != nil {
+			files[i].lostErr = err
+			sp.Annotate("outcome", "lost")
+			return nil
 		}
-		if bad != "" {
-			sp.Annotate("outcome", bad)
-			sp.End()
-			continue
-		}
-		m.record(res)
+		files[i].t, files[i].res = t, res
 		if !res.Complete {
-			notes = append(notes, fmt.Sprintf("%s: truncated, salvaged %d-event prefix (%s)",
-				nr.name, res.Events, res.Reason))
 			sp.Annotate("reason", res.Reason)
 		}
 		if sp != nil {
 			sp.Annotate("events", strconv.Itoa(res.Events))
 			sp.Annotate("complete", strconv.FormatBool(res.Complete))
 		}
-		sp.End()
-		byRank[t.Rank] = t
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var notes []string
+	byRank := map[int32]*Trace{}
+	maxRank := int32(-1)
+	for i, nr := range names {
+		if int32(nr.rank) > maxRank {
+			maxRank = int32(nr.rank)
+		}
+		fr := &files[i]
+		switch {
+		case fr.openErr != nil:
+			notes = append(notes, fmt.Sprintf("%s: unreadable: %v", nr.name, fr.openErr))
+			continue
+		case fr.lostErr != nil:
+			notes = append(notes, fmt.Sprintf("%s: lost entirely: %v", nr.name, fr.lostErr))
+			continue
+		case int(fr.t.Rank) != nr.rank:
+			notes = append(notes, fmt.Sprintf("%s: header claims rank %d; file ignored", nr.name, fr.t.Rank))
+			continue
+		case byRank[fr.t.Rank] != nil:
+			notes = append(notes, fmt.Sprintf("%s: duplicate of rank %d; file ignored", nr.name, fr.t.Rank))
+			continue
+		}
+		m.record(fr.res)
+		if !fr.res.Complete {
+			notes = append(notes, fmt.Sprintf("%s: truncated, salvaged %d-event prefix (%s)",
+				nr.name, fr.res.Events, fr.res.Reason))
+		}
+		byRank[fr.t.Rank] = fr.t
 	}
 	if len(byRank) == 0 {
 		return nil, notes, fmt.Errorf("trace: no salvageable trace files in %s", dir)

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check staticcheck race cover bench bench-smoke microbench fuzz soak explore experiments table2 fig8 fig9 trace-smoke serve-smoke serve-bench clean
+.PHONY: all build test check staticcheck race cover bench bench-smoke microbench fuzz fuzz-gen soak explore experiments table2 fig8 fig9 trace-smoke serve-smoke serve-bench corpus corpus-smoke clean
 
 all: build test check
 
@@ -94,6 +94,27 @@ microbench:
 
 fuzz:
 	$(GO) test -fuzz FuzzReadTrace -fuzztime 30s ./internal/trace
+
+# Fuzz the seeded RMA program generator: any seed must yield a program
+# that simulates without deadlock and round-trips the trace codec.
+fuzz-gen:
+	$(GO) test -fuzz FuzzGenerate -fuzztime 30s ./internal/gen
+
+# Differential engine scoring at full scale: dynamic, static, and
+# explore engines over every registry bug case plus generated programs
+# (3 per injection pattern) and a 200-program clean-generation gate.
+# Writes the markdown detection matrix and the BENCH.json corpus section.
+corpus:
+	$(GO) run ./cmd/mcchecker corpus -matrix corpus_matrix.md
+	$(GO) run ./cmd/mcbench -exp corpus -json BENCH.json
+
+# CI-sized pass of the same gate under the race detector: one generated
+# program per injection pattern, a small clean batch, fixed seeds, and
+# the matrix artifact written to /tmp.
+corpus-smoke:
+	$(GO) test -race -run 'TestCorpus' ./internal/experiments ./cmd/mcchecker
+	$(GO) run ./cmd/mcchecker corpus -programs 9 -clean 20 -schedules 6 \
+		-matrix /tmp/mcchecker-corpus-matrix.md
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -14,6 +14,7 @@
 //	mcbench -exp explore [-schedules N]      # schedule-exploration throughput
 //	mcbench -exp bench [-json BENCH.json] [-benchtime T] [-amplify M] [-trace timeline.json]
 //	mcbench -exp serve [-json BENCH.json] [-clients N] [-serve-jobs N] [-serve-queue N] [-fault-frac F]
+//	mcbench -exp corpus [-json BENCH.json] [-corpus-programs N] [-corpus-clean N] [-seed N]
 //
 // Global flags: -cpuprofile FILE and -memprofile FILE write pprof
 // profiles of the whole invocation.
@@ -39,7 +40,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1|table2|fig8|fig9|fig10|phases|ablation|synccheck|explore|bench|serve|all")
+	exp := flag.String("exp", "all", "experiment: table1|table2|fig8|fig9|fig10|phases|ablation|synccheck|explore|bench|serve|corpus|all")
 	ranks := flag.Int("ranks", 64, "rank count for fig8 (paper: 64)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor for fig8")
 	repeats := flag.Int("repeats", 3, "timing repetitions (minimum kept)")
@@ -54,6 +55,9 @@ func main() {
 	serveJobs := flag.Int("serve-jobs", 120, "serve: total jobs to push through the daemon")
 	serveQueue := flag.Int("serve-queue", 0, "serve: daemon queue budget (0 = 2x workers)")
 	faultFrac := flag.Float64("fault-frac", 0.25, "serve: fraction of submissions with damaged uploads")
+	corpusPrograms := flag.Int("corpus-programs", 0, "corpus: generated programs with injected bugs (0 = 3 per pattern)")
+	corpusClean := flag.Int("corpus-clean", 0, "corpus: clean generated programs (0 = 200)")
+	corpusSeed := flag.Uint64("seed", 1, "corpus: base seed for program generation")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
@@ -122,6 +126,11 @@ func main() {
 	if *exp == "serve" { // excluded from "all": saturating the daemon takes a while
 		run("serve", func() error {
 			return serveLoad(*benchJSON, *clients, *serveJobs, *serveQueue, *faultFrac)
+		})
+	}
+	if *exp == "corpus" { // excluded from "all": the 200-program clean gate takes a while
+		run("corpus", func() error {
+			return corpusScore(*benchJSON, *corpusPrograms, *corpusClean, *corpusSeed)
 		})
 	}
 }
@@ -329,7 +338,7 @@ func bench(jsonPath, benchTime string, amplify int, tracePath string) error {
 	w.Flush()
 	fmt.Printf("decode alloc reduction: %.1f%%  analyze speedup: %.2fx (GOMAXPROCS=%d)  linear vs quadratic: %.1fx\n",
 		res.Decode.AllocReductionPct, res.Analyze.Speedup, res.GOMAXPROCS, res.Cross.Speedup)
-	if err := mergeBenchJSON(jsonPath, res, "serve"); err != nil {
+	if err := mergeBenchJSON(jsonPath, res, "serve", "corpus"); err != nil {
 		return err
 	}
 	fmt.Printf("wrote %s\n", jsonPath)
@@ -399,10 +408,33 @@ func serveLoad(jsonPath string, clients, jobs, queue int, faultFrac float64) err
 		return fmt.Errorf("daemon failed to drain")
 	}
 	if err := mergeBenchJSON(jsonPath, map[string]any{"serve": res},
-		"gomaxprocs", "amplify", "benchtime", "decode", "signature", "analyze", "phases", "cross_process"); err != nil {
+		"corpus", "gomaxprocs", "amplify", "benchtime", "decode", "signature", "analyze", "phases", "cross_process"); err != nil {
 		return err
 	}
 	fmt.Printf("wrote serve section to %s\n", jsonPath)
+	return nil
+}
+
+// corpusScore runs the differential engine-scoring harness and folds the
+// detection matrix into BENCH.json next to the bench and serve sections.
+func corpusScore(jsonPath string, programs, clean int, seed uint64) error {
+	header("Corpus: differential engine scoring over planted and injected bugs")
+	res, err := experiments.Corpus(experiments.CorpusConfig{
+		Generated: programs, Clean: clean, Seed: seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.MarkdownMatrix())
+	if !res.Gate {
+		return fmt.Errorf("differential gate failed (apps=%v fixed=%v generated=%v clean=%v)",
+			res.AppsCaught, res.AppsFixedClean, res.GeneratedCaught, res.CleanOK)
+	}
+	if err := mergeBenchJSON(jsonPath, map[string]any{"corpus": res},
+		"serve", "gomaxprocs", "amplify", "benchtime", "decode", "signature", "analyze", "phases", "cross_process"); err != nil {
+		return err
+	}
+	fmt.Printf("wrote corpus section to %s\n", jsonPath)
 	return nil
 }
 

@@ -58,6 +58,16 @@
 //	    static-only, or dynamic-only. `mcchecker explore -static-seed`
 //	    prioritizes the ranks named by static-only findings.
 //
+//	mcchecker corpus [-programs N] [-clean N] [-seed N] [-schedules N] [-json] [-matrix FILE]
+//	    Differential engine scoring (internal/experiments): run the dynamic
+//	    analyzer, the static checker, and the schedule explorer over every
+//	    registry bug case plus freshly generated RMA programs (internal/gen)
+//	    with injected bugs, and score them against ground truth. The gate
+//	    requires every planted or injected bug to be caught by at least one
+//	    engine and every fixed variant or clean generated program to be
+//	    violation-free; a failed gate exits 3. -matrix also writes the
+//	    markdown detection matrix to FILE.
+//
 //	mcchecker serve [-addr HOST:PORT] [-workers N] [-queue N] [-job-timeout D]
 //	                [-max-attempts N] [-retry-backoff D] [-analyze-workers N] [-drain-timeout D]
 //	    Run the analysis daemon (internal/serve): clients POST trace sets
@@ -90,6 +100,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/explore"
 	"repro/internal/faults"
 	"repro/internal/mpi"
@@ -101,53 +112,122 @@ import (
 	"repro/internal/trace"
 )
 
-func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
-	}
-	var err error
-	switch os.Args[1] {
-	case "apps":
-		err = listApps()
-	case "run":
-		err = runCmd(os.Args[2:])
-	case "explore":
-		err = exploreCmd(os.Args[2:])
-	case "analyze":
-		err = analyzeCmd(os.Args[2:])
-	case "serve":
-		err = serveCmd(os.Args[2:])
-	case "dump":
-		err = dumpCmd(os.Args[2:])
-	case "-h", "--help", "help":
-		usage()
-	default:
-		fmt.Fprintf(os.Stderr, "mcchecker: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mcchecker:", err)
-		os.Exit(1)
+// command is one mcchecker subcommand: its dispatch name, the one-line
+// summary `mcchecker help` prints, and the synopsis lines shown under it.
+// usage() and the help regression test both render from this table, so a
+// subcommand cannot be added without appearing in the help text.
+type command struct {
+	name     string
+	summary  string
+	synopsis []string
+	run      func(args []string) error
+}
+
+func commands() []command {
+	return []command{
+		{
+			name:    "apps",
+			summary: "list the bundled applications (the paper's bug suite)",
+			synopsis: []string{
+				"mcchecker apps",
+			},
+			run: func([]string) error { return listApps() },
+		},
+		{
+			name:    "run",
+			summary: "run one application with the Profiler attached and analyze the trace",
+			synopsis: []string{
+				"mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR|timeline.json] [-full] [-intra-only] [-online] [-json] [-stats] [-stats-format text|prom|json]",
+				"              [-faults PLAN] [-failstop] [-timeout D] [-soak N] [-stats-listen ADDR]",
+			},
+			run: runCmd,
+		},
+		{
+			name:    "explore",
+			summary: "sweep the schedule space and deduplicate violations by signature",
+			synopsis: []string{
+				"mcchecker explore -app NAME [-fixed] [-n N] [-schedules N] [-strategy sweep|walk|pct|delay] [-jobs K] [-budget D] [-seed N]",
+				"              [-minimize] [-minimize-runs N] [-static-seed] [-full] [-intra-only] [-json] [-stats] [-stats-format text|prom|json] [-timeout D]",
+				"              [-trace timeline.json] [-stats-listen ADDR]",
+			},
+			run: exploreCmd,
+		},
+		{
+			name:    "analyze",
+			summary: "run DN-Analyzer offline over trace files, or cross-validate the static checker",
+			synopsis: []string{
+				"mcchecker analyze [-trace timeline.json] [-intra-only] [-json] [-stats] [-stats-format text|prom|json]",
+				"              [-cpuprofile FILE] [-memprofile FILE] [-stats-listen ADDR] DIR",
+				"mcchecker analyze -trace DIR [...]          (legacy spelling, no timeline)",
+				"mcchecker analyze -static [-app NAME] [-fixed] [-min-confidence low|medium|high] [-json] [-stats]",
+			},
+			run: analyzeCmd,
+		},
+		{
+			name:    "corpus",
+			summary: "score every engine against the planted-bug corpus and generated programs",
+			synopsis: []string{
+				"mcchecker corpus [-programs N] [-clean N] [-seed N] [-schedules N] [-json] [-matrix FILE]",
+			},
+			run: corpusCmd,
+		},
+		{
+			name:    "serve",
+			summary: "run the analysis daemon (POST trace sets to /jobs)",
+			synopsis: []string{
+				"mcchecker serve [-addr HOST:PORT] [-workers N] [-queue N] [-job-timeout D] [-max-attempts N]",
+				"              [-retry-backoff D] [-analyze-workers N] [-drain-timeout D]",
+			},
+			run: serveCmd,
+		},
+		{
+			name:    "dump",
+			summary: "pretty-print trace files for debugging instrumented runs",
+			synopsis: []string{
+				"mcchecker dump -trace DIR [-rank N] [-limit N] [-format text|jsonl]",
+			},
+			run: dumpCmd,
+		},
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
-  mcchecker apps
-  mcchecker run -app NAME [-fixed] [-ranks N] [-trace DIR|timeline.json] [-full] [-intra-only] [-online] [-json] [-stats] [-stats-format text|prom|json]
-                [-faults PLAN] [-failstop] [-timeout D] [-soak N] [-stats-listen ADDR]
-  mcchecker explore -app NAME [-fixed] [-n N] [-schedules N] [-strategy sweep|walk|pct|delay] [-jobs K] [-budget D] [-seed N]
-                [-minimize] [-minimize-runs N] [-static-seed] [-full] [-intra-only] [-json] [-stats] [-stats-format text|prom|json] [-timeout D]
-                [-trace timeline.json] [-stats-listen ADDR]
-  mcchecker analyze [-trace timeline.json] [-intra-only] [-json] [-stats] [-stats-format text|prom|json]
-                [-cpuprofile FILE] [-memprofile FILE] [-stats-listen ADDR] DIR
-  mcchecker analyze -trace DIR [...]          (legacy spelling, no timeline)
-  mcchecker analyze -static [-app NAME] [-fixed] [-min-confidence low|medium|high] [-json] [-stats]
-  mcchecker serve [-addr HOST:PORT] [-workers N] [-queue N] [-job-timeout D] [-max-attempts N]
-                [-retry-backoff D] [-analyze-workers N] [-drain-timeout D]
-  mcchecker dump -trace DIR [-rank N] [-limit N]`)
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	name := os.Args[1]
+	if name == "-h" || name == "--help" || name == "help" {
+		usage(os.Stderr)
+		return
+	}
+	for _, c := range commands() {
+		if c.name != name {
+			continue
+		}
+		if err := c.run(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "mcchecker:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "mcchecker: unknown command %q\n", name)
+	usage(os.Stderr)
+	os.Exit(2)
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage: mcchecker COMMAND [flags]")
+	fmt.Fprintln(w, "\ncommands:")
+	for _, c := range commands() {
+		fmt.Fprintf(w, "  %-8s %s\n", c.name, c.summary)
+	}
+	fmt.Fprintln(w, "\nsynopsis:")
+	for _, c := range commands() {
+		for _, line := range c.synopsis {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
 }
 
 func listApps() error {
@@ -161,6 +241,10 @@ func listApps() error {
 	}
 	fmt.Println("schedule-dependent applications (use `mcchecker explore`):")
 	for _, bc := range apps.ScheduleCases() {
+		fmt.Printf("  %-14s %d ranks  %-11s %s\n", bc.Name, bc.Ranks, bc.Origin, bc.RootCause)
+	}
+	fmt.Println("planted-bug corpus (literature patterns, use `mcchecker corpus`):")
+	for _, bc := range apps.CorpusCases() {
 		fmt.Printf("  %-14s %d ranks  %-11s %s\n", bc.Name, bc.Ranks, bc.Origin, bc.RootCause)
 	}
 	fmt.Println("overhead workloads (paper Figure 8): use cmd/mcbench")
@@ -438,6 +522,57 @@ func exploreCmd(args []string) error {
 		return err
 	}
 	if res.Distinct() > 0 {
+		os.Exit(3)
+	}
+	return nil
+}
+
+// corpusCmd runs the differential engine-scoring harness: every engine
+// over every registry bug case plus generated programs with injected
+// bugs, gated on "all bugs caught, all clean programs clean".
+func corpusCmd(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	programs := fs.Int("programs", 0, "generated programs with injected bugs (0 = 3 per pattern)")
+	clean := fs.Int("clean", 0, "clean generated programs (0 = 200)")
+	seed := fs.Uint64("seed", 1, "base seed for program generation")
+	schedules := fs.Int("schedules", 0, "explorer schedules per program (0 = 12)")
+	jsonOut := fs.Bool("json", false, "print the result as JSON")
+	matrixPath := fs.String("matrix", "", "also write the markdown detection matrix to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("corpus takes no positional arguments")
+	}
+	progress := io.Writer(os.Stdout)
+	if *jsonOut {
+		progress = os.Stderr
+	}
+	fmt.Fprintf(progress, "scoring engines over %d registry case(s) + generated programs (seed %d)\n",
+		len(apps.AllCases()), *seed)
+	res, err := experiments.Corpus(experiments.CorpusConfig{
+		Generated: *programs, Clean: *clean, Seed: *seed, Schedules: *schedules,
+	})
+	if err != nil {
+		return err
+	}
+	matrix := res.MarkdownMatrix()
+	if *matrixPath != "" {
+		if err := os.WriteFile(*matrixPath, []byte(matrix), 0o644); err != nil {
+			return fmt.Errorf("matrix: %w", err)
+		}
+		fmt.Fprintf(progress, "wrote detection matrix to %s\n", *matrixPath)
+	}
+	if *jsonOut {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(matrix)
+	}
+	if !res.Gate {
 		os.Exit(3)
 	}
 	return nil

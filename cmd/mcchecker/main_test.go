@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/apps"
 	"repro/internal/mpi"
 	"repro/internal/profiler"
 	"repro/internal/trace"
@@ -27,8 +28,11 @@ func TestFindApp(t *testing.T) {
 }
 
 func TestListApps(t *testing.T) {
-	if err := listApps(); err != nil {
-		t.Fatal(err)
+	out := captureStdout(t, listApps)
+	for _, bc := range apps.AllCases() {
+		if !strings.Contains(out, bc.Name) {
+			t.Errorf("listApps output missing registered case %q", bc.Name)
+		}
 	}
 }
 
@@ -448,5 +452,90 @@ func TestExploreCmdStaticSeedFixedClean(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("static-seed explore output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestUsageNamesEveryCommand pins the help contract: the top-level usage
+// text renders from the command table, so every dispatchable subcommand
+// must appear in it with a summary and every synopsis line.
+func TestUsageNamesEveryCommand(t *testing.T) {
+	var sb strings.Builder
+	usage(&sb)
+	help := sb.String()
+
+	cmds := commands()
+	if len(cmds) == 0 {
+		t.Fatal("empty command table")
+	}
+	for _, c := range cmds {
+		if c.summary == "" {
+			t.Errorf("%s: no summary", c.name)
+		}
+		if len(c.synopsis) == 0 {
+			t.Errorf("%s: no synopsis", c.name)
+		}
+		if c.run == nil {
+			t.Errorf("%s: no run function", c.name)
+		}
+		if !strings.Contains(help, c.name+" ") && !strings.Contains(help, c.name+"\n") {
+			t.Errorf("usage text does not name %q:\n%s", c.name, help)
+		}
+		for _, line := range c.synopsis {
+			if !strings.Contains(help, line) {
+				t.Errorf("usage text missing synopsis line %q", line)
+			}
+		}
+	}
+
+	// The full expected command set, spelled out so dropping a command
+	// from the table (which would silently drop it from help) fails too.
+	for _, want := range []string{"apps", "run", "explore", "analyze", "corpus", "serve", "dump"} {
+		found := false
+		for _, c := range cmds {
+			if c.name == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("command table is missing %q", want)
+		}
+	}
+}
+
+// TestCommandNamesUnique: duplicate names would shadow each other in the
+// dispatch loop.
+func TestCommandNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, c := range commands() {
+		if seen[c.name] {
+			t.Errorf("duplicate command %q", c.name)
+		}
+		seen[c.name] = true
+	}
+}
+
+// TestCorpusCmdGate runs the differential scoring CLI at smoke scale:
+// the gate passes (no exit 3), the matrix is written, and -json parses.
+func TestCorpusCmdGate(t *testing.T) {
+	matrixPath := filepath.Join(t.TempDir(), "matrix.md")
+	out := captureStdout(t, func() error {
+		return corpusCmd([]string{"-programs", "2", "-clean", "3", "-schedules", "4",
+			"-matrix", matrixPath})
+	})
+	for _, want := range []string{"Registry corpus", "Generated programs", "Gate:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("corpus output missing %q:\n%s", want, out)
+		}
+	}
+	matrix, err := os.ReadFile(matrixPath)
+	if err != nil {
+		t.Fatalf("matrix artifact not written: %v", err)
+	}
+	if !strings.Contains(string(matrix), "| Case | Ranks | Class |") {
+		t.Errorf("matrix artifact malformed:\n%s", matrix)
+	}
+	if err := corpusCmd([]string{"-programs", "2", "-clean", "3", "-schedules", "4", "extra"}); err == nil {
+		t.Error("positional arguments must be rejected")
 	}
 }

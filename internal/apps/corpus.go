@@ -1,0 +1,365 @@
+package apps
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// This file is the planted-bug corpus: eight small MPI-RMA applications,
+// each modeling one memory-consistency error pattern documented in the
+// one-sided literature (the MPI standard's semantics chapter, the
+// MC-Checker paper's motivating bugs, and the MPI-3 RMA errata). Every
+// app has a buggy variant that plants exactly one bug and a fixed
+// variant that repairs it with the idiomatic synchronization, so the
+// corpus doubles as ground truth for the differential engine scoring in
+// internal/experiments: every buggy variant must be caught by at least
+// one engine, and every fixed variant must analyze clean.
+
+// LockallFlush models the MPI-3 passive-target flush protocol: a rank
+// gathers one shard from every peer under a single lock-all epoch. A Get
+// completes at the epoch's closing synchronization or at an intervening
+// flush — not at the call. The buggy variant reduces over the gathered
+// snapshot before MPI_Win_flush_all, reading origin buffers of still
+// pending Gets; the fixed variant flushes first.
+func LockallFlush(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("lockall-flush needs >= 2 ranks")
+		}
+		shards := p.AllocFloat64(p.Size(), "shards")
+		w := p.WinCreate(shards, 8, p.CommWorld())
+		shards.SetFloat64(uint64(p.Rank())*8, float64(p.Rank()+1))
+		p.Barrier(p.CommWorld())
+
+		snap := p.AllocFloat64(p.Size(), "snap")
+		sum := 0.0
+		w.LockAll()
+		for t := 0; t < p.Size(); t++ {
+			if t != p.Rank() {
+				w.Get(snap, uint64(t)*8, 1, mpi.Float64, t, uint64(t), 1, mpi.Float64)
+			}
+		}
+		if buggy {
+			// BUG: origin buffers still pending until the flush
+			for t := 0; t < p.Size(); t++ {
+				if t != p.Rank() {
+					sum += snap.Float64At(uint64(t) * 8)
+				}
+			}
+			w.FlushAll()
+		} else {
+			w.FlushAll()
+			for t := 0; t < p.Size(); t++ {
+				if t != p.Rank() {
+					sum += snap.Float64At(uint64(t) * 8)
+				}
+			}
+		}
+		w.UnlockAll()
+		p.Barrier(p.CommWorld())
+		w.Free()
+
+		if !buggy {
+			want := 0.0
+			for t := 0; t < p.Size(); t++ {
+				if t != p.Rank() {
+					want += float64(t + 1)
+				}
+			}
+			if sum != want {
+				return fmt.Errorf("lockall-flush: reduced %v, want %v", sum, want)
+			}
+		}
+		return nil
+	}
+}
+
+// AllocAlias models direct stores through the buffer returned by
+// MPI_Win_allocate (the aliasing idiom MPI_Win_allocate_shared
+// encourages): the owner updates its pool in place while a peer's
+// passive-target Put to the same cell is still in flight. The fixed
+// variant defers the local update past the barrier that orders it after
+// the remote epoch.
+func AllocAlias(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("alloc-alias needs >= 2 ranks")
+		}
+		const consumer = 1
+		w, pool := p.WinAllocate(4*8, 8, p.CommWorld(), "pool")
+		p.Barrier(p.CommWorld())
+		if p.Rank() == 0 {
+			seed := p.AllocFloat64(1, "poolseed")
+			seed.SetFloat64(0, 42)
+			w.Lock(mpi.LockShared, consumer)
+			w.Put(seed, 0, 1, mpi.Float64, consumer, 0, 1, mpi.Float64)
+			w.Unlock(consumer)
+			p.Barrier(p.CommWorld())
+		} else if p.Rank() == consumer {
+			if buggy {
+				pool.SetFloat64(0, 7) // BUG: store races the in-flight Put
+				p.Barrier(p.CommWorld())
+			} else {
+				p.Barrier(p.CommWorld())
+				if got := pool.Float64At(0); got != 42 {
+					return fmt.Errorf("alloc-alias: pool holds %v before overwrite, want 42", got)
+				}
+				pool.SetFloat64(0, 7)
+			}
+		} else {
+			p.Barrier(p.CommWorld())
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}
+
+// PSCWUpdate models the general-active-target exposure rule: between
+// MPI_Win_post and MPI_Win_wait the target has ceded its window to the
+// access group, and local stores to exposed memory race the incoming
+// Put. The fixed variant performs the local update only after the wait
+// (and the barrier that separates it from the origin's epoch).
+func PSCWUpdate(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("pscw-update needs >= 2 ranks")
+		}
+		tile := p.AllocFloat64(4, "tile")
+		w := p.WinCreate(tile, 8, p.CommWorld())
+		if p.Rank() == 0 {
+			w.Post(mpi.NewGroup([]int{1}))
+			if buggy {
+				tile.SetFloat64(0, 1) // BUG: store inside the exposure epoch
+			}
+			w.WaitEpoch()
+			p.Barrier(p.CommWorld())
+			if !buggy {
+				tile.SetFloat64(0, tile.Float64At(0)+1)
+				if got := tile.Float64At(0); got != 4 {
+					return fmt.Errorf("pscw-update: tile holds %v, want 4", got)
+				}
+			}
+		} else if p.Rank() == 1 {
+			fresh := p.AllocFloat64(1, "tilesrc")
+			fresh.SetFloat64(0, 3)
+			w.Start(mpi.NewGroup([]int{0}))
+			w.Put(fresh, 0, 1, mpi.Float64, 0, 0, 1, mpi.Float64)
+			w.Complete()
+			p.Barrier(p.CommWorld())
+		} else {
+			p.Barrier(p.CommWorld())
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}
+
+// RputCompletion models request-based RMA completion misuse: waiting on
+// an MPI_Rput request (here MPI_Win_flush_local) completes the operation
+// locally — the origin buffer is reusable — but says nothing about the
+// target. Streaming a second update to the same target cell on the
+// strength of local completion leaves two writes racing within one
+// epoch. The fixed variant uses MPI_Win_flush, which also completes the
+// transfer at the target.
+func RputCompletion(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("rput-completion needs >= 2 ranks")
+		}
+		slab := p.AllocFloat64(2, "slab")
+		w := p.WinCreate(slab, 8, p.CommWorld())
+		p.Barrier(p.CommWorld())
+		if p.Rank() == 0 {
+			chunk := p.AllocFloat64(1, "chunk")
+			w.Lock(mpi.LockShared, 1)
+			chunk.SetFloat64(0, 1)
+			w.Put(chunk, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+			if buggy {
+				w.FlushLocal(1) // BUG: local completion only; target still pending
+			} else {
+				w.Flush(1)
+			}
+			chunk.SetFloat64(0, 2) // legal either way: the origin buffer is done
+			w.Put(chunk, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+			w.Unlock(1)
+		}
+		p.Barrier(p.CommWorld())
+		if !buggy && p.Rank() == 1 {
+			if got := slab.Float64At(0); got != 2 {
+				return fmt.Errorf("rput-completion: slab holds %v, want 2", got)
+			}
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}
+
+// StrideOverlap models derived-datatype footprint overlap: two vector
+// Puts scatter columns into a remote board within one fence epoch. The
+// buggy variant lands both on the same base column — every fourth word
+// collides; the fixed variant shifts the second Put to the adjacent
+// column, interleaving the strided footprints disjointly.
+func StrideOverlap(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("stride-overlap needs >= 2 ranks")
+		}
+		const rows, cols = 4, 4
+		board := p.AllocFloat64(rows*cols, "board")
+		w := p.WinCreate(board, 8, p.CommWorld())
+		col := p.TypeVector(rows, 1, cols, mpi.Float64)
+		cola := p.AllocFloat64(rows*cols, "cola")
+		colb := p.AllocFloat64(rows*cols, "colb")
+		if p.Rank() == 0 {
+			for i := 0; i < rows; i++ {
+				cola.SetFloat64(uint64(i*cols)*8, float64(i))
+				colb.SetFloat64(uint64(i*cols)*8, float64(10+i))
+			}
+		}
+		w.Fence(mpi.AssertNone)
+		if p.Rank() == 0 {
+			w.Put(cola, 0, 1, col, 1, 0, 1, col)
+			if buggy {
+				w.Put(colb, 0, 1, col, 1, 0, 1, col) // BUG: same base column
+			} else {
+				w.Put(colb, 0, 1, col, 1, 1, 1, col)
+			}
+		}
+		w.Fence(mpi.AssertNone)
+		p.Barrier(p.CommWorld())
+		if !buggy && p.Rank() == 1 {
+			if a, b := board.Float64At(1*cols*8), board.Float64At((1*cols+1)*8); a != 1 || b != 11 {
+				return fmt.Errorf("stride-overlap: row 1 holds (%v, %v), want (1, 11)", a, b)
+			}
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}
+
+// FenceOverlap models the fence-epoch span-overlap rule: two origins
+// update one target's ledger in the same fence epoch. Their spans abut
+// in the fixed variant but share a word in the buggy one — a conflict no
+// single process can see locally, caught only by cross-process analysis.
+func FenceOverlap(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 3 {
+			return fmt.Errorf("fence-overlap needs >= 3 ranks")
+		}
+		ledger := p.AllocFloat64(4, "ledger")
+		w := p.WinCreate(ledger, 8, p.CommWorld())
+		debit := p.AllocFloat64(2, "debit")
+		credit := p.AllocFloat64(2, "credit")
+		debit.SetFloat64(0, 1)
+		debit.SetFloat64(8, 2)
+		credit.SetFloat64(0, 3)
+		credit.SetFloat64(8, 4)
+		w.Fence(mpi.AssertNone)
+		if p.Rank() == 1 {
+			w.Put(debit, 0, 2, mpi.Float64, 0, 0, 2, mpi.Float64)
+		}
+		if p.Rank() == 2 {
+			if buggy {
+				w.Put(credit, 0, 2, mpi.Float64, 0, 1, 2, mpi.Float64) // BUG: overlaps word 1
+			} else {
+				w.Put(credit, 0, 2, mpi.Float64, 0, 2, 2, mpi.Float64)
+			}
+		}
+		w.Fence(mpi.AssertNone)
+		if !buggy && p.Rank() == 0 {
+			for i, want := range []float64{1, 2, 3, 4} {
+				if got := ledger.Float64At(uint64(i) * 8); got != want {
+					return fmt.Errorf("fence-overlap: ledger[%d] = %v, want %v", i, got, want)
+				}
+			}
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}
+
+// GetaccMix models mixed-atomicity access to a hot cell: one rank
+// fetch-and-adds into a shared counter while another blind-writes a
+// correction with plain MPI_Put. Accumulate-family operations are atomic
+// only against same-op accumulates; the Put breaks the family and races
+// the read-modify-write. The fixed variant applies the correction with
+// MPI_Accumulate(MPI_SUM) — the same reduction the fetch-and-add uses,
+// which MPI permits to overlap.
+func GetaccMix(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 3 {
+			return fmt.Errorf("getacc-mix needs >= 3 ranks")
+		}
+		hot := p.AllocFloat64(2, "hotcell")
+		if p.Rank() == 0 {
+			hot.SetFloat64(0, 10)
+		}
+		w := p.WinCreate(hot, 8, p.CommWorld())
+		p.Barrier(p.CommWorld())
+		if p.Rank() == 1 {
+			bump := p.AllocFloat64(1, "bump")
+			prior := p.AllocFloat64(1, "prior")
+			bump.SetFloat64(0, 1)
+			w.LockAll()
+			w.FetchAndOp(bump, 0, prior, 0, 0, 0, mpi.Float64, mpi.OpSum)
+			w.UnlockAll()
+		}
+		if p.Rank() == 2 {
+			reset := p.AllocFloat64(1, "reset")
+			reset.SetFloat64(0, -10)
+			w.LockAll()
+			if buggy {
+				w.Put(reset, 0, 1, mpi.Float64, 0, 0, 1, mpi.Float64) // BUG: non-atomic overwrite
+			} else {
+				w.Accumulate(reset, 0, 1, mpi.Float64, 0, 0, 1, mpi.Float64, mpi.OpSum)
+			}
+			w.UnlockAll()
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}
+
+// PollFlag models unsynchronized flag polling: a consumer reads a ready
+// flag directly out of its own window while the producer's
+// passive-target Put may still be applying. The fixed variant reads the
+// flag only after the barrier that closes the producer's epoch.
+func PollFlag(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() < 2 {
+			return fmt.Errorf("poll-flag needs >= 2 ranks")
+		}
+		mailbox := p.AllocFloat64(2, "mailbox")
+		w := p.WinCreate(mailbox, 8, p.CommWorld())
+		if p.Rank() == 0 {
+			flag := p.AllocFloat64(1, "flagval")
+			flag.SetFloat64(0, 1)
+			w.Lock(mpi.LockShared, 1)
+			w.Put(flag, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+			w.Unlock(1)
+			p.Barrier(p.CommWorld())
+		} else if p.Rank() == 1 {
+			if buggy {
+				_ = mailbox.Float64At(0) // BUG: unsynchronized poll of the flag
+				p.Barrier(p.CommWorld())
+			} else {
+				p.Barrier(p.CommWorld())
+				if got := mailbox.Float64At(0); got != 1 {
+					return fmt.Errorf("poll-flag: flag reads %v after sync, want 1", got)
+				}
+			}
+		} else {
+			p.Barrier(p.CommWorld())
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}

@@ -1,0 +1,62 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+)
+
+// TestCorpusDetection mirrors TestTableII for the planted-bug corpus:
+// every buggy variant is detected with its declared error location, and
+// every fixed variant analyzes clean.
+func TestCorpusDetection(t *testing.T) {
+	for _, bc := range CorpusCases() {
+		bc := bc
+		t.Run(bc.Name+"/buggy", func(t *testing.T) {
+			rep := runChecked(t, testRanks(bc.Ranks), bc.Buggy, bc.RelevantBuffers)
+			if len(rep.Errors()) == 0 {
+				t.Fatalf("bug not detected:\n%s", rep)
+			}
+			wantClass := core.WithinEpoch
+			if bc.ErrorLocation == "across processes" {
+				wantClass = core.AcrossProcesses
+			}
+			found := false
+			for _, v := range rep.Errors() {
+				if v.Class == wantClass {
+					found = true
+					if v.A.Loc() == "?" || v.B.Loc() == "?" {
+						t.Errorf("missing diagnostics: %v", v)
+					}
+				}
+			}
+			if !found {
+				t.Errorf("no %v violation:\n%s", wantClass, rep)
+			}
+		})
+		t.Run(bc.Name+"/fixed", func(t *testing.T) {
+			rep := runChecked(t, testRanks(bc.Ranks), bc.Fixed, bc.RelevantBuffers)
+			if len(rep.Violations) != 0 {
+				t.Errorf("fixed variant flagged:\n%s", rep)
+			}
+		})
+	}
+}
+
+// TestCorpusManifest: buggy corpus variants complete (detection is the
+// analyzer's job, not a crash), and fixed variants pass their internal
+// result assertions.
+func TestCorpusManifest(t *testing.T) {
+	for _, bc := range CorpusCases() {
+		bc := bc
+		t.Run(bc.Name, func(t *testing.T) {
+			if err := mpi.Run(testRanks(bc.Ranks), mpi.Options{}, bc.Buggy); err != nil {
+				t.Fatalf("buggy %s did not complete: %v", bc.Name, err)
+			}
+			if err := mpi.Run(testRanks(bc.Ranks), mpi.Options{}, bc.Fixed); err != nil {
+				t.Fatalf("fixed %s failed its assertions: %v", bc.Name, err)
+			}
+		})
+	}
+}

@@ -129,15 +129,97 @@ func ScheduleCases() []BugCase {
 	}
 }
 
+// CorpusCases returns the planted-bug corpus (corpus.go): eight
+// literature patterns beyond Table II that ground-truth the differential
+// engine scoring of internal/experiments. Each pairs one planted bug
+// with its idiomatic fix.
+func CorpusCases() []BugCase {
+	return []BugCase{
+		{
+			Name: "lockall-flush", Ranks: 3, Origin: "corpus (MPI-3)",
+			ErrorLocation: "within an epoch",
+			RootCause:     "origin buffers of pending MPI_Gets read before MPI_Win_flush_all",
+			Symptom:       "reduction over stale shard snapshots",
+			Buggy:         LockallFlush(true), Fixed: LockallFlush(false),
+			RelevantBuffers: []string{"shards", "snap"},
+			StaticRoot:      "LockallFlush",
+		},
+		{
+			Name: "alloc-alias", Ranks: 2, Origin: "corpus (MPI-3)",
+			ErrorLocation: "across processes",
+			RootCause:     "direct store through the MPI_Win_allocate buffer while a remote MPI_Put is in flight",
+			Symptom:       "pool cell holds producer or consumer value nondeterministically",
+			Buggy:         AllocAlias(true), Fixed: AllocAlias(false),
+			RelevantBuffers: []string{"pool", "poolseed"},
+			StaticRoot:      "AllocAlias",
+		},
+		{
+			Name: "pscw-update", Ranks: 2, Origin: "corpus (PSCW)",
+			ErrorLocation: "across processes",
+			RootCause:     "local store to exposed memory between MPI_Win_post and MPI_Win_wait",
+			Symptom:       "tile update lost under the incoming MPI_Put",
+			Buggy:         PSCWUpdate(true), Fixed: PSCWUpdate(false),
+			RelevantBuffers: []string{"tile", "tilesrc"},
+			StaticRoot:      "PSCWUpdate",
+		},
+		{
+			Name: "rput-completion", Ranks: 2, Origin: "corpus (MPI-3)",
+			ErrorLocation: "within an epoch",
+			RootCause:     "second MPI_Put to the same target cell after local-only completion (MPI_Win_flush_local)",
+			Symptom:       "target cell ordering undefined between the two writes",
+			Buggy:         RputCompletion(true), Fixed: RputCompletion(false),
+			RelevantBuffers: []string{"slab", "chunk"},
+			StaticRoot:      "RputCompletion",
+		},
+		{
+			Name: "stride-overlap", Ranks: 2, Origin: "corpus (datatype)",
+			ErrorLocation: "within an epoch",
+			RootCause:     "two vector MPI_Puts with overlapping derived-datatype footprints in one fence epoch",
+			Symptom:       "every fourth board word holds either column's value",
+			Buggy:         StrideOverlap(true), Fixed: StrideOverlap(false),
+			RelevantBuffers: []string{"board", "cola", "colb"},
+			StaticRoot:      "StrideOverlap",
+		},
+		{
+			Name: "fence-overlap", Ranks: 3, Origin: "corpus (fence)",
+			ErrorLocation: "across processes",
+			RootCause:     "two origins' MPI_Put spans share a target word within one fence epoch",
+			Symptom:       "ledger word 1 holds debit or credit nondeterministically",
+			Buggy:         FenceOverlap(true), Fixed: FenceOverlap(false),
+			RelevantBuffers: []string{"ledger", "debit", "credit"},
+			StaticRoot:      "FenceOverlap",
+		},
+		{
+			Name: "getacc-mix", Ranks: 3, Origin: "corpus (MPI-3)",
+			ErrorLocation: "across processes",
+			RootCause:     "plain MPI_Put races accumulate-family MPI_Fetch_and_op on the same hot cell",
+			Symptom:       "fetch-and-add observes a torn or lost reset",
+			Buggy:         GetaccMix(true), Fixed: GetaccMix(false),
+			RelevantBuffers: []string{"hotcell", "bump", "prior", "reset"},
+			StaticRoot:      "GetaccMix",
+		},
+		{
+			Name: "poll-flag", Ranks: 2, Origin: "corpus (passive)",
+			ErrorLocation: "across processes",
+			RootCause:     "consumer polls its window flag while the producer's passive-target MPI_Put applies",
+			Symptom:       "flag read returns stale zero",
+			Buggy:         PollFlag(true), Fixed: PollFlag(false),
+			RelevantBuffers: []string{"mailbox", "flagval"},
+			StaticRoot:      "PollFlag",
+		},
+	}
+}
+
 // AllCases returns every bug case in the registry — the paper's Table II,
-// the MPI-3 extensions, and the schedule-dependent cases — for harnesses
-// that sweep the whole suite (the explore registry test, `mcchecker
-// apps`).
+// the MPI-3 extensions, the schedule-dependent cases, and the planted-bug
+// corpus — for harnesses that sweep the whole suite (the explore registry
+// test, `mcchecker apps`).
 func AllCases() []BugCase {
 	var all []BugCase
 	all = append(all, BugCases()...)
 	all = append(all, ExtensionCases()...)
 	all = append(all, ScheduleCases()...)
+	all = append(all, CorpusCases()...)
 	return all
 }
 

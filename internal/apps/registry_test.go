@@ -1,0 +1,106 @@
+package apps
+
+import (
+	"fmt"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestRegistryInvariants pins the structural contract every harness in
+// the repo assumes of the bug-case registry: names are unique, every
+// planted bug ships a fixed variant, metadata is complete, and every
+// declared StaticRoot is a real function in the embedded sources.
+func TestRegistryInvariants(t *testing.T) {
+	cases := AllCases()
+	if len(cases) == 0 {
+		t.Fatal("empty registry")
+	}
+
+	// Collect "func Name(" declarations from the embedded package source
+	// so StaticRoot references cannot silently dangle.
+	funcs := map[string]bool{}
+	err := fs.WalkDir(SourceFS(), ".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, err := fs.ReadFile(SourceFS(), path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(src), "\n") {
+			if name, ok := strings.CutPrefix(line, "func "); ok {
+				if i := strings.IndexByte(name, '('); i > 0 {
+					funcs[strings.TrimSpace(name[:i])] = true
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seen := map[string]bool{}
+	for _, bc := range cases {
+		if bc.Name == "" {
+			t.Error("registry case with empty name")
+			continue
+		}
+		if seen[bc.Name] {
+			t.Errorf("%s: duplicate case name", bc.Name)
+		}
+		seen[bc.Name] = true
+		if bc.Buggy == nil {
+			t.Errorf("%s: nil Buggy variant", bc.Name)
+		}
+		if bc.Fixed == nil {
+			t.Errorf("%s: nil Fixed variant — every planted bug needs its repair", bc.Name)
+		}
+		if bc.Ranks < 2 {
+			t.Errorf("%s: one-sided bugs need at least 2 ranks, got %d", bc.Name, bc.Ranks)
+		}
+		switch bc.ErrorLocation {
+		case "within an epoch", "across processes":
+		default:
+			t.Errorf("%s: bad ErrorLocation %q", bc.Name, bc.ErrorLocation)
+		}
+		if bc.RootCause == "" || bc.Symptom == "" || bc.Origin == "" {
+			t.Errorf("%s: incomplete metadata", bc.Name)
+		}
+		if len(bc.RelevantBuffers) == 0 {
+			t.Errorf("%s: empty RelevantBuffers (selective instrumentation would trace nothing)", bc.Name)
+		}
+		if bc.StaticRoot == "" {
+			t.Errorf("%s: no StaticRoot", bc.Name)
+		} else if !funcs[bc.StaticRoot] {
+			t.Errorf("%s: StaticRoot %q is not a function in the embedded sources", bc.Name, bc.StaticRoot)
+		}
+	}
+
+	// The corpus must stay in sync with the expected-kind table both ways.
+	for name := range expectedStaticKind {
+		if !seen[name] {
+			t.Errorf("expectedStaticKind names %q, which is not a registry case", name)
+		}
+	}
+}
+
+// TestRegistryBufferNamesUnique: within one case the declared relevant
+// buffers are distinct (duplicates would double-count in coverage math).
+func TestRegistryBufferNamesUnique(t *testing.T) {
+	for _, bc := range AllCases() {
+		names := map[string]bool{}
+		for _, n := range bc.RelevantBuffers {
+			if names[n] {
+				t.Errorf("%s: duplicate relevant buffer %q", bc.Name, n)
+			}
+			names[n] = true
+		}
+	}
+}
+
+func ExampleAllCases() {
+	fmt.Println(len(AllCases()) >= 16)
+	// Output: true
+}

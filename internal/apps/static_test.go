@@ -20,6 +20,15 @@ var expectedStaticKind = map[string]stanalyzer.Kind{
 	"jacobi2d":     stanalyzer.KindExposureAccess,
 	"counter":      stanalyzer.KindCrossTargetConflict,
 	"schedrace":    stanalyzer.KindGetOriginUse,
+	// Planted-bug corpus (corpus.go).
+	"lockall-flush":   stanalyzer.KindGetOriginUse,
+	"alloc-alias":     stanalyzer.KindCrossLocalConflict,
+	"pscw-update":     stanalyzer.KindExposureAccess,
+	"rput-completion": stanalyzer.KindEpochTargetConflict,
+	"stride-overlap":  stanalyzer.KindEpochTargetConflict,
+	"fence-overlap":   stanalyzer.KindCrossTargetConflict,
+	"getacc-mix":      stanalyzer.KindCrossTargetConflict,
+	"poll-flag":       stanalyzer.KindCrossLocalConflict,
 }
 
 func checkEmbedded(t *testing.T, buggy bool) *stanalyzer.CheckReport {

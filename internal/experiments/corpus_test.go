@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/gen"
+)
+
+// TestCorpusGate is the differential-scoring acceptance test at CI
+// scale: every registry bug and every injected generated program must
+// be caught by at least one engine, every fixed variant and clean
+// generated program must be violation-free. The full-size run (200+
+// clean programs) lives behind `make corpus`.
+func TestCorpusGate(t *testing.T) {
+	cfg := CorpusConfig{
+		Generated: len(gen.Patterns()), // one program per pattern
+		Clean:     25,
+		Seed:      1,
+		Schedules: 8,
+	}
+	res, err := Corpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != len(apps.AllCases()) {
+		t.Errorf("scored %d apps, registry has %d", len(res.Apps), len(apps.AllCases()))
+	}
+	for i := range res.Apps {
+		row := &res.Apps[i]
+		if !row.Caught() {
+			t.Errorf("%s: no engine detected the planted bug", row.Name)
+		}
+		if !row.Dynamic.FixedClean || !row.Static.FixedClean || !row.Explore.FixedClean {
+			t.Errorf("%s: fixed variant flagged (dynamic=%v static=%v explore=%v)",
+				row.Name, row.Dynamic.FixedClean, row.Static.FixedClean, row.Explore.FixedClean)
+		}
+	}
+	for _, p := range res.Patterns {
+		if p.Programs == 0 {
+			t.Errorf("pattern %s: no generated programs scored", p.Pattern)
+		}
+		if p.CaughtByAny != p.Programs {
+			t.Errorf("pattern %s: %d/%d injected programs caught", p.Pattern, p.CaughtByAny, p.Programs)
+		}
+	}
+	if res.CleanViolations != 0 {
+		t.Errorf("clean generated programs produced %d violations", res.CleanViolations)
+	}
+	if !res.Gate {
+		t.Errorf("gate failed: apps=%v fixed=%v generated=%v clean=%v",
+			res.AppsCaught, res.AppsFixedClean, res.GeneratedCaught, res.CleanOK)
+	}
+}
+
+// TestCorpusDeterministic: two runs with the same seed yield the same
+// matrix (modulo wall-clock).
+func TestCorpusDeterministic(t *testing.T) {
+	cfg := CorpusConfig{Generated: 3, Clean: 5, Seed: 7, Schedules: 4}
+	a, err := Corpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Corpus(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ElapsedSec, b.ElapsedSec = 0, 0
+	if am, bm := a.MarkdownMatrix(), b.MarkdownMatrix(); am != bm {
+		t.Errorf("matrix not deterministic:\n--- first\n%s\n--- second\n%s", am, bm)
+	}
+}
+
+// TestCorpusMatrixRendering pins the matrix artifact's shape: one row
+// per registry case, one per injection pattern, and the gate line.
+func TestCorpusMatrixRendering(t *testing.T) {
+	res := &CorpusResult{
+		Apps: []CorpusAppRow{{
+			Name: "demo", Ranks: 2, ErrorLocation: "within an epoch",
+			Dynamic: EngineVerdict{Ran: true, Detected: true, FixedClean: true},
+			Static:  EngineVerdict{Ran: true, FixedClean: true},
+			Explore: EngineVerdict{Ran: true, Detected: true, FixedClean: true},
+		}},
+		Patterns: []PatternStat{{
+			Pattern: "get-origin-use", Programs: 3, DynamicDetected: 3, ExploreDetected: 2, CaughtByAny: 3,
+		}},
+		CleanPrograms: 10, Seed: 1,
+		AppsCaught: true, AppsFixedClean: true, GeneratedCaught: true, CleanOK: true, Gate: true,
+	}
+	m := res.MarkdownMatrix()
+	for _, want := range []string{
+		"| demo | 2 | within an epoch | yes | NO | yes | yes |",
+		"| get-origin-use | within an epoch | 3 | 3/3 | 2/3 | 3/3 |",
+		"Clean generated programs: 10 analyzed, 0 violation(s).",
+		"Gate:",
+	} {
+		if !strings.Contains(m, want) {
+			t.Errorf("matrix missing %q:\n%s", want, m)
+		}
+	}
+}

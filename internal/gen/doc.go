@@ -1,0 +1,32 @@
+// Package gen is the seeded random RMA program generator behind the
+// planted-bug corpus (ROADMAP item 4): it emits valid-by-construction
+// simulator programs — epoch grammar over fence / PSCW / lock / lock-all
+// blocks with Put/Get/Accumulate/fetching-atomic bodies and local
+// load/store interleavings — fully deterministic from a seed, with
+// optional injected memory consistency bugs drawn from a catalog of
+// known MPI-RMA error patterns.
+//
+// The package has three layers:
+//
+//   - Program (program.go): an executable IR. A Program is a phase list;
+//     each phase opens one epoch shape, issues one-sided operations, and
+//     interleaves plain loads and stores before, inside, and after the
+//     epoch. Program.Body compiles the IR to a func(p *mpi.Proc) error
+//     runnable on the simulator, so generated programs flow through the
+//     exact pipeline the hand-written apps use.
+//
+//   - Generate (generate.go): the seeded random builder. Clean programs
+//     are violation-free by construction: every (origin, slot) pair owns
+//     a disjoint window region, origin/result staging buffers are only
+//     touched outside open epochs (or after a completing flush), and a
+//     rank stores to its own window only in phases where no remote
+//     operation targets that window.
+//
+//   - Inject (inject.go): the bug catalog. Each Pattern is a minimal
+//     mutation of a clean program — moving a local access inside an
+//     epoch, overlapping two target footprints, dropping a flush — that
+//     plants one of the literature's MPI-RMA consistency errors with a
+//     known expected class. The differential harness
+//     (internal/experiments Corpus) asserts every injected bug is caught
+//     by at least one engine and every clean program analyzes clean.
+package gen

@@ -1,0 +1,264 @@
+package gen
+
+import (
+	"math/rand"
+)
+
+// Options bounds a generated program. Zero values pick defaults sized
+// for fast corpus runs.
+type Options struct {
+	Ranks  int // world size (default 3, min 2)
+	Slots  int // staging slots per rank (default 4, min 2)
+	Phases int // phase count (default 6, min 4 — one per epoch kind)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Ranks == 0 {
+		o.Ranks = 3
+	}
+	if o.Ranks < 2 {
+		o.Ranks = 2
+	}
+	if o.Slots == 0 {
+		o.Slots = 4
+	}
+	if o.Slots < 3 {
+		o.Slots = 3 // room for the forced ops plus a free injection slot
+	}
+	if o.Phases < 4 {
+		o.Phases = 4
+	}
+	return o
+}
+
+// Generate builds a clean program, deterministic in seed. Cleanliness is
+// by construction:
+//
+//   - every RMA operation targets the window words owned by its (origin,
+//     slot) pair, and no (origin, slot) pair is reused within a phase, so
+//     target footprints never overlap;
+//   - staging buffers are written before the epoch opens and read after
+//     it closes (or, under lock-all, after a completing flush-all);
+//   - inside open epochs ranks touch only private scratch;
+//   - a rank stores to its own window only in phases where no remote
+//     operation targets that window, honoring the MPI-2.2 rule that a
+//     local store concurrent with a remote update is erroneous even
+//     without byte overlap; window loads stay on the never-targeted
+//     local tail.
+//
+// Structural guarantees injectors rely on: at least one phase of every
+// kind; every phase's first two operations are a contiguous Put and a
+// contiguous Get; the first fence phase also carries an Accumulate and a
+// strided Put; lock-all phases flush; the top slot of every (phase,
+// origin) is left free.
+func Generate(seed uint64, opts Options) *Program {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewSource(int64(seed)))
+	pr := &Program{Seed: seed, Ranks: opts.Ranks, Slots: opts.Slots}
+
+	kinds := make([]PhaseKind, 0, opts.Phases)
+	base := []PhaseKind{PhaseFence, PhaseLock, PhaseLockAll, PhasePSCW}
+	for _, i := range rng.Perm(4) {
+		kinds = append(kinds, base[i])
+	}
+	for len(kinds) < opts.Phases {
+		kinds = append(kinds, base[rng.Intn(4)])
+	}
+
+	firstFence := -1
+	for pi, k := range kinds {
+		if k == PhaseFence {
+			firstFence = pi
+			break
+		}
+	}
+
+	for pi, k := range kinds {
+		ph := Phase{Kind: k}
+		if k == PhaseLockAll {
+			ph.FlushAll = true
+		}
+
+		// Participants: ranks allowed to issue operations this phase.
+		issuers := make([]int, 0, pr.Ranks)
+		if k == PhasePSCW {
+			ph.PSCWTarget = rng.Intn(pr.Ranks)
+			for r := 0; r < pr.Ranks; r++ {
+				if r != ph.PSCWTarget {
+					ph.PSCWOrigins = append(ph.PSCWOrigins, r)
+					issuers = append(issuers, r)
+				}
+			}
+		} else {
+			for r := 0; r < pr.Ranks; r++ {
+				issuers = append(issuers, r)
+			}
+		}
+
+		next := make([]int, pr.Ranks) // next free slot per origin
+		addOp := func(origin int, kind OpKind, strided bool) {
+			slot := next[origin]
+			if slot >= pr.Slots-1 {
+				return // keep the top slot free for injection
+			}
+			next[origin]++
+			target := ph.PSCWTarget
+			if k != PhasePSCW {
+				target = rng.Intn(pr.Ranks - 1)
+				if target >= origin {
+					target++
+				}
+			}
+			word := pr.ContigWord(origin, slot)
+			if strided {
+				word = pr.StridedWord(origin, slot)
+			}
+			ph.Ops = append(ph.Ops, RMAOp{
+				Kind: kind, Origin: origin, Target: target,
+				Word: word, Slot: slot, Strided: strided,
+			})
+		}
+
+		// Forced injection sites: a contiguous Put and Get in every phase,
+		// from distinct origins so both fit even at minimal slot counts.
+		putOrigin := issuers[rng.Intn(len(issuers))]
+		others := make([]int, 0, len(issuers))
+		for _, r := range issuers {
+			if r != putOrigin {
+				others = append(others, r)
+			}
+		}
+		getOrigin := putOrigin
+		if len(others) > 0 {
+			getOrigin = others[rng.Intn(len(others))]
+		}
+		addOp(putOrigin, OpPut, false)
+		addOp(getOrigin, OpGet, false)
+		// The first fence phase additionally carries an Accumulate (for
+		// the mixed-atomicity race) and a strided Put (for the datatype
+		// footprint overlap), placed on origins that still have capacity.
+		withCapacity := func() (int, bool) {
+			free := make([]int, 0, len(issuers))
+			for _, r := range issuers {
+				if next[r] < pr.Slots-1 {
+					free = append(free, r)
+				}
+			}
+			if len(free) == 0 {
+				return 0, false
+			}
+			return free[rng.Intn(len(free))], true
+		}
+		if pi == firstFence {
+			if r, ok := withCapacity(); ok {
+				addOp(r, OpAcc, false)
+			}
+			if r, ok := withCapacity(); ok {
+				addOp(r, OpPut, true)
+			}
+		}
+		// Random body.
+		menu := []OpKind{OpPut, OpGet, OpAcc, OpFetchOp, OpGetAcc}
+		for _, origin := range issuers {
+			n := rng.Intn(pr.Slots - 1)
+			for i := 0; i < n; i++ {
+				kind := menu[rng.Intn(len(menu))]
+				strided := (kind == OpPut || kind == OpGet) && rng.Intn(4) == 0
+				addOp(origin, kind, strided)
+			}
+		}
+
+		// Locals. Pre: stage every origin slot; sprinkle scratch.
+		targeted := make([]bool, pr.Ranks)
+		for _, op := range ph.Ops {
+			targeted[op.Target] = true
+			if op.Strided {
+				ph.Pre = append(ph.Pre,
+					LocalOp{Rank: op.Origin, Store: true, Buf: BufOriginV, Word: op.Slot * 4},
+					LocalOp{Rank: op.Origin, Store: true, Buf: BufOriginV, Word: op.Slot*4 + 2})
+			} else {
+				ph.Pre = append(ph.Pre, LocalOp{Rank: op.Origin, Store: true, Buf: BufOrigin, Word: op.Slot})
+			}
+		}
+		for r := 0; r < pr.Ranks; r++ {
+			if rng.Intn(2) == 0 {
+				ph.Pre = append(ph.Pre, LocalOp{Rank: r, Store: true, Buf: BufScratch, Word: rng.Intn(pr.Slots)})
+			}
+			// In: private scratch only — every epoch shape leaves these
+			// racing with nothing.
+			if rng.Intn(2) == 0 {
+				ph.In = append(ph.In, LocalOp{Rank: r, Store: rng.Intn(2) == 0, Buf: BufScratch, Word: rng.Intn(pr.Slots)})
+			}
+		}
+		// Under lock-all the flush-all completes the transfers, so the
+		// epoch may legally read its staging buffers before unlocking.
+		if k == PhaseLockAll && ph.FlushAll {
+			for _, op := range ph.Ops {
+				if op.Kind == OpGet && !op.Strided {
+					ph.In = append(ph.In, LocalOp{Rank: op.Origin, Buf: BufOrigin, Word: op.Slot})
+				}
+				if op.Kind == OpFetchOp || op.Kind == OpGetAcc {
+					ph.In = append(ph.In, LocalOp{Rank: op.Origin, Buf: BufResult, Word: op.Slot})
+				}
+			}
+		}
+		// Post: harvest results; window tail loads are always safe, tail
+		// stores only on ranks whose window saw no remote traffic.
+		for _, op := range ph.Ops {
+			switch {
+			case op.Kind == OpGet && op.Strided:
+				ph.Post = append(ph.Post, LocalOp{Rank: op.Origin, Buf: BufOriginV, Word: op.Slot * 4})
+			case op.Kind == OpGet:
+				ph.Post = append(ph.Post, LocalOp{Rank: op.Origin, Buf: BufOrigin, Word: op.Slot})
+			case op.Kind == OpFetchOp || op.Kind == OpGetAcc:
+				ph.Post = append(ph.Post, LocalOp{Rank: op.Origin, Buf: BufResult, Word: op.Slot})
+			}
+		}
+		for r := 0; r < pr.Ranks; r++ {
+			slot := rng.Intn(pr.Slots)
+			if rng.Intn(2) == 0 {
+				ph.Post = append(ph.Post, LocalOp{Rank: r, Buf: BufWindow, Word: pr.LocalWord(slot)})
+			}
+			if !targeted[r] && rng.Intn(2) == 0 {
+				ph.Post = append(ph.Post, LocalOp{Rank: r, Store: true, Buf: BufWindow, Word: pr.LocalWord(slot)})
+			}
+		}
+
+		pr.Phases = append(pr.Phases, ph)
+	}
+	return pr
+}
+
+// Clone deep-copies the program so injectors can mutate freely.
+func (pr *Program) Clone() *Program {
+	cp := *pr
+	cp.Phases = make([]Phase, len(pr.Phases))
+	for i := range pr.Phases {
+		ph := pr.Phases[i]
+		ph.Ops = append([]RMAOp(nil), ph.Ops...)
+		ph.Pre = append([]LocalOp(nil), ph.Pre...)
+		ph.In = append([]LocalOp(nil), ph.In...)
+		ph.Post = append([]LocalOp(nil), ph.Post...)
+		ph.PSCWOrigins = append([]int(nil), ph.PSCWOrigins...)
+		cp.Phases[i] = ph
+	}
+	return &cp
+}
+
+// freeSlot returns an unused (phase, origin) staging slot. The generator
+// keeps the top slot of every origin free, so this never fails on
+// generated programs.
+func (pr *Program) freeSlot(phase, origin int) (int, bool) {
+	used := make([]bool, pr.Slots)
+	for _, op := range pr.Phases[phase].Ops {
+		if op.Origin == origin {
+			used[op.Slot] = true
+		}
+	}
+	for s := pr.Slots - 1; s >= 0; s-- {
+		if !used[s] {
+			return s, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,350 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pattern is one planted-bug mutation: a minimal edit of a clean
+// generated program that introduces a known MPI-RMA consistency error.
+type Pattern struct {
+	// Name identifies the pattern in the detection matrix.
+	Name string
+	// Across is true when the planted conflict crosses processes
+	// (expected core.AcrossProcesses); false for within-epoch bugs.
+	Across bool
+	// Doc is the literature pattern this mutation models.
+	Doc string
+
+	apply func(pr *Program, rng *rand.Rand) bool
+}
+
+// site is one candidate operation for a mutation.
+type site struct {
+	phase int
+	op    int
+}
+
+func findSites(pr *Program, pred func(ph *Phase, op *RMAOp) bool) []site {
+	var out []site
+	for pi := range pr.Phases {
+		ph := &pr.Phases[pi]
+		for oi := range ph.Ops {
+			if pred(ph, &ph.Ops[oi]) {
+				out = append(out, site{pi, oi})
+			}
+		}
+	}
+	return out
+}
+
+func pick(rng *rand.Rand, sites []site) (site, bool) {
+	if len(sites) == 0 {
+		return site{}, false
+	}
+	return sites[rng.Intn(len(sites))], true
+}
+
+// otherIssuer returns an issuing rank of the phase other than origin
+// (and, when possible, other than avoid), for planting a second
+// conflicting operation.
+func otherIssuer(ph *Phase, ranks, origin, avoid int) (int, bool) {
+	candidates := func(skipAvoid bool) (int, bool) {
+		if ph.Kind == PhasePSCW {
+			for _, r := range ph.PSCWOrigins {
+				if r != origin && (!skipAvoid || r != avoid) {
+					return r, true
+				}
+			}
+			return 0, false
+		}
+		for r := 0; r < ranks; r++ {
+			if r != origin && (!skipAvoid || r != avoid) {
+				return r, true
+			}
+		}
+		return 0, false
+	}
+	if r, ok := candidates(true); ok {
+		return r, true
+	}
+	return candidates(false)
+}
+
+// patterns is the bug catalog. Every entry's apply is total over
+// Generate's structural guarantees (it can still return false on
+// hand-built programs that lack the required site).
+var patterns = []Pattern{
+	{
+		Name:   "get-origin-use",
+		Across: false,
+		Doc:    "origin buffer of a pending Get read before the epoch completes it",
+		apply: func(pr *Program, rng *rand.Rand) bool {
+			s, ok := pick(rng, findSites(pr, func(ph *Phase, op *RMAOp) bool {
+				return op.Kind == OpGet && !op.Strided && ph.Kind != PhaseLockAll
+			}))
+			if !ok {
+				return false
+			}
+			op := pr.Phases[s.phase].Ops[s.op]
+			pr.Phases[s.phase].In = append(pr.Phases[s.phase].In,
+				LocalOp{Rank: op.Origin, Buf: BufOrigin, Word: op.Slot})
+			return true
+		},
+	},
+	{
+		Name:   "put-origin-store",
+		Across: false,
+		Doc:    "origin buffer of a pending Put overwritten before the epoch completes it",
+		apply: func(pr *Program, rng *rand.Rand) bool {
+			s, ok := pick(rng, findSites(pr, func(ph *Phase, op *RMAOp) bool {
+				return op.Kind == OpPut && !op.Strided && ph.Kind != PhaseLockAll
+			}))
+			if !ok {
+				return false
+			}
+			op := pr.Phases[s.phase].Ops[s.op]
+			pr.Phases[s.phase].In = append(pr.Phases[s.phase].In,
+				LocalOp{Rank: op.Origin, Store: true, Buf: BufOrigin, Word: op.Slot})
+			return true
+		},
+	},
+	{
+		Name:   "epoch-target-overlap",
+		Across: false,
+		Doc:    "two operations of one epoch update overlapping target regions",
+		apply: func(pr *Program, rng *rand.Rand) bool {
+			sites := findSites(pr, func(ph *Phase, op *RMAOp) bool {
+				if op.Kind != OpPut || op.Strided {
+					return false
+				}
+				_, free := pr.freeSlot(sliceIndex(pr, ph), op.Origin)
+				return free
+			})
+			s, ok := pick(rng, sites)
+			if !ok {
+				return false
+			}
+			op := pr.Phases[s.phase].Ops[s.op]
+			slot, _ := pr.freeSlot(s.phase, op.Origin)
+			pr.Phases[s.phase].Ops = append(pr.Phases[s.phase].Ops, RMAOp{
+				Kind: OpPut, Origin: op.Origin, Target: op.Target,
+				Word: op.Word, Slot: slot,
+			})
+			stageOrigin(pr, s.phase, op.Origin, slot, false)
+			return true
+		},
+	},
+	{
+		Name:   "cross-target-race",
+		Across: true,
+		Doc:    "two processes update the same target window region in one concurrent region",
+		apply: func(pr *Program, rng *rand.Rand) bool {
+			type cand struct {
+				s      site
+				origin int
+				slot   int
+			}
+			var cands []cand
+			for _, s := range findSites(pr, func(ph *Phase, op *RMAOp) bool {
+				return op.Kind == OpPut && !op.Strided
+			}) {
+				ph := &pr.Phases[s.phase]
+				op := ph.Ops[s.op]
+				o, ok := otherIssuer(ph, pr.Ranks, op.Origin, op.Target)
+				if !ok {
+					continue
+				}
+				slot, free := pr.freeSlot(s.phase, o)
+				if !free {
+					continue
+				}
+				cands = append(cands, cand{s, o, slot})
+			}
+			if len(cands) == 0 {
+				return false
+			}
+			c := cands[rng.Intn(len(cands))]
+			op := pr.Phases[c.s.phase].Ops[c.s.op]
+			pr.Phases[c.s.phase].Ops = append(pr.Phases[c.s.phase].Ops, RMAOp{
+				Kind: OpPut, Origin: c.origin, Target: op.Target,
+				Word: op.Word, Slot: c.slot,
+			})
+			stageOrigin(pr, c.s.phase, c.origin, c.slot, false)
+			return true
+		},
+	},
+	{
+		Name:   "cross-local-store",
+		Across: true,
+		Doc:    "target process stores to its window while a remote update is in flight (MPI-2.2 store rule)",
+		apply: func(pr *Program, rng *rand.Rand) bool {
+			s, ok := pick(rng, findSites(pr, func(ph *Phase, op *RMAOp) bool {
+				return !op.Strided
+			}))
+			if !ok {
+				return false
+			}
+			op := pr.Phases[s.phase].Ops[s.op]
+			pr.Phases[s.phase].In = append(pr.Phases[s.phase].In,
+				LocalOp{Rank: op.Target, Store: true, Buf: BufWindow, Word: op.Word})
+			return true
+		},
+	},
+	{
+		Name:   "exposure-access",
+		Across: true,
+		Doc:    "PSCW target touches exposed memory between Post and Wait",
+		apply: func(pr *Program, rng *rand.Rand) bool {
+			s, ok := pick(rng, findSites(pr, func(ph *Phase, op *RMAOp) bool {
+				return ph.Kind == PhasePSCW && !op.Strided
+			}))
+			if !ok {
+				return false
+			}
+			ph := &pr.Phases[s.phase]
+			op := ph.Ops[s.op]
+			ph.In = append(ph.In,
+				LocalOp{Rank: ph.PSCWTarget, Store: true, Buf: BufWindow, Word: op.Word})
+			return true
+		},
+	},
+	{
+		Name:   "lockall-flush-misuse",
+		Across: false,
+		Doc:    "lock-all epoch reads a Get's origin buffer without an intervening flush-all",
+		apply: func(pr *Program, rng *rand.Rand) bool {
+			s, ok := pick(rng, findSites(pr, func(ph *Phase, op *RMAOp) bool {
+				return ph.Kind == PhaseLockAll && op.Kind == OpGet && !op.Strided
+			}))
+			if !ok {
+				return false
+			}
+			ph := &pr.Phases[s.phase]
+			op := ph.Ops[s.op]
+			ph.FlushAll = false
+			ph.In = append(ph.In, LocalOp{Rank: op.Origin, Buf: BufOrigin, Word: op.Slot})
+			return true
+		},
+	},
+	{
+		Name:   "strided-overlap",
+		Across: false,
+		Doc:    "derived-datatype footprints of two operations overlap in the target window",
+		apply: func(pr *Program, rng *rand.Rand) bool {
+			sites := findSites(pr, func(ph *Phase, op *RMAOp) bool {
+				if !op.Strided {
+					return false
+				}
+				_, free := pr.freeSlot(sliceIndex(pr, ph), op.Origin)
+				return free
+			})
+			s, ok := pick(rng, sites)
+			if !ok {
+				return false
+			}
+			op := pr.Phases[s.phase].Ops[s.op]
+			slot, _ := pr.freeSlot(s.phase, op.Origin)
+			pr.Phases[s.phase].Ops = append(pr.Phases[s.phase].Ops, RMAOp{
+				Kind: OpPut, Origin: op.Origin, Target: op.Target,
+				Word: op.Word, Slot: slot, Strided: true,
+			})
+			stageOrigin(pr, s.phase, op.Origin, slot, true)
+			return true
+		},
+	},
+	{
+		Name:   "acc-put-race",
+		Across: true,
+		Doc:    "atomic Accumulate races a plain Put on the same target region",
+		apply: func(pr *Program, rng *rand.Rand) bool {
+			type cand struct {
+				s      site
+				origin int
+				slot   int
+			}
+			var cands []cand
+			for _, s := range findSites(pr, func(ph *Phase, op *RMAOp) bool {
+				return op.Kind == OpAcc
+			}) {
+				ph := &pr.Phases[s.phase]
+				op := ph.Ops[s.op]
+				o, ok := otherIssuer(ph, pr.Ranks, op.Origin, op.Target)
+				if !ok {
+					continue
+				}
+				slot, free := pr.freeSlot(s.phase, o)
+				if !free {
+					continue
+				}
+				cands = append(cands, cand{s, o, slot})
+			}
+			if len(cands) == 0 {
+				return false
+			}
+			c := cands[rng.Intn(len(cands))]
+			op := pr.Phases[c.s.phase].Ops[c.s.op]
+			pr.Phases[c.s.phase].Ops = append(pr.Phases[c.s.phase].Ops, RMAOp{
+				Kind: OpPut, Origin: c.origin, Target: op.Target,
+				Word: op.Word, Slot: c.slot,
+			})
+			stageOrigin(pr, c.s.phase, c.origin, c.slot, false)
+			return true
+		},
+	},
+}
+
+// stageOrigin appends the Pre staging store(s) for an injected op so the
+// mutated program stays well-formed outside the planted conflict.
+func stageOrigin(pr *Program, phase, origin, slot int, strided bool) {
+	ph := &pr.Phases[phase]
+	if strided {
+		ph.Pre = append(ph.Pre,
+			LocalOp{Rank: origin, Store: true, Buf: BufOriginV, Word: slot * 4},
+			LocalOp{Rank: origin, Store: true, Buf: BufOriginV, Word: slot*4 + 2})
+		return
+	}
+	ph.Pre = append(ph.Pre, LocalOp{Rank: origin, Store: true, Buf: BufOrigin, Word: slot})
+}
+
+func sliceIndex(pr *Program, ph *Phase) int {
+	for i := range pr.Phases {
+		if &pr.Phases[i] == ph {
+			return i
+		}
+	}
+	return -1
+}
+
+// Patterns returns the bug catalog (shared backing array; callers must
+// not mutate).
+func Patterns() []Pattern { return patterns }
+
+// PatternNames lists the catalog in declaration order.
+func PatternNames() []string {
+	names := make([]string, len(patterns))
+	for i, p := range patterns {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Inject clones base and plants the named pattern, choosing the mutation
+// site deterministically from seed. It fails if the pattern is unknown
+// or base has no applicable site.
+func Inject(base *Program, pattern string, seed uint64) (*Program, error) {
+	for _, p := range patterns {
+		if p.Name != pattern {
+			continue
+		}
+		pr := base.Clone()
+		rng := rand.New(rand.NewSource(int64(seed)))
+		if !p.apply(pr, rng) {
+			return nil, fmt.Errorf("gen: pattern %q has no applicable site in program seed=%d", pattern, base.Seed)
+		}
+		pr.Injected = p.Name
+		pr.ExpectAcross = p.Across
+		return pr, nil
+	}
+	return nil, fmt.Errorf("gen: unknown pattern %q (have %v)", pattern, PatternNames())
+}

@@ -1,0 +1,474 @@
+package gen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mpi"
+)
+
+// OpKind classifies a one-sided operation in the IR.
+type OpKind uint8
+
+const (
+	OpPut OpKind = iota
+	OpGet
+	OpAcc     // Accumulate with OpSum
+	OpFetchOp // Fetch_and_op with OpSum
+	OpGetAcc  // Get_accumulate with OpSum
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "Put"
+	case OpGet:
+		return "Get"
+	case OpAcc:
+		return "Accumulate"
+	case OpFetchOp:
+		return "FetchAndOp"
+	case OpGetAcc:
+		return "GetAccumulate"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// RMAOp is one one-sided operation issued inside a phase's epoch.
+type RMAOp struct {
+	Kind   OpKind
+	Origin int // issuing rank
+	Target int // target rank
+	// Word addresses the target window. For contiguous operations it is
+	// the float64 word index; for strided operations it is the base word
+	// of a 2-element vector footprint covering Word and Word+2.
+	Word int
+	// Slot selects the origin (and, for fetching atomics, result) staging
+	// word. Distinct per (phase, origin) in clean programs.
+	Slot    int
+	Strided bool // Put/Get only: vector datatype footprint
+}
+
+// LocalBuf names the buffer a LocalOp touches.
+type LocalBuf uint8
+
+const (
+	// BufScratch is a private, never-communicated buffer: always safe.
+	BufScratch LocalBuf = iota
+	// BufWindow is the rank's own window buffer at an absolute word index.
+	BufWindow
+	// BufOrigin is the contiguous origin staging buffer, indexed by slot.
+	BufOrigin
+	// BufOriginV is the strided origin staging buffer, indexed by word.
+	BufOriginV
+	// BufResult is the fetching-atomic result buffer, indexed by slot.
+	BufResult
+)
+
+func (b LocalBuf) String() string {
+	switch b {
+	case BufScratch:
+		return "scratch"
+	case BufWindow:
+		return "window"
+	case BufOrigin:
+		return "origin"
+	case BufOriginV:
+		return "originv"
+	case BufResult:
+		return "result"
+	}
+	return fmt.Sprintf("LocalBuf(%d)", uint8(b))
+}
+
+// LocalOp is a plain load or store executed by one rank.
+type LocalOp struct {
+	Rank  int
+	Store bool
+	Buf   LocalBuf
+	Word  int // word index within Buf
+}
+
+// PhaseKind selects the epoch shape of a phase.
+type PhaseKind uint8
+
+const (
+	PhaseFence PhaseKind = iota
+	PhaseLock            // per-target shared locks
+	PhaseLockAll
+	PhasePSCW
+)
+
+func (k PhaseKind) String() string {
+	switch k {
+	case PhaseFence:
+		return "fence"
+	case PhaseLock:
+		return "lock"
+	case PhaseLockAll:
+		return "lock-all"
+	case PhasePSCW:
+		return "pscw"
+	}
+	return fmt.Sprintf("PhaseKind(%d)", uint8(k))
+}
+
+// Phase is one epoch block: local preparation, an epoch issuing RMA
+// operations, local operations inside the open epoch, then local
+// operations after the epoch closes. Every phase ends with a world
+// barrier, so consecutive phases are separate concurrent regions.
+type Phase struct {
+	Kind PhaseKind
+	Ops  []RMAOp
+	Pre  []LocalOp // before the epoch opens
+	In   []LocalOp // while the epoch is open (after issuing, before close)
+	Post []LocalOp // after the epoch closes, before the phase barrier
+
+	// FlushAll (PhaseLockAll only): issue Win_flush_all after the
+	// operations and before the In accesses, completing the transfers so
+	// that In reads of origin/result staging are legal. Clearing it is
+	// the lock-all/flush-misuse injection.
+	FlushAll bool
+
+	// PSCW roles (PhasePSCW only): Target exposes its window to Origins;
+	// every origin opens an access epoch to Target alone.
+	PSCWTarget  int
+	PSCWOrigins []int
+}
+
+// Program is a generated RMA program: an executable IR deterministic in
+// the seed that produced it.
+type Program struct {
+	Seed  uint64
+	Ranks int
+	// Slots is the per-rank staging width: the maximum number of RMA
+	// operations one rank issues in one phase.
+	Slots  int
+	Phases []Phase
+
+	// Injected names the bug pattern planted into this program ("" =
+	// clean), and ExpectClass / ExpectAcross describe the expected
+	// dynamic detection.
+	Injected     string
+	ExpectAcross bool // true: across-processes; false: within an epoch
+}
+
+// Window geometry, in float64 words. The window has three disjoint
+// regions: a contiguous region owned one word per (origin, slot), a
+// strided region owned four words per (origin, slot) of which a vector
+// op touches words base and base+2, and a local tail only ever accessed
+// by the owning rank.
+func (pr *Program) contigWords() int  { return pr.Ranks * pr.Slots }
+func (pr *Program) stridedBase() int  { return pr.contigWords() }
+func (pr *Program) stridedWords() int { return pr.Ranks * pr.Slots * 4 }
+func (pr *Program) localBase() int    { return pr.contigWords() + pr.stridedWords() }
+
+// WinWords is the per-rank window size in float64 words.
+func (pr *Program) WinWords() int { return pr.localBase() + pr.Slots }
+
+// ContigWord returns the contiguous-region word owned by (origin, slot).
+func (pr *Program) ContigWord(origin, slot int) int { return origin*pr.Slots + slot }
+
+// StridedWord returns the strided-region base word owned by (origin,
+// slot); the vector footprint covers it and StridedWord+2.
+func (pr *Program) StridedWord(origin, slot int) int {
+	return pr.stridedBase() + (origin*pr.Slots+slot)*4
+}
+
+// LocalWord returns the local-tail word for a given slot.
+func (pr *Program) LocalWord(slot int) int { return pr.localBase() + slot }
+
+// Validate checks structural invariants every program must satisfy to be
+// runnable: ranks in range, slots in range, PSCW roles well-formed. It
+// does not check cleanliness — injected programs are deliberately dirty.
+func (pr *Program) Validate() error {
+	if pr.Ranks < 2 {
+		return fmt.Errorf("gen: program needs at least 2 ranks, has %d", pr.Ranks)
+	}
+	if pr.Slots < 1 {
+		return fmt.Errorf("gen: program needs at least 1 slot, has %d", pr.Slots)
+	}
+	rankOK := func(r int) bool { return r >= 0 && r < pr.Ranks }
+	for pi := range pr.Phases {
+		ph := &pr.Phases[pi]
+		for _, op := range ph.Ops {
+			if !rankOK(op.Origin) || !rankOK(op.Target) {
+				return fmt.Errorf("gen: phase %d: op ranks (%d→%d) out of world %d", pi, op.Origin, op.Target, pr.Ranks)
+			}
+			if op.Slot < 0 || op.Slot >= pr.Slots {
+				return fmt.Errorf("gen: phase %d: slot %d out of %d", pi, op.Slot, pr.Slots)
+			}
+			hi := op.Word
+			if op.Strided {
+				if op.Kind != OpPut && op.Kind != OpGet {
+					return fmt.Errorf("gen: phase %d: strided %s not supported", pi, op.Kind)
+				}
+				hi = op.Word + 2
+			}
+			if op.Word < 0 || hi >= pr.WinWords() {
+				return fmt.Errorf("gen: phase %d: word %d outside window of %d", pi, op.Word, pr.WinWords())
+			}
+			if ph.Kind == PhasePSCW && op.Target != ph.PSCWTarget {
+				return fmt.Errorf("gen: phase %d: pscw op targets %d, exposure is on %d", pi, op.Target, ph.PSCWTarget)
+			}
+		}
+		for _, l := range concatLocals(ph) {
+			if !rankOK(l.Rank) {
+				return fmt.Errorf("gen: phase %d: local rank %d out of world %d", pi, l.Rank, pr.Ranks)
+			}
+			if l.Word < 0 {
+				return fmt.Errorf("gen: phase %d: negative local word", pi)
+			}
+			switch l.Buf {
+			case BufWindow:
+				if l.Word >= pr.WinWords() {
+					return fmt.Errorf("gen: phase %d: local window word %d outside window of %d", pi, l.Word, pr.WinWords())
+				}
+			case BufOrigin, BufResult, BufScratch:
+				if l.Word >= pr.Slots {
+					return fmt.Errorf("gen: phase %d: local %s word %d outside %d slots", pi, l.Buf, l.Word, pr.Slots)
+				}
+			case BufOriginV:
+				if l.Word >= pr.Slots*4 {
+					return fmt.Errorf("gen: phase %d: local %s word %d outside %d words", pi, l.Buf, l.Word, pr.Slots*4)
+				}
+			}
+		}
+		if ph.Kind == PhasePSCW {
+			if !rankOK(ph.PSCWTarget) {
+				return fmt.Errorf("gen: phase %d: pscw target %d out of world", pi, ph.PSCWTarget)
+			}
+			if len(ph.PSCWOrigins) == 0 {
+				return fmt.Errorf("gen: phase %d: pscw phase with no origins", pi)
+			}
+			for _, o := range ph.PSCWOrigins {
+				if !rankOK(o) || o == ph.PSCWTarget {
+					return fmt.Errorf("gen: phase %d: bad pscw origin %d", pi, o)
+				}
+			}
+			for _, op := range ph.Ops {
+				found := false
+				for _, o := range ph.PSCWOrigins {
+					if op.Origin == o {
+						found = true
+					}
+				}
+				if !found {
+					return fmt.Errorf("gen: phase %d: pscw op from non-origin rank %d", pi, op.Origin)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func concatLocals(ph *Phase) []LocalOp {
+	out := make([]LocalOp, 0, len(ph.Pre)+len(ph.In)+len(ph.Post))
+	out = append(out, ph.Pre...)
+	out = append(out, ph.In...)
+	return append(out, ph.Post...)
+}
+
+// String renders the program compactly, one phase per line — the shape a
+// failing fuzz or corpus run prints.
+func (pr *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "program seed=%d ranks=%d slots=%d phases=%d", pr.Seed, pr.Ranks, pr.Slots, len(pr.Phases))
+	if pr.Injected != "" {
+		cls := "within-epoch"
+		if pr.ExpectAcross {
+			cls = "across-processes"
+		}
+		fmt.Fprintf(&sb, " injected=%s (%s)", pr.Injected, cls)
+	}
+	for pi := range pr.Phases {
+		ph := &pr.Phases[pi]
+		fmt.Fprintf(&sb, "\n  [%d] %s", pi, ph.Kind)
+		if ph.Kind == PhasePSCW {
+			fmt.Fprintf(&sb, " target=%d origins=%v", ph.PSCWTarget, ph.PSCWOrigins)
+		}
+		if ph.Kind == PhaseLockAll && ph.FlushAll {
+			sb.WriteString(" flush-all")
+		}
+		for _, op := range ph.Ops {
+			mark := ""
+			if op.Strided {
+				mark = "v"
+			}
+			fmt.Fprintf(&sb, " %s%s(%d→%d w%d s%d)", op.Kind, mark, op.Origin, op.Target, op.Word, op.Slot)
+		}
+		for _, tag := range []struct {
+			name string
+			ops  []LocalOp
+		}{{"pre", ph.Pre}, {"in", ph.In}, {"post", ph.Post}} {
+			for _, l := range tag.ops {
+				verb := "load"
+				if l.Store {
+					verb = "store"
+				}
+				fmt.Fprintf(&sb, " %s:%s(r%d %s w%d)", tag.name, verb, l.Rank, l.Buf, l.Word)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// Body compiles the program to a per-rank function runnable on the
+// simulator. The returned closure is safe for concurrent use across
+// ranks and across runs (it captures only the immutable IR).
+func (pr *Program) Body() func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		if p.Size() != pr.Ranks {
+			return fmt.Errorf("gen: program built for %d ranks, running on %d", pr.Ranks, p.Size())
+		}
+		me := p.Rank()
+		win := p.AllocFloat64(pr.WinWords(), "genwin")
+		w := p.WinCreate(win, 8, p.CommWorld())
+		orig := p.AllocFloat64(pr.Slots, "genorig")
+		origv := p.AllocFloat64(pr.Slots*4, "genorigv")
+		res := p.AllocFloat64(pr.Slots, "genres")
+		scratch := p.AllocFloat64(pr.Slots, "genscratch")
+		vec := p.TypeVector(2, 1, 2, mpi.Float64)
+
+		runLocals := func(ops []LocalOp, phase int) {
+			for _, l := range ops {
+				if l.Rank != me {
+					continue
+				}
+				buf := scratch
+				switch l.Buf {
+				case BufWindow:
+					buf = win
+				case BufOrigin:
+					buf = orig
+				case BufOriginV:
+					buf = origv
+				case BufResult:
+					buf = res
+				}
+				off := uint64(l.Word) * 8
+				if l.Store {
+					buf.SetFloat64(off, float64(phase*1000+me*10+l.Word))
+				} else {
+					_ = buf.Float64At(off)
+				}
+			}
+		}
+		issue := func(op RMAOp) {
+			switch op.Kind {
+			case OpPut:
+				if op.Strided {
+					w.Put(origv, uint64(op.Slot*4)*8, 1, vec, op.Target, uint64(op.Word), 1, vec)
+				} else {
+					w.Put(orig, uint64(op.Slot)*8, 1, mpi.Float64, op.Target, uint64(op.Word), 1, mpi.Float64)
+				}
+			case OpGet:
+				if op.Strided {
+					w.Get(origv, uint64(op.Slot*4)*8, 1, vec, op.Target, uint64(op.Word), 1, vec)
+				} else {
+					w.Get(orig, uint64(op.Slot)*8, 1, mpi.Float64, op.Target, uint64(op.Word), 1, mpi.Float64)
+				}
+			case OpAcc:
+				w.Accumulate(orig, uint64(op.Slot)*8, 1, mpi.Float64, op.Target, uint64(op.Word), 1, mpi.Float64, mpi.OpSum)
+			case OpFetchOp:
+				w.FetchAndOp(orig, uint64(op.Slot)*8, res, uint64(op.Slot)*8, op.Target, uint64(op.Word), mpi.Float64, mpi.OpSum)
+			case OpGetAcc:
+				w.GetAccumulate(orig, uint64(op.Slot)*8, 1, mpi.Float64,
+					res, uint64(op.Slot)*8, 1, mpi.Float64,
+					op.Target, uint64(op.Word), 1, mpi.Float64, mpi.OpSum)
+			}
+		}
+		mine := func(ph *Phase) []RMAOp {
+			var out []RMAOp
+			for _, op := range ph.Ops {
+				if op.Origin == me {
+					out = append(out, op)
+				}
+			}
+			return out
+		}
+
+		for pi := range pr.Phases {
+			ph := &pr.Phases[pi]
+			ops := mine(ph)
+			runLocals(ph.Pre, pi)
+			switch ph.Kind {
+			case PhaseFence:
+				w.Fence(mpi.AssertNone)
+				for _, op := range ops {
+					issue(op)
+				}
+				runLocals(ph.In, pi)
+				w.Fence(mpi.AssertNone)
+			case PhaseLock:
+				targets := map[int]bool{}
+				for _, op := range ops {
+					targets[op.Target] = true
+				}
+				order := make([]int, 0, len(targets))
+				for t := range targets {
+					order = append(order, t)
+				}
+				sort.Ints(order)
+				for _, t := range order {
+					w.Lock(mpi.LockShared, t)
+				}
+				for _, op := range ops {
+					issue(op)
+				}
+				runLocals(ph.In, pi)
+				for _, t := range order {
+					w.Unlock(t)
+				}
+			case PhaseLockAll:
+				hasEpoch := len(ops) > 0
+				if hasEpoch {
+					w.LockAll()
+				}
+				for _, op := range ops {
+					issue(op)
+				}
+				if hasEpoch && ph.FlushAll {
+					w.FlushAll()
+				}
+				runLocals(ph.In, pi)
+				if hasEpoch {
+					w.UnlockAll()
+				}
+			case PhasePSCW:
+				switch {
+				case me == ph.PSCWTarget:
+					w.Post(mpi.NewGroup(ph.PSCWOrigins))
+					runLocals(ph.In, pi)
+					w.WaitEpoch()
+				case containsInt(ph.PSCWOrigins, me):
+					w.Start(mpi.NewGroup([]int{ph.PSCWTarget}))
+					for _, op := range ops {
+						issue(op)
+					}
+					runLocals(ph.In, pi)
+					w.Complete()
+				default:
+					// Bystander ranks still run their In accesses: a local
+					// op is only placed on a bystander when it is safe (or
+					// deliberately unsafe, for an injected bug).
+					runLocals(ph.In, pi)
+				}
+			}
+			runLocals(ph.Post, pi)
+			p.Barrier(p.CommWorld())
+		}
+		w.Free()
+		return nil
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

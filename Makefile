@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check staticcheck race cover bench bench-smoke microbench fuzz fuzz-gen soak explore experiments table2 fig8 fig9 trace-smoke serve-smoke serve-bench corpus corpus-smoke clean
+.PHONY: all build test check staticcheck race cover bench bench-smoke microbench fuzz fuzz-gen soak explore experiments table2 fig8 fig9 trace-smoke serve-smoke serve-bench corpus corpus-smoke fix-smoke clean
 
 all: build test check
 
@@ -14,8 +14,8 @@ test:
 	$(GO) test ./...
 
 # Full gate: vet, the test suite under the race detector, the determinism
-# soak, and the static-checker golden report.
-check: soak staticcheck
+# soak, the static-checker golden report, and the auto-repair gate.
+check: soak staticcheck fix-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./...
 
@@ -115,6 +115,16 @@ corpus-smoke:
 	$(GO) test -race -run 'TestCorpus' ./internal/experiments ./cmd/mcchecker
 	$(GO) run ./cmd/mcchecker corpus -programs 9 -clean 20 -schedules 6 \
 		-matrix /tmp/mcchecker-corpus-matrix.md
+
+# Auto-repair gate: `mcchecker fix` must patch every planted-bug corpus
+# variant into a program whose dynamic and explore verdicts match its
+# checked-in fixed variant. Exits non-zero if any repair fails to
+# verify; the unified patch diffs land in FIX_TMP for inspection (CI
+# uploads them as an artifact).
+FIX_TMP ?= /tmp/mcchecker-fix-patches
+fix-smoke:
+	rm -rf $(FIX_TMP) && mkdir -p $(FIX_TMP)
+	$(GO) run ./cmd/mcchecker fix -diff-dir $(FIX_TMP)
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -68,6 +68,18 @@
 //	    violation-free; a failed gate exits 3. -matrix also writes the
 //	    markdown detection matrix to FILE.
 //
+//	mcchecker fix [-app NAME] [-schedules N] [-seed N] [-json] [-diff-dir DIR]
+//	    Auto-repair the planted-bug corpus (internal/fix): consume
+//	    ST-Analyzer diagnostics with their structured fix actions, apply
+//	    the per-kind AST rewrite templates to a copy of the application
+//	    source until the diagnostics drain, go/format and re-type-check
+//	    the patch, then prove it dynamically — the patched planted variant
+//	    must analyze clean under the DN-Analyzer and a schedule-exploration
+//	    sweep, with verdicts matching the checked-in fixed variant, and the
+//	    clean variant's behavior must be unchanged. -diff-dir writes each
+//	    repair's unified diff to DIR/<case>.patch. Any unverified repair
+//	    exits 3.
+//
 //	mcchecker serve [-addr HOST:PORT] [-workers N] [-queue N] [-job-timeout D]
 //	                [-max-attempts N] [-retry-backoff D] [-analyze-workers N] [-drain-timeout D]
 //	    Run the analysis daemon (internal/serve): clients POST trace sets
@@ -103,6 +115,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/explore"
 	"repro/internal/faults"
+	"repro/internal/fix"
 	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/obs/tracing"
@@ -170,6 +183,14 @@ func commands() []command {
 				"mcchecker corpus [-programs N] [-clean N] [-seed N] [-schedules N] [-json] [-matrix FILE]",
 			},
 			run: corpusCmd,
+		},
+		{
+			name:    "fix",
+			summary: "auto-repair the planted-bug corpus with verified AST rewrites",
+			synopsis: []string{
+				"mcchecker fix [-app NAME] [-schedules N] [-seed N] [-json] [-diff-dir DIR]",
+			},
+			run: fixCmd,
 		},
 		{
 			name:    "serve",
@@ -576,6 +597,97 @@ func corpusCmd(args []string) error {
 		os.Exit(3)
 	}
 	return nil
+}
+
+// fixCmd auto-repairs the planted-bug corpus: every buggy variant is
+// patched from its static diagnostics and the repair proven against the
+// dynamic engines (internal/fix). Any unverified repair exits 3.
+func fixCmd(args []string) error {
+	fs := flag.NewFlagSet("fix", flag.ExitOnError)
+	appName := fs.String("app", "", "repair only this corpus case (default: all)")
+	schedules := fs.Int("schedules", 0, "explorer schedules per verification sweep (0 = 6)")
+	seed := fs.Uint64("seed", 1, "explorer seed for the verification sweeps")
+	jsonOut := fs.Bool("json", false, "print the per-case results as JSON")
+	diffDir := fs.String("diff-dir", "", "write each repair's unified diff to DIR/<case>.patch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("fix takes no positional arguments")
+	}
+	cases := apps.CorpusCases()
+	if *appName != "" {
+		var picked []apps.BugCase
+		for _, bc := range cases {
+			if bc.Name == *appName {
+				picked = append(picked, bc)
+			}
+		}
+		if len(picked) == 0 {
+			return fmt.Errorf("unknown corpus case %q (see `mcchecker apps`)", *appName)
+		}
+		cases = picked
+	}
+	progress := io.Writer(os.Stdout)
+	if *jsonOut {
+		progress = os.Stderr
+	}
+	if *diffDir != "" {
+		if err := os.MkdirAll(*diffDir, 0o755); err != nil {
+			return fmt.Errorf("diff-dir: %w", err)
+		}
+	}
+	fmt.Fprintf(progress, "repairing %d corpus case(s), verification: dynamic + %d-schedule sweep (seed %d)\n",
+		len(cases), fixSchedules(*schedules), *seed)
+	results, err := fix.RepairAll(cases, fix.VerifyConfig{Schedules: *schedules, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	verified := 0
+	for _, res := range results {
+		status := "FAIL"
+		if res.Verified {
+			status = "ok"
+			verified++
+		}
+		fmt.Fprintf(progress, "  %-16s %s  %d step(s)", res.Name, status, len(res.Steps))
+		for _, st := range res.Steps {
+			fmt.Fprintf(progress, "  [%s]", st.Action)
+		}
+		if !res.Verified {
+			fmt.Fprintf(progress, "  (%s)", res.Reason)
+		}
+		fmt.Fprintln(progress)
+		if *diffDir != "" && res.Diff != "" {
+			path := filepath.Join(*diffDir, res.Name+".patch")
+			if err := os.WriteFile(path, []byte(res.Diff), 0o644); err != nil {
+				return fmt.Errorf("writing %s: %w", path, err)
+			}
+		}
+	}
+	if *diffDir != "" {
+		fmt.Fprintf(progress, "wrote patch diffs to %s\n", *diffDir)
+	}
+	fmt.Fprintf(progress, "%d/%d repair(s) verified\n", verified, len(results))
+	if *jsonOut {
+		data, err := json.MarshalIndent(results, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	}
+	if verified != len(results) {
+		os.Exit(3)
+	}
+	return nil
+}
+
+// fixSchedules mirrors fix.VerifyConfig's default for the progress line.
+func fixSchedules(n int) int {
+	if n == 0 {
+		return 6
+	}
+	return n
 }
 
 // printExplore renders an exploration result (text or JSON). Like

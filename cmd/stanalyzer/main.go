@@ -15,16 +15,20 @@
 //	stanalyzer [-names-only] DIR
 //	stanalyzer -check [-define name=bool] [-min-confidence L] [-json]
 //	           [-golden FILE] [-update-golden] [-stats] DIR
+//	stanalyzer -list-kinds
 //
 // -define fixes boolean identifiers for branch pruning (repeatable;
 // "buggy=true" walks only the planted variants of the bundled apps).
 // -golden compares the text report against a checked-in file and exits 1
-// on drift; -update-golden rewrites it.
+// on drift; -update-golden rewrites it. -list-kinds takes no DIR: it
+// prints every diagnostic kind with its error class, fix hint, and the
+// `mcchecker fix` repair templates that mechanize the hint.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -59,11 +63,16 @@ func main() {
 	golden := flag.String("golden", "", "with -check: compare the text report against this golden file, exit 1 on drift")
 	updateGolden := flag.Bool("update-golden", false, "with -check -golden: rewrite the golden file instead of comparing")
 	stats := flag.Bool("stats", false, "with -check: print the mcchecker_static_* counters")
+	listKinds := flag.Bool("list-kinds", false, "print every diagnostic kind with its class, fix hint, and repair templates, then exit")
 	defines := defineFlag{}
 	flag.Var(defines, "define", "with -check: fix a boolean identifier for branch pruning, e.g. -define buggy=true (repeatable)")
 	flag.Parse()
+	if *listKinds {
+		printKinds(os.Stdout)
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: stanalyzer [-names-only] DIR\n       stanalyzer -check [-define name=bool] [-min-confidence L] [-json] [-golden FILE] [-update-golden] [-stats] DIR")
+		fmt.Fprintln(os.Stderr, "usage: stanalyzer [-names-only] DIR\n       stanalyzer -check [-define name=bool] [-min-confidence L] [-json] [-golden FILE] [-update-golden] [-stats] DIR\n       stanalyzer -list-kinds")
 		os.Exit(2)
 	}
 	if *check {
@@ -85,6 +94,22 @@ func main() {
 		return
 	}
 	fmt.Print(rep)
+}
+
+// printKinds renders the canonical kind inventory: one block per
+// diagnostic kind with its error class, the free-text fix hint, and the
+// structured repair templates `mcchecker fix` can apply mechanically.
+func printKinds(w io.Writer) {
+	fmt.Fprintln(w, "diagnostic kinds (confidence-graded; repair templates applied by `mcchecker fix`):")
+	for _, k := range stanalyzer.Kinds() {
+		names := make([]string, 0, 4)
+		for _, t := range k.RepairTemplates() {
+			names = append(names, string(t))
+		}
+		fmt.Fprintf(w, "\n%s  [%s]\n", k, k.Class())
+		fmt.Fprintf(w, "  fix:       %s\n", k.Fix())
+		fmt.Fprintf(w, "  templates: %s\n", strings.Join(names, ", "))
+	}
 }
 
 func runCheck(dir string, defines map[string]bool, minConf string, jsonOut bool, golden string, updateGolden, stats bool) error {

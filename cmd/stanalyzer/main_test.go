@@ -1,0 +1,91 @@
+package main
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/stanalyzer"
+)
+
+// kindConstants parses internal/stanalyzer/diag.go and returns the
+// string values of every constant declared with type Kind — the source
+// of truth `-list-kinds` must track.
+func kindConstants(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "../../internal/stanalyzer/diag.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parsing diag.go: %v", err)
+	}
+	var kinds []string
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			if id, ok := vs.Type.(*ast.Ident); !ok || id.Name != "Kind" {
+				continue
+			}
+			for _, v := range vs.Values {
+				lit, ok := v.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				kinds = append(kinds, strings.Trim(lit.Value, `"`))
+			}
+		}
+	}
+	return kinds
+}
+
+// TestListKindsTracksDiagGo is the doc-drift gate: a Kind constant added
+// to diag.go without appearing in Kinds() — and so in the -list-kinds
+// output — fails here, as does a kind without a fix hint or repair
+// templates.
+func TestListKindsTracksDiagGo(t *testing.T) {
+	declared := kindConstants(t)
+	if len(declared) != 6 {
+		t.Fatalf("diag.go declares %d Kind constants, want 6: %v", len(declared), declared)
+	}
+	listed := map[string]bool{}
+	for _, k := range stanalyzer.Kinds() {
+		listed[string(k)] = true
+	}
+	for _, name := range declared {
+		if !listed[name] {
+			t.Errorf("Kind constant %q in diag.go is missing from stanalyzer.Kinds()", name)
+		}
+	}
+	if len(listed) != len(declared) {
+		t.Errorf("Kinds() returns %d kinds, diag.go declares %d", len(listed), len(declared))
+	}
+
+	var sb strings.Builder
+	printKinds(&sb)
+	out := sb.String()
+	for _, k := range stanalyzer.Kinds() {
+		if !strings.Contains(out, string(k)) {
+			t.Errorf("-list-kinds output lacks kind %q", k)
+		}
+		if k.Fix() == "" {
+			t.Errorf("kind %q has no fix hint", k)
+		}
+		templates := k.RepairTemplates()
+		if len(templates) == 0 {
+			t.Errorf("kind %q has no repair templates", k)
+		}
+		for _, tmpl := range templates {
+			if !strings.Contains(out, string(tmpl)) {
+				t.Errorf("-list-kinds output lacks template %q of kind %q", tmpl, k)
+			}
+		}
+	}
+}

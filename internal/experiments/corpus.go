@@ -8,6 +8,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/explore"
+	"repro/internal/fix"
 	"repro/internal/gen"
 	"repro/internal/mpi"
 	"repro/internal/profiler"
@@ -59,7 +60,18 @@ type EngineVerdict struct {
 	FixedClean bool `json:"fixed_clean"` // fixed variant produced nothing
 }
 
-// CorpusAppRow scores one registry bug case across the three engines.
+// RepairVerdict is the auto-repair engine's outcome on one bug case:
+// whether `mcchecker fix` repaired the planted variant and proved the
+// patch against the dynamic engines. It only runs over the planted-bug
+// corpus — the other registry cases have no source-level repair harness.
+type RepairVerdict struct {
+	Ran      bool   `json:"ran"`
+	Verified bool   `json:"verified"`
+	Steps    int    `json:"steps"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// CorpusAppRow scores one registry bug case across the engines.
 type CorpusAppRow struct {
 	Name          string        `json:"name"`
 	Ranks         int           `json:"ranks"`
@@ -67,6 +79,7 @@ type CorpusAppRow struct {
 	Dynamic       EngineVerdict `json:"dynamic"`
 	Static        EngineVerdict `json:"static"`
 	Explore       EngineVerdict `json:"explore"`
+	Repair        RepairVerdict `json:"repair"`
 }
 
 // Caught reports whether any engine detected the planted bug.
@@ -97,6 +110,7 @@ type CorpusResult struct {
 
 	AppsCaught      bool    `json:"apps_caught"`       // every registry bug caught by >= 1 engine
 	AppsFixedClean  bool    `json:"apps_fixed_clean"`  // every fixed variant clean on every engine
+	AppsRepaired    bool    `json:"apps_repaired"`     // every corpus case auto-repaired and verified
 	GeneratedCaught bool    `json:"generated_caught"`  // every injected program caught by >= 1 engine
 	CleanOK         bool    `json:"clean_ok"`          // zero violations across clean programs
 	Gate            bool    `json:"gate"`              // all of the above
@@ -124,7 +138,13 @@ func Corpus(cfg CorpusConfig) (*CorpusResult, error) {
 		return nil, fmt.Errorf("static check (fixed): %w", err)
 	}
 
-	res.AppsCaught, res.AppsFixedClean = true, true
+	// The repair engine only covers the planted-bug corpus.
+	corpusCase := map[string]bool{}
+	for _, bc := range apps.CorpusCases() {
+		corpusCase[bc.Name] = true
+	}
+
+	res.AppsCaught, res.AppsFixedClean, res.AppsRepaired = true, true, true
 	for _, bc := range apps.AllCases() {
 		ranks := bc.Ranks
 		if ranks > cfg.MaxRanks {
@@ -174,6 +194,24 @@ func Corpus(cfg CorpusConfig) (*CorpusResult, error) {
 			Ran:        true,
 			Detected:   expB.Distinct() > 0,
 			FixedClean: expF.Distinct() == 0,
+		}
+
+		// Repair engine: patch the planted variant from its static
+		// diagnostics and prove the repair (corpus cases only).
+		if corpusCase[bc.Name] {
+			cres, err := fix.Repair(bc, fix.VerifyConfig{
+				Schedules: cfg.Schedules, Seed: cfg.Seed, MaxRanks: cfg.MaxRanks,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s repair: %w", bc.Name, err)
+			}
+			row.Repair = RepairVerdict{
+				Ran: true, Verified: cres.Verified,
+				Steps: len(cres.Steps), Reason: cres.Reason,
+			}
+			if !cres.Verified {
+				res.AppsRepaired = false
+			}
 		}
 
 		if !row.Caught() {
@@ -243,7 +281,7 @@ func Corpus(cfg CorpusConfig) (*CorpusResult, error) {
 	}
 	res.CleanOK = res.CleanViolations == 0
 
-	res.Gate = res.AppsCaught && res.AppsFixedClean && res.GeneratedCaught && res.CleanOK
+	res.Gate = res.AppsCaught && res.AppsFixedClean && res.AppsRepaired && res.GeneratedCaught && res.CleanOK
 	res.ElapsedSec = time.Since(start).Seconds()
 	return res, nil
 }
@@ -305,13 +343,18 @@ func (r *CorpusResult) MarkdownMatrix() string {
 		return "NO"
 	}
 	fmt.Fprintf(&b, "Registry corpus (%d cases):\n\n", len(r.Apps))
-	b.WriteString("| Case | Ranks | Class | Dynamic | Static | Explore | Fixed clean |\n")
-	b.WriteString("|---|---|---|---|---|---|---|\n")
+	b.WriteString("| Case | Ranks | Class | Dynamic | Static | Explore | Repair | Fixed clean |\n")
+	b.WriteString("|---|---|---|---|---|---|---|---|\n")
 	for i := range r.Apps {
 		row := &r.Apps[i]
-		fmt.Fprintf(&b, "| %s | %d | %s | %s | %s | %s | %s |\n",
+		repair := "-"
+		if row.Repair.Ran {
+			repair = mark(row.Repair.Verified)
+		}
+		fmt.Fprintf(&b, "| %s | %d | %s | %s | %s | %s | %s | %s |\n",
 			row.Name, row.Ranks, row.ErrorLocation,
 			mark(row.Dynamic.Detected), mark(row.Static.Detected), mark(row.Explore.Detected),
+			repair,
 			mark(row.Dynamic.FixedClean && row.Static.FixedClean && row.Explore.FixedClean))
 	}
 	fmt.Fprintf(&b, "\nGenerated programs (seed %d):\n\n", r.Seed)
@@ -329,7 +372,7 @@ func (r *CorpusResult) MarkdownMatrix() string {
 	}
 	fmt.Fprintf(&b, "\nClean generated programs: %d analyzed, %d violation(s).\n",
 		r.CleanPrograms, r.CleanViolations)
-	fmt.Fprintf(&b, "Gate: apps caught %v, fixed clean %v, generated caught %v, clean ok %v => %v\n",
-		r.AppsCaught, r.AppsFixedClean, r.GeneratedCaught, r.CleanOK, r.Gate)
+	fmt.Fprintf(&b, "Gate: apps caught %v, fixed clean %v, repaired %v, generated caught %v, clean ok %v => %v\n",
+		r.AppsCaught, r.AppsFixedClean, r.AppsRepaired, r.GeneratedCaught, r.CleanOK, r.Gate)
 	return b.String()
 }

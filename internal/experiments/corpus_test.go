@@ -27,6 +27,10 @@ func TestCorpusGate(t *testing.T) {
 	if len(res.Apps) != len(apps.AllCases()) {
 		t.Errorf("scored %d apps, registry has %d", len(res.Apps), len(apps.AllCases()))
 	}
+	corpusCase := map[string]bool{}
+	for _, bc := range apps.CorpusCases() {
+		corpusCase[bc.Name] = true
+	}
 	for i := range res.Apps {
 		row := &res.Apps[i]
 		if !row.Caught() {
@@ -35,6 +39,16 @@ func TestCorpusGate(t *testing.T) {
 		if !row.Dynamic.FixedClean || !row.Static.FixedClean || !row.Explore.FixedClean {
 			t.Errorf("%s: fixed variant flagged (dynamic=%v static=%v explore=%v)",
 				row.Name, row.Dynamic.FixedClean, row.Static.FixedClean, row.Explore.FixedClean)
+		}
+		if corpusCase[row.Name] {
+			if !row.Repair.Ran {
+				t.Errorf("%s: auto-repair did not run on a corpus case", row.Name)
+			} else if !row.Repair.Verified {
+				t.Errorf("%s: auto-repair not verified (%d steps): %s",
+					row.Name, row.Repair.Steps, row.Repair.Reason)
+			}
+		} else if row.Repair.Ran {
+			t.Errorf("%s: auto-repair ran on a non-corpus case", row.Name)
 		}
 	}
 	for _, p := range res.Patterns {
@@ -49,8 +63,8 @@ func TestCorpusGate(t *testing.T) {
 		t.Errorf("clean generated programs produced %d violations", res.CleanViolations)
 	}
 	if !res.Gate {
-		t.Errorf("gate failed: apps=%v fixed=%v generated=%v clean=%v",
-			res.AppsCaught, res.AppsFixedClean, res.GeneratedCaught, res.CleanOK)
+		t.Errorf("gate failed: apps=%v fixed=%v repaired=%v generated=%v clean=%v",
+			res.AppsCaught, res.AppsFixedClean, res.AppsRepaired, res.GeneratedCaught, res.CleanOK)
 	}
 }
 
@@ -81,6 +95,12 @@ func TestCorpusMatrixRendering(t *testing.T) {
 			Dynamic: EngineVerdict{Ran: true, Detected: true, FixedClean: true},
 			Static:  EngineVerdict{Ran: true, FixedClean: true},
 			Explore: EngineVerdict{Ran: true, Detected: true, FixedClean: true},
+			Repair:  RepairVerdict{Ran: true, Verified: true, Steps: 1},
+		}, {
+			Name: "extra", Ranks: 2, ErrorLocation: "within an epoch",
+			Dynamic: EngineVerdict{Ran: true, Detected: true, FixedClean: true},
+			Static:  EngineVerdict{Ran: true, FixedClean: true},
+			Explore: EngineVerdict{Ran: true, Detected: true, FixedClean: true},
 		}},
 		Patterns: []PatternStat{{
 			Pattern: "get-origin-use", Programs: 3, DynamicDetected: 3, ExploreDetected: 2, CaughtByAny: 3,
@@ -90,7 +110,8 @@ func TestCorpusMatrixRendering(t *testing.T) {
 	}
 	m := res.MarkdownMatrix()
 	for _, want := range []string{
-		"| demo | 2 | within an epoch | yes | NO | yes | yes |",
+		"| demo | 2 | within an epoch | yes | NO | yes | yes | yes |",
+		"| extra | 2 | within an epoch | yes | NO | yes | - | yes |",
 		"| get-origin-use | within an epoch | 3 | 3/3 | 2/3 | 3/3 |",
 		"Clean generated programs: 10 analyzed, 0 violation(s).",
 		"Gate:",

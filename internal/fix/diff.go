@@ -1,0 +1,125 @@
+package fix
+
+import (
+	"fmt"
+	"strings"
+)
+
+// diffOp is one line of an opcode stream: ' ' keep, '-' delete, '+' add.
+type diffOp struct {
+	kind byte
+	line string
+}
+
+// UnifiedDiff renders a unified diff (3 context lines) between two
+// sources — the patch artifact `mcchecker fix -diff-dir` publishes. The
+// line-level LCS is quadratic, which is fine at application-source sizes.
+func UnifiedDiff(aName, bName string, a, b []byte) string {
+	ops := diffOps(splitLines(a), splitLines(b))
+
+	// Group changed ops into hunks: two changes merge when separated by at
+	// most 2*context unchanged lines.
+	const context = 3
+	var changed []int
+	for i, op := range ops {
+		if op.kind != ' ' {
+			changed = append(changed, i)
+		}
+	}
+	if len(changed) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s\n", aName, bName)
+	for g := 0; g < len(changed); {
+		h := g
+		for h+1 < len(changed) && changed[h+1]-changed[h] <= 2*context {
+			h++
+		}
+		start := changed[g] - context
+		if start < 0 {
+			start = 0
+		}
+		end := changed[h] + context + 1
+		if end > len(ops) {
+			end = len(ops)
+		}
+		// Line numbers of ops[start] in each source (1-based).
+		aStart, bStart := 1, 1
+		for i := 0; i < start; i++ {
+			switch ops[i].kind {
+			case ' ':
+				aStart++
+				bStart++
+			case '-':
+				aStart++
+			case '+':
+				bStart++
+			}
+		}
+		aCount, bCount := 0, 0
+		for i := start; i < end; i++ {
+			switch ops[i].kind {
+			case ' ':
+				aCount++
+				bCount++
+			case '-':
+				aCount++
+			case '+':
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart, aCount, bStart, bCount)
+		for i := start; i < end; i++ {
+			sb.WriteByte(ops[i].kind)
+			sb.WriteString(ops[i].line)
+			sb.WriteByte('\n')
+		}
+		g = h + 1
+	}
+	return sb.String()
+}
+
+// diffOps computes a line-level LCS opcode stream.
+func diffOps(al, bl []string) []diffOp {
+	n, m := len(al), len(bl)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if al[i] == bl[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []diffOp
+	for i, j := 0, 0; i < n || j < m; {
+		switch {
+		case i < n && j < m && al[i] == bl[j]:
+			ops = append(ops, diffOp{' ', al[i]})
+			i++
+			j++
+		case j < m && (i == n || lcs[i+1][j] < lcs[i][j+1]):
+			ops = append(ops, diffOp{'+', bl[j]})
+			j++
+		default:
+			ops = append(ops, diffOp{'-', al[i]})
+			i++
+		}
+	}
+	return ops
+}
+
+func splitLines(b []byte) []string {
+	s := strings.TrimSuffix(string(b), "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,38 @@
+package fix
+
+import "testing"
+
+func TestUnifiedDiff(t *testing.T) {
+	a := []byte("l1\nl2\nl3\nl4\nl5\nl6\nl7\nl8\nl9\n")
+	if got := UnifiedDiff("a/f", "b/f", a, a); got != "" {
+		t.Fatalf("identical inputs produced a diff:\n%s", got)
+	}
+	b := []byte("l1\nl2\nl3\nl4x\nl5\nl6\nl7\nl8\nl9\n")
+	got := UnifiedDiff("a/f", "b/f", a, b)
+	want := "--- a/f\n+++ b/f\n@@ -1,7 +1,7 @@\n l1\n l2\n l3\n-l4\n+l4x\n l5\n l6\n l7\n"
+	if got != want {
+		t.Fatalf("diff mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestUnifiedDiffSeparateHunks(t *testing.T) {
+	a := []byte("a\nb\nc\nd\ne\nf\ng\nh\ni\nj\nk\nl\nm\nn\n")
+	b := []byte("a\nB\nc\nd\ne\nf\ng\nh\ni\nj\nk\nl\nM\nn\n")
+	got := UnifiedDiff("a/f", "b/f", a, b)
+	want := "--- a/f\n+++ b/f\n" +
+		"@@ -1,5 +1,5 @@\n a\n-b\n+B\n c\n d\n e\n" +
+		"@@ -10,5 +10,5 @@\n j\n k\n l\n-m\n+M\n n\n"
+	if got != want {
+		t.Fatalf("diff mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestUnifiedDiffInsertion(t *testing.T) {
+	a := []byte("one\ntwo\nthree\n")
+	b := []byte("one\ntwo\nnew\nthree\n")
+	got := UnifiedDiff("a/f", "b/f", a, b)
+	want := "--- a/f\n+++ b/f\n@@ -1,3 +1,4 @@\n one\n two\n+new\n three\n"
+	if got != want {
+		t.Fatalf("diff mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -1,0 +1,172 @@
+package fix
+
+import (
+	"fmt"
+	"go/ast"
+	"sort"
+
+	"repro/internal/stanalyzer"
+)
+
+// Config scopes one repair run.
+type Config struct {
+	// Root scopes diagnostics to the functions reachable from this entry
+	// point (BugCase.StaticRoot); empty repairs the whole file.
+	Root string
+
+	// Defines fixes variant selectors for the static checker, normally
+	// {"buggy": true}: the planted variant is repaired, and the templates
+	// refuse to cross the guards these selectors control.
+	Defines map[string]bool
+
+	// MaxIterations bounds the repair loop (default 16). Every accepted
+	// iteration must strictly shrink the scoped diagnostic set, so the
+	// bound only trips on unrepairable inputs.
+	MaxIterations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Defines == nil {
+		c.Defines = map[string]bool{"buggy": true}
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 16
+	}
+	return c
+}
+
+// Step records one accepted repair iteration.
+type Step struct {
+	Kind   stanalyzer.Kind          `json:"kind"`
+	Action stanalyzer.FixActionKind `json:"action"`
+	Anchor string                   `json:"anchor"`
+	Note   string                   `json:"note"`
+}
+
+// PatchResult is the outcome of PatchSource: the repaired source and the
+// repair steps that produced it.
+type PatchResult struct {
+	Patched    []byte
+	Steps      []Step
+	Iterations int
+}
+
+// kindPriority orders diagnostics for repair: structural epoch errors
+// first (their repairs frequently clear downstream phase conflicts too),
+// cross-process phase conflicts last.
+var kindPriority = map[stanalyzer.Kind]int{
+	stanalyzer.KindExposureAccess:      0,
+	stanalyzer.KindEpochTargetConflict: 1,
+	stanalyzer.KindGetOriginUse:        2,
+	stanalyzer.KindPutOriginStore:      3,
+	stanalyzer.KindCrossTargetConflict: 4,
+	stanalyzer.KindCrossLocalConflict:  5,
+}
+
+// checkScoped parses src and returns the scoped diagnostics plus the
+// parse state the templates operate on.
+func checkScoped(name string, src []byte, cfg Config) (*parsed, []stanalyzer.Diagnostic, error) {
+	p, err := parseSource(name, src)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := stanalyzer.Check(p.fset, []*ast.File{p.file}, stanalyzer.Options{Defines: cfg.Defines})
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.Root == "" {
+		return p, rep.Diags, nil
+	}
+	return p, rep.ForFunctions(rep.Reachable(cfg.Root)), nil
+}
+
+func countKind(diags []stanalyzer.Diagnostic, k stanalyzer.Kind) int {
+	n := 0
+	for i := range diags {
+		if diags[i].Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// PatchSource repairs one source file to a fixpoint: each iteration picks
+// the highest-priority actionable diagnostic, applies its repair template,
+// and accepts the candidate only if re-analysis shows the diagnostic set
+// strictly shrinking — both overall and for the repaired kind. The loop
+// ends when the scoped diagnostics drain; a candidate that fails to make
+// progress is rejected and the next diagnostic is tried.
+func PatchSource(name string, src []byte, cfg Config) (*PatchResult, error) {
+	cfg = cfg.withDefaults()
+	res := &PatchResult{Patched: src}
+	for {
+		p, diags, err := checkScoped(name, res.Patched, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if len(diags) == 0 {
+			return res, nil
+		}
+		if res.Iterations >= cfg.MaxIterations {
+			return nil, fmt.Errorf("fix: %d diagnostic(s) remain after %d iterations", len(diags), res.Iterations)
+		}
+		ordered := append([]stanalyzer.Diagnostic(nil), diags...)
+		sort.SliceStable(ordered, func(i, j int) bool {
+			a, b := &ordered[i], &ordered[j]
+			if kindPriority[a.Kind] != kindPriority[b.Kind] {
+				return kindPriority[a.Kind] < kindPriority[b.Kind]
+			}
+			if a.Confidence != b.Confidence {
+				return a.Confidence > b.Confidence
+			}
+			return a.Pos.Offset < b.Pos.Offset
+		})
+		var lastErr error
+		applied := false
+		for i := range ordered {
+			d := &ordered[i]
+			if d.Action == nil {
+				continue
+			}
+			edits, note, err := applyTemplate(p, d, cfg.Defines)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			cand, err := applyEdits(p.src, edits)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			cand, err = gofmt(cand)
+			if err != nil {
+				lastErr = fmt.Errorf("fix: %s produced unparseable source: %w", d.Action.Kind, err)
+				continue
+			}
+			_, after, err := checkScoped(name, cand, cfg)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if len(after) >= len(diags) || countKind(after, d.Kind) >= countKind(diags, d.Kind) {
+				lastErr = fmt.Errorf("fix: %s at %s did not reduce the diagnostics (%d -> %d)",
+					d.Action.Kind, d.Pos, len(diags), len(after))
+				continue
+			}
+			res.Patched = cand
+			res.Steps = append(res.Steps, Step{
+				Kind: d.Kind, Action: d.Action.Kind,
+				Anchor: fmt.Sprintf("%s:%d", name, d.Action.Anchor.Line), Note: note,
+			})
+			res.Iterations++
+			applied = true
+			break
+		}
+		if !applied {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("fix: %d diagnostic(s) carry no repair action", len(diags))
+			}
+			return nil, lastErr
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package fix
+
+import (
+	"bytes"
+	"io/fs"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// FuzzApplyPatch feeds arbitrary Go sources through the repair loop and
+// checks the invariants the issue pins: repairing is idempotent (a
+// repaired source re-repairs to itself with no further steps), and every
+// produced patch passes go/format and — when the input type-checked
+// against the application API — still type-checks.
+func FuzzApplyPatch(f *testing.F) {
+	for _, e := range mustReadDir(f) {
+		src, err := fs.ReadFile(apps.SourceFS(), e.Name())
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(src)
+	}
+	for _, tc := range templateCases {
+		f.Add([]byte(snippetHeader + tc.src))
+	}
+	f.Add([]byte("package apps\n\nfunc Nop(buggy bool) int { return 0 }\n"))
+	f.Add([]byte("not go at all"))
+
+	f.Fuzz(func(t *testing.T, src []byte) {
+		res, err := PatchSource("fuzz.go", src, Config{})
+		if err != nil {
+			return // unparseable or unrepairable input: rejected, not patched
+		}
+		formatted, err := gofmt(res.Patched)
+		if err != nil {
+			t.Fatalf("patched source does not format: %v\n%s", err, res.Patched)
+		}
+		if len(res.Steps) > 0 && !bytes.Equal(formatted, res.Patched) {
+			t.Fatalf("patched source is not gofmt-idempotent")
+		}
+		if Typecheck("fuzz.go", src) == nil {
+			if err := Typecheck("fuzz.go", res.Patched); err != nil {
+				t.Fatalf("repair broke type-checking: %v\n%s", err, res.Patched)
+			}
+		}
+		again, err := PatchSource("fuzz.go", res.Patched, Config{})
+		if err != nil {
+			t.Fatalf("re-repairing a repaired source failed: %v", err)
+		}
+		if len(again.Steps) != 0 {
+			t.Fatalf("repair not idempotent: second pass applied %d more steps", len(again.Steps))
+		}
+		if !bytes.Equal(again.Patched, res.Patched) {
+			t.Fatalf("repair not idempotent: second pass changed the source")
+		}
+	})
+}
+
+func mustReadDir(f *testing.F) []fs.DirEntry {
+	entries, err := fs.ReadDir(apps.SourceFS(), ".")
+	if err != nil {
+		f.Fatal(err)
+	}
+	return entries
+}

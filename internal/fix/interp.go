@@ -1,0 +1,867 @@
+package fix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"strconv"
+
+	"repro/internal/mpi"
+)
+
+// This file is a small AST interpreter for the application subset of Go
+// the planted corpus uses. It exists so a *patched* program — which is
+// source text, not compiled code — can be executed against the real MPI
+// simulator and proven clean by the dynamic analyzer and the schedule
+// explorer. Method calls on simulator objects (*mpi.Proc, *mpi.Win,
+// *memory.Buffer, ...) dispatch through reflection, so interpreted
+// programs produce genuine traces; Repair gates on interpreter fidelity
+// by first reproducing the compiled variants' verdicts from the pristine
+// source.
+
+// pkgSyms resolves qualified identifiers of the packages the corpus
+// imports. Function values dispatch through reflection like methods.
+var pkgSyms = map[string]map[string]any{
+	"mpi": {
+		"Byte": mpi.Byte, "Int32": mpi.Int32, "Int64": mpi.Int64,
+		"Float32": mpi.Float32, "Float64": mpi.Float64,
+		"OpSum": mpi.OpSum, "OpProd": mpi.OpProd, "OpMax": mpi.OpMax,
+		"OpMin": mpi.OpMin, "OpReplace": mpi.OpReplace,
+		"LockShared": mpi.LockShared, "LockExclusive": mpi.LockExclusive,
+		"AssertNone": mpi.AssertNone,
+		"NewGroup":   mpi.NewGroup,
+	},
+	"fmt": {
+		"Errorf":  fmt.Errorf,
+		"Sprintf": fmt.Sprintf,
+	},
+}
+
+// Interp executes top-level functions of one parsed source file.
+type Interp struct {
+	fset *token.FileSet
+	fns  map[string]*ast.FuncDecl
+}
+
+// NewInterp parses src and indexes its top-level functions.
+func NewInterp(name string, src []byte) (*Interp, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, name, src, 0)
+	if err != nil {
+		return nil, err
+	}
+	ip := &Interp{fset: fset, fns: map[string]*ast.FuncDecl{}}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil {
+			ip.fns[fd.Name.Name] = fd
+		}
+	}
+	return ip, nil
+}
+
+// Closure evaluates root(buggy) — an app constructor returning a rank
+// body — and wraps the resulting interpreted closure as a native body for
+// mpi.Run. The wrapper deliberately does not recover: simulator control
+// panics (abort, crash) must unwind to the rank goroutine's own handler,
+// exactly as they do for compiled bodies.
+func (ip *Interp) Closure(root string, buggy bool) (func(p *mpi.Proc) error, error) {
+	fd, ok := ip.fns[root]
+	if !ok {
+		return nil, fmt.Errorf("interp: no function %q", root)
+	}
+	out, err := ip.callFunc(fd.Type, fd.Body, newScope(nil), []any{buggy})
+	if err != nil {
+		return nil, fmt.Errorf("interp: %s(%v): %w", root, buggy, err)
+	}
+	if len(out) != 1 {
+		return nil, fmt.Errorf("interp: %s returned %d values, want 1", root, len(out))
+	}
+	cl, ok := out[0].(*closureVal)
+	if !ok {
+		return nil, fmt.Errorf("interp: %s did not return a closure", root)
+	}
+	return func(p *mpi.Proc) error {
+		res, err := ip.callFunc(cl.typ, cl.body, cl.env, []any{p})
+		if err != nil {
+			return err
+		}
+		if len(res) == 0 || res[0] == nil {
+			return nil
+		}
+		e, ok := res[0].(error)
+		if !ok {
+			return fmt.Errorf("interp: body returned %T, want error", res[0])
+		}
+		return e
+	}, nil
+}
+
+// closureVal is a function literal closed over its defining scope.
+type closureVal struct {
+	typ  *ast.FuncType
+	body *ast.BlockStmt
+	env  *scope
+}
+
+type scope struct {
+	vars   map[string]any
+	parent *scope
+}
+
+func newScope(parent *scope) *scope { return &scope{vars: map[string]any{}, parent: parent} }
+
+func (s *scope) lookup(name string) (any, bool) {
+	for c := s; c != nil; c = c.parent {
+		if v, ok := c.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) assign(name string, v any) error {
+	for c := s; c != nil; c = c.parent {
+		if _, ok := c.vars[name]; ok {
+			c.vars[name] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("interp: assignment to undeclared %q", name)
+}
+
+// control carries a return through nested statement execution.
+type control struct{ ret []any }
+
+func (ip *Interp) pos(n ast.Node) token.Position { return ip.fset.Position(n.Pos()) }
+
+// callFunc binds arguments in a fresh child scope and executes the body.
+// Each invocation gets its own scope chain, so one interpreted closure is
+// safe to run concurrently from every rank goroutine (the shared defining
+// scope is only read).
+func (ip *Interp) callFunc(typ *ast.FuncType, body *ast.BlockStmt, env *scope, args []any) ([]any, error) {
+	sc := newScope(env)
+	i := 0
+	for _, field := range typ.Params.List {
+		for _, name := range field.Names {
+			if i >= len(args) {
+				return nil, fmt.Errorf("interp: too few arguments (%d)", len(args))
+			}
+			sc.vars[name.Name] = args[i]
+			i++
+		}
+	}
+	if i != len(args) {
+		return nil, fmt.Errorf("interp: %d arguments for %d parameters", len(args), i)
+	}
+	ctl, err := ip.execBlock(body, sc)
+	if err != nil {
+		return nil, err
+	}
+	if ctl != nil {
+		return ctl.ret, nil
+	}
+	return nil, nil
+}
+
+func (ip *Interp) execBlock(b *ast.BlockStmt, sc *scope) (*control, error) {
+	inner := newScope(sc)
+	for _, s := range b.List {
+		ctl, err := ip.execStmt(s, inner)
+		if err != nil || ctl != nil {
+			return ctl, err
+		}
+	}
+	return nil, nil
+}
+
+func (ip *Interp) execStmt(s ast.Stmt, sc *scope) (*control, error) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return ip.execBlock(st, sc)
+	case *ast.ExprStmt:
+		// Statement-position calls discard their results, so void methods
+		// (Barrier, Fence, Put, ...) are legal here.
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			_, err := ip.evalCall(call, sc)
+			return nil, err
+		}
+		_, err := ip.eval(st.X, sc)
+		return nil, err
+	case *ast.AssignStmt:
+		return nil, ip.execAssign(st, sc)
+	case *ast.DeclStmt:
+		return nil, ip.execDecl(st, sc)
+	case *ast.IncDecStmt:
+		v, err := ip.eval(st.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		op := token.ADD
+		if st.Tok == token.DEC {
+			op = token.SUB
+		}
+		nv, err := binOp(op, v, 1)
+		if err != nil {
+			return nil, fmt.Errorf("interp: %s: %w", ip.pos(st), err)
+		}
+		id, ok := st.X.(*ast.Ident)
+		if !ok {
+			return nil, fmt.Errorf("interp: %s: unsupported inc/dec target", ip.pos(st))
+		}
+		return nil, sc.assign(id.Name, nv)
+	case *ast.ReturnStmt:
+		ctl := &control{ret: []any{}}
+		for _, e := range st.Results {
+			v, err := ip.eval(e, sc)
+			if err != nil {
+				return nil, err
+			}
+			ctl.ret = append(ctl.ret, v)
+		}
+		return ctl, nil
+	case *ast.IfStmt:
+		inner := newScope(sc)
+		if st.Init != nil {
+			if ctl, err := ip.execStmt(st.Init, inner); err != nil || ctl != nil {
+				return ctl, err
+			}
+		}
+		cond, err := ip.evalBool(st.Cond, inner)
+		if err != nil {
+			return nil, err
+		}
+		if cond {
+			return ip.execBlock(st.Body, inner)
+		}
+		if st.Else != nil {
+			return ip.execStmt(st.Else, inner)
+		}
+		return nil, nil
+	case *ast.ForStmt:
+		inner := newScope(sc)
+		if st.Init != nil {
+			if ctl, err := ip.execStmt(st.Init, inner); err != nil || ctl != nil {
+				return ctl, err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				ok, err := ip.evalBool(st.Cond, inner)
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					return nil, nil
+				}
+			}
+			if ctl, err := ip.execBlock(st.Body, inner); err != nil || ctl != nil {
+				return ctl, err
+			}
+			if st.Post != nil {
+				if ctl, err := ip.execStmt(st.Post, inner); err != nil || ctl != nil {
+					return ctl, err
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		if st.Tok != token.DEFINE {
+			return nil, fmt.Errorf("interp: %s: unsupported range form", ip.pos(st))
+		}
+		v, err := ip.eval(st.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		rv := reflect.ValueOf(v)
+		if rv.Kind() != reflect.Slice {
+			return nil, fmt.Errorf("interp: %s: range over %T", ip.pos(st), v)
+		}
+		for i := 0; i < rv.Len(); i++ {
+			inner := newScope(sc)
+			if id, ok := st.Key.(*ast.Ident); ok && id.Name != "_" {
+				inner.vars[id.Name] = i
+			}
+			if st.Value != nil {
+				if id, ok := st.Value.(*ast.Ident); ok && id.Name != "_" {
+					inner.vars[id.Name] = rv.Index(i).Interface()
+				}
+			}
+			if ctl, err := ip.execBlock(st.Body, inner); err != nil || ctl != nil {
+				return ctl, err
+			}
+		}
+		return nil, nil
+	case *ast.EmptyStmt:
+		return nil, nil
+	}
+	return nil, fmt.Errorf("interp: %s: unsupported statement %T", ip.pos(s), s)
+}
+
+func (ip *Interp) execAssign(st *ast.AssignStmt, sc *scope) error {
+	// Compound assignment desugars to a binary op on a single pair.
+	if st.Tok != token.ASSIGN && st.Tok != token.DEFINE {
+		var op token.Token
+		switch st.Tok {
+		case token.ADD_ASSIGN:
+			op = token.ADD
+		case token.SUB_ASSIGN:
+			op = token.SUB
+		case token.MUL_ASSIGN:
+			op = token.MUL
+		case token.QUO_ASSIGN:
+			op = token.QUO
+		case token.REM_ASSIGN:
+			op = token.REM
+		default:
+			return fmt.Errorf("interp: %s: unsupported assignment %s", ip.pos(st), st.Tok)
+		}
+		if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+			return fmt.Errorf("interp: %s: compound assignment arity", ip.pos(st))
+		}
+		cur, err := ip.eval(st.Lhs[0], sc)
+		if err != nil {
+			return err
+		}
+		rhs, err := ip.eval(st.Rhs[0], sc)
+		if err != nil {
+			return err
+		}
+		nv, err := binOp(op, cur, rhs)
+		if err != nil {
+			return fmt.Errorf("interp: %s: %w", ip.pos(st), err)
+		}
+		id, ok := st.Lhs[0].(*ast.Ident)
+		if !ok {
+			return fmt.Errorf("interp: %s: unsupported assignment target", ip.pos(st))
+		}
+		return sc.assign(id.Name, nv)
+	}
+
+	var vals []any
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return fmt.Errorf("interp: %s: multi-assign needs a call", ip.pos(st))
+		}
+		out, err := ip.evalCall(call, sc)
+		if err != nil {
+			return err
+		}
+		vals = out
+	} else {
+		for _, e := range st.Rhs {
+			v, err := ip.eval(e, sc)
+			if err != nil {
+				return err
+			}
+			vals = append(vals, v)
+		}
+	}
+	if len(vals) != len(st.Lhs) {
+		return fmt.Errorf("interp: %s: %d values for %d targets", ip.pos(st), len(vals), len(st.Lhs))
+	}
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return fmt.Errorf("interp: %s: unsupported assignment target %T", ip.pos(st), lhs)
+		}
+		if id.Name == "_" {
+			continue
+		}
+		if st.Tok == token.DEFINE {
+			sc.vars[id.Name] = vals[i]
+		} else if err := sc.assign(id.Name, vals[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (ip *Interp) execDecl(st *ast.DeclStmt, sc *scope) error {
+	gd, ok := st.Decl.(*ast.GenDecl)
+	if !ok || (gd.Tok != token.CONST && gd.Tok != token.VAR) {
+		return fmt.Errorf("interp: %s: unsupported declaration", ip.pos(st))
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			return fmt.Errorf("interp: %s: unsupported spec", ip.pos(st))
+		}
+		for i, name := range vs.Names {
+			var v any
+			if i < len(vs.Values) {
+				var err error
+				v, err = ip.eval(vs.Values[i], sc)
+				if err != nil {
+					return err
+				}
+			}
+			if name.Name != "_" {
+				sc.vars[name.Name] = v
+			}
+		}
+	}
+	return nil
+}
+
+func (ip *Interp) evalBool(e ast.Expr, sc *scope) (bool, error) {
+	v, err := ip.eval(e, sc)
+	if err != nil {
+		return false, err
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return false, fmt.Errorf("interp: %s: condition is %T, want bool", ip.pos(e), v)
+	}
+	return b, nil
+}
+
+func (ip *Interp) eval(e ast.Expr, sc *scope) (any, error) {
+	switch ex := e.(type) {
+	case *ast.BasicLit:
+		switch ex.Kind {
+		case token.INT:
+			n, err := strconv.ParseInt(ex.Value, 0, 64)
+			if err != nil {
+				return nil, fmt.Errorf("interp: %s: %w", ip.pos(ex), err)
+			}
+			return int(n), nil
+		case token.FLOAT:
+			f, err := strconv.ParseFloat(ex.Value, 64)
+			if err != nil {
+				return nil, fmt.Errorf("interp: %s: %w", ip.pos(ex), err)
+			}
+			return f, nil
+		case token.STRING:
+			return strconv.Unquote(ex.Value)
+		}
+		return nil, fmt.Errorf("interp: %s: unsupported literal %s", ip.pos(ex), ex.Kind)
+	case *ast.Ident:
+		switch ex.Name {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		case "nil":
+			return nil, nil
+		}
+		if v, ok := sc.lookup(ex.Name); ok {
+			return v, nil
+		}
+		return nil, fmt.Errorf("interp: %s: undefined %q", ip.pos(ex), ex.Name)
+	case *ast.ParenExpr:
+		return ip.eval(ex.X, sc)
+	case *ast.UnaryExpr:
+		v, err := ip.eval(ex.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		switch ex.Op {
+		case token.NOT:
+			b, ok := v.(bool)
+			if !ok {
+				return nil, fmt.Errorf("interp: %s: ! on %T", ip.pos(ex), v)
+			}
+			return !b, nil
+		case token.SUB:
+			return binOp(token.SUB, 0, v)
+		case token.ADD:
+			return v, nil
+		}
+		return nil, fmt.Errorf("interp: %s: unsupported unary %s", ip.pos(ex), ex.Op)
+	case *ast.BinaryExpr:
+		if ex.Op == token.LAND || ex.Op == token.LOR {
+			l, err := ip.evalBool(ex.X, sc)
+			if err != nil {
+				return nil, err
+			}
+			if (ex.Op == token.LAND && !l) || (ex.Op == token.LOR && l) {
+				return l, nil
+			}
+			return ip.evalBool(ex.Y, sc)
+		}
+		l, err := ip.eval(ex.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ip.eval(ex.Y, sc)
+		if err != nil {
+			return nil, err
+		}
+		v, err := binOp(ex.Op, l, r)
+		if err != nil {
+			return nil, fmt.Errorf("interp: %s: %w", ip.pos(ex), err)
+		}
+		return v, nil
+	case *ast.CallExpr:
+		out, err := ip.evalCall(ex, sc)
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != 1 {
+			return nil, fmt.Errorf("interp: %s: call yields %d values in single-value context", ip.pos(ex), len(out))
+		}
+		return out[0], nil
+	case *ast.SelectorExpr:
+		return ip.evalSelector(ex, sc)
+	case *ast.CompositeLit:
+		return ip.evalComposite(ex, sc)
+	case *ast.FuncLit:
+		return &closureVal{typ: ex.Type, body: ex.Body, env: sc}, nil
+	}
+	return nil, fmt.Errorf("interp: %s: unsupported expression %T", ip.pos(e), e)
+}
+
+// evalSelector resolves pkg.Symbol references (mpi.Float64, mpi.OpSum).
+func (ip *Interp) evalSelector(sel *ast.SelectorExpr, sc *scope) (any, error) {
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if _, shadowed := sc.lookup(id.Name); !shadowed {
+			if syms, ok := pkgSyms[id.Name]; ok {
+				if v, ok := syms[sel.Sel.Name]; ok {
+					return v, nil
+				}
+				return nil, fmt.Errorf("interp: %s: unknown symbol %s.%s", ip.pos(sel), id.Name, sel.Sel.Name)
+			}
+		}
+	}
+	return nil, fmt.Errorf("interp: %s: unsupported selector", ip.pos(sel))
+}
+
+func (ip *Interp) evalComposite(lit *ast.CompositeLit, sc *scope) (any, error) {
+	at, ok := lit.Type.(*ast.ArrayType)
+	if !ok || at.Len != nil {
+		return nil, fmt.Errorf("interp: %s: unsupported composite literal", ip.pos(lit))
+	}
+	elt, ok := at.Elt.(*ast.Ident)
+	if !ok {
+		return nil, fmt.Errorf("interp: %s: unsupported element type", ip.pos(lit))
+	}
+	var conv func(any) (any, error)
+	var mk func(n int) reflect.Value
+	switch elt.Name {
+	case "float64":
+		conv = func(v any) (any, error) { return convertBuiltin("float64", v) }
+		mk = func(n int) reflect.Value { return reflect.ValueOf(make([]float64, 0, n)) }
+	case "int":
+		conv = func(v any) (any, error) { return convertBuiltin("int", v) }
+		mk = func(n int) reflect.Value { return reflect.ValueOf(make([]int, 0, n)) }
+	default:
+		return nil, fmt.Errorf("interp: %s: unsupported slice of %s", ip.pos(lit), elt.Name)
+	}
+	out := mk(len(lit.Elts))
+	for _, el := range lit.Elts {
+		v, err := ip.eval(el, sc)
+		if err != nil {
+			return nil, err
+		}
+		cv, err := conv(v)
+		if err != nil {
+			return nil, fmt.Errorf("interp: %s: %w", ip.pos(el), err)
+		}
+		out = reflect.Append(out, reflect.ValueOf(cv))
+	}
+	return out.Interface(), nil
+}
+
+// builtinConversions are the type-conversion spellings the apps use.
+var builtinConversions = map[string]bool{
+	"int": true, "int32": true, "int64": true,
+	"uint32": true, "uint64": true, "byte": true, "uint8": true,
+	"float32": true, "float64": true,
+}
+
+func (ip *Interp) evalCall(call *ast.CallExpr, sc *scope) ([]any, error) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if _, shadowed := sc.lookup(fun.Name); !shadowed && builtinConversions[fun.Name] && len(call.Args) == 1 {
+			v, err := ip.eval(call.Args[0], sc)
+			if err != nil {
+				return nil, err
+			}
+			cv, err := convertBuiltin(fun.Name, v)
+			if err != nil {
+				return nil, fmt.Errorf("interp: %s: %w", ip.pos(call), err)
+			}
+			return []any{cv}, nil
+		}
+		args, err := ip.evalArgs(call.Args, sc)
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := sc.lookup(fun.Name); ok {
+			cl, ok := v.(*closureVal)
+			if !ok {
+				return nil, fmt.Errorf("interp: %s: calling %T", ip.pos(call), v)
+			}
+			return ip.callFunc(cl.typ, cl.body, cl.env, args)
+		}
+		if fd, ok := ip.fns[fun.Name]; ok {
+			return ip.callFunc(fd.Type, fd.Body, newScope(nil), args)
+		}
+		return nil, fmt.Errorf("interp: %s: undefined function %q", ip.pos(call), fun.Name)
+	case *ast.SelectorExpr:
+		// Package function (mpi.NewGroup, fmt.Errorf) or method call.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if _, shadowed := sc.lookup(id.Name); !shadowed {
+				if syms, ok := pkgSyms[id.Name]; ok {
+					fv, ok := syms[fun.Sel.Name]
+					if !ok {
+						return nil, fmt.Errorf("interp: %s: unknown function %s.%s", ip.pos(call), id.Name, fun.Sel.Name)
+					}
+					args, err := ip.evalArgs(call.Args, sc)
+					if err != nil {
+						return nil, err
+					}
+					return callReflect(reflect.ValueOf(fv), args, id.Name+"."+fun.Sel.Name)
+				}
+			}
+		}
+		recv, err := ip.eval(fun.X, sc)
+		if err != nil {
+			return nil, err
+		}
+		m := reflect.ValueOf(recv).MethodByName(fun.Sel.Name)
+		if !m.IsValid() {
+			return nil, fmt.Errorf("interp: %s: %T has no method %s", ip.pos(call), recv, fun.Sel.Name)
+		}
+		args, err := ip.evalArgs(call.Args, sc)
+		if err != nil {
+			return nil, err
+		}
+		return callReflect(m, args, fmt.Sprintf("(%T).%s", recv, fun.Sel.Name))
+	}
+	return nil, fmt.Errorf("interp: %s: unsupported call target %T", ip.pos(call), call.Fun)
+}
+
+func (ip *Interp) evalArgs(exprs []ast.Expr, sc *scope) ([]any, error) {
+	args := make([]any, 0, len(exprs))
+	for _, e := range exprs {
+		v, err := ip.eval(e, sc)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	return args, nil
+}
+
+// callReflect invokes a native function/method, converting interpreter
+// values to the declared parameter types.
+func callReflect(fn reflect.Value, args []any, what string) ([]any, error) {
+	ft := fn.Type()
+	fixed := ft.NumIn()
+	if ft.IsVariadic() {
+		fixed--
+		if len(args) < fixed {
+			return nil, fmt.Errorf("interp: %s: %d args for %d+ parameters", what, len(args), fixed)
+		}
+	} else if len(args) != fixed {
+		return nil, fmt.Errorf("interp: %s: %d args for %d parameters", what, len(args), fixed)
+	}
+	in := make([]reflect.Value, len(args))
+	for i, a := range args {
+		var pt reflect.Type
+		if i < fixed {
+			pt = ft.In(i)
+		} else {
+			pt = ft.In(ft.NumIn() - 1).Elem()
+		}
+		cv, err := convertArg(a, pt)
+		if err != nil {
+			return nil, fmt.Errorf("interp: %s arg %d: %w", what, i, err)
+		}
+		in[i] = cv
+	}
+	out := fn.Call(in)
+	res := make([]any, len(out))
+	for i, v := range out {
+		res[i] = v.Interface()
+	}
+	return res, nil
+}
+
+func convertArg(a any, pt reflect.Type) (reflect.Value, error) {
+	if a == nil {
+		return reflect.Zero(pt), nil
+	}
+	av := reflect.ValueOf(a)
+	if av.Type().AssignableTo(pt) {
+		return av, nil
+	}
+	if numericKind(av.Kind()) && numericKind(pt.Kind()) && av.Type().ConvertibleTo(pt) {
+		return av.Convert(pt), nil
+	}
+	if pt.Kind() == reflect.Interface && av.Type().Implements(pt) {
+		return av, nil
+	}
+	return reflect.Value{}, fmt.Errorf("cannot use %T as %s", a, pt)
+}
+
+func numericKind(k reflect.Kind) bool {
+	switch k {
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64:
+		return true
+	}
+	return false
+}
+
+func convertBuiltin(name string, v any) (any, error) {
+	rv := reflect.ValueOf(v)
+	if !rv.IsValid() || !numericKind(rv.Kind()) {
+		return nil, fmt.Errorf("cannot convert %T to %s", v, name)
+	}
+	switch name {
+	case "int":
+		return int(asFloat(rv)), nil
+	case "int32":
+		return int32(asFloat(rv)), nil
+	case "int64":
+		return int64(asFloat(rv)), nil
+	case "uint32":
+		return uint32(asUint(rv)), nil
+	case "uint64":
+		return asUint(rv), nil
+	case "byte", "uint8":
+		return byte(asUint(rv)), nil
+	case "float32":
+		return float32(asFloat(rv)), nil
+	case "float64":
+		return asFloat(rv), nil
+	}
+	return nil, fmt.Errorf("unsupported conversion to %s", name)
+}
+
+func asFloat(rv reflect.Value) float64 {
+	switch rv.Kind() {
+	case reflect.Float32, reflect.Float64:
+		return rv.Float()
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return float64(rv.Uint())
+	default:
+		return float64(rv.Int())
+	}
+}
+
+func asUint(rv reflect.Value) uint64 {
+	switch rv.Kind() {
+	case reflect.Float32, reflect.Float64:
+		return uint64(rv.Float())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		return rv.Uint()
+	default:
+		return uint64(rv.Int())
+	}
+}
+
+// binOp evaluates an arithmetic or comparison operator with Go-like
+// numeric promotion: float if either side is float, unsigned if either
+// side is unsigned, int otherwise.
+func binOp(op token.Token, a, b any) (any, error) {
+	av, bv := reflect.ValueOf(a), reflect.ValueOf(b)
+	if av.IsValid() && bv.IsValid() && numericKind(av.Kind()) && numericKind(bv.Kind()) {
+		aF := av.Kind() == reflect.Float32 || av.Kind() == reflect.Float64
+		bF := bv.Kind() == reflect.Float32 || bv.Kind() == reflect.Float64
+		if aF || bF {
+			return floatOp(op, asFloat(av), asFloat(bv))
+		}
+		aU := av.Kind() >= reflect.Uint && av.Kind() <= reflect.Uintptr
+		bU := bv.Kind() >= reflect.Uint && bv.Kind() <= reflect.Uintptr
+		if aU || bU {
+			return uintOp(op, asUint(av), asUint(bv))
+		}
+		return intOp(op, av.Int(), bv.Int())
+	}
+	// Non-numeric equality: bools, strings, nil.
+	switch op {
+	case token.EQL:
+		return a == b, nil
+	case token.NEQ:
+		return a != b, nil
+	}
+	return nil, fmt.Errorf("unsupported operands %T %s %T", a, op, b)
+}
+
+func floatOp(op token.Token, a, b float64) (any, error) {
+	switch op {
+	case token.ADD:
+		return a + b, nil
+	case token.SUB:
+		return a - b, nil
+	case token.MUL:
+		return a * b, nil
+	case token.QUO:
+		return a / b, nil
+	case token.EQL:
+		return a == b, nil
+	case token.NEQ:
+		return a != b, nil
+	case token.LSS:
+		return a < b, nil
+	case token.LEQ:
+		return a <= b, nil
+	case token.GTR:
+		return a > b, nil
+	case token.GEQ:
+		return a >= b, nil
+	}
+	return nil, fmt.Errorf("unsupported float op %s", op)
+}
+
+func uintOp(op token.Token, a, b uint64) (any, error) {
+	switch op {
+	case token.ADD:
+		return a + b, nil
+	case token.SUB:
+		return a - b, nil
+	case token.MUL:
+		return a * b, nil
+	case token.QUO:
+		return a / b, nil
+	case token.REM:
+		return a % b, nil
+	case token.EQL:
+		return a == b, nil
+	case token.NEQ:
+		return a != b, nil
+	case token.LSS:
+		return a < b, nil
+	case token.LEQ:
+		return a <= b, nil
+	case token.GTR:
+		return a > b, nil
+	case token.GEQ:
+		return a >= b, nil
+	}
+	return nil, fmt.Errorf("unsupported uint op %s", op)
+}
+
+func intOp(op token.Token, a, b int64) (any, error) {
+	switch op {
+	case token.ADD:
+		return int(a + b), nil
+	case token.SUB:
+		return int(a - b), nil
+	case token.MUL:
+		return int(a * b), nil
+	case token.QUO:
+		return int(a / b), nil
+	case token.REM:
+		return int(a % b), nil
+	case token.EQL:
+		return a == b, nil
+	case token.NEQ:
+		return a != b, nil
+	case token.LSS:
+		return a < b, nil
+	case token.LEQ:
+		return a <= b, nil
+	case token.GTR:
+		return a > b, nil
+	case token.GEQ:
+		return a >= b, nil
+	}
+	return nil, fmt.Errorf("unsupported int op %s", op)
+}

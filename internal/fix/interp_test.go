@@ -1,0 +1,83 @@
+package fix
+
+import (
+	"strings"
+	"testing"
+)
+
+// The interpreter only needs to run the application subset faithfully;
+// these tests pin the language features the corpus exercises without
+// touching the simulator.
+const interpProg = `package apps
+
+import "fmt"
+
+func helper(x int) int { return x * 2 }
+
+func Arith(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		sum := 0.0
+		for i := 0; i < 4; i++ {
+			sum += float64(i)
+		}
+		if sum != 6 {
+			return fmt.Errorf("loop sum = %v", sum)
+		}
+		total := 0.0
+		for i, want := range []float64{1, 2, 3} {
+			total += want * float64(i+1)
+		}
+		if total != 14 {
+			return fmt.Errorf("range total = %v", total)
+		}
+		const base = 10
+		n := helper(base)
+		if n != 20 {
+			return fmt.Errorf("helper = %v", n)
+		}
+		u := uint64(3) * 8
+		if u != 24 {
+			return fmt.Errorf("uint math = %v", u)
+		}
+		if got := fmt.Sprintf("%d-%v", n, buggy); buggy && got != "20-true" {
+			return fmt.Errorf("sprintf = %q", got)
+		}
+		if buggy {
+			return fmt.Errorf("buggy branch taken")
+		}
+		return nil
+	}
+}
+`
+
+func TestInterpLanguageSubset(t *testing.T) {
+	ip, err := NewInterp("interp.go", []byte(interpProg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := ip.Closure("Arith", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean(nil); err != nil {
+		t.Fatalf("clean variant: %v", err)
+	}
+	buggy, err := ip.Closure("Arith", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = buggy(nil)
+	if err == nil || !strings.Contains(err.Error(), "buggy branch taken") {
+		t.Fatalf("buggy variant returned %v, want the planted error", err)
+	}
+}
+
+func TestInterpUnknownRoot(t *testing.T) {
+	ip, err := NewInterp("interp.go", []byte(interpProg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.Closure("Missing", false); err == nil {
+		t.Fatal("Closure on an undeclared root did not fail")
+	}
+}

@@ -1,0 +1,55 @@
+package fix
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// TestRepairCorpus is the acceptance gate the issue demands: every
+// planted buggy corpus variant must auto-repair to a program whose
+// dynamic and exploration verdicts match its checked-in fixed variant.
+func TestRepairCorpus(t *testing.T) {
+	for _, bc := range apps.CorpusCases() {
+		bc := bc
+		t.Run(bc.Name, func(t *testing.T) {
+			res, err := Repair(bc, VerifyConfig{})
+			if err != nil {
+				t.Fatalf("Repair: %v", err)
+			}
+			if !res.Verified {
+				t.Fatalf("repair not verified: %s\ncompiled buggy=%+v fixed=%+v\ninterp buggy=%+v fixed=%+v\npatched buggy=%+v fixed=%+v\ndiff:\n%s",
+					res.Reason, res.CompiledBuggy, res.CompiledFixed,
+					res.InterpBuggy, res.InterpFixed,
+					res.PatchedBuggy, res.PatchedFixed, res.Diff)
+			}
+			if len(res.Steps) == 0 {
+				t.Fatalf("verified repair recorded no steps")
+			}
+			if res.Diff == "" {
+				t.Fatalf("verified repair produced an empty diff")
+			}
+			if !strings.Contains(res.Diff, "+++ b/"+res.File) {
+				t.Fatalf("diff header does not name %s:\n%s", res.File, res.Diff)
+			}
+		})
+	}
+}
+
+// TestRepairAllAggregates exercises the batch entry point the CLI uses.
+func TestRepairAllAggregates(t *testing.T) {
+	cases := apps.CorpusCases()
+	results, err := RepairAll(cases, VerifyConfig{})
+	if err != nil {
+		t.Fatalf("RepairAll: %v", err)
+	}
+	if len(results) != len(cases) {
+		t.Fatalf("got %d results for %d cases", len(results), len(cases))
+	}
+	for _, res := range results {
+		if !res.Verified {
+			t.Errorf("%s: not verified: %s", res.Name, res.Reason)
+		}
+	}
+}

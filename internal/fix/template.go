@@ -1,0 +1,285 @@
+package fix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"repro/internal/stanalyzer"
+)
+
+// syncCalls are the method names whose call statements order RMA against
+// local accesses — the insertion/move targets of the repair templates.
+var syncCalls = map[string]bool{
+	"Barrier": true, "WaitEpoch": true, "Fence": true, "Complete": true,
+	"Unlock": true, "UnlockAll": true, "Flush": true, "FlushAll": true,
+}
+
+// isDefineGuard reports whether the statement is an if on a -define'd
+// variant selector (`if buggy { ... }` or its negation): the boundary the
+// templates must not hoist repairs across, so the clean variant's behavior
+// stays untouched.
+func isDefineGuard(s ast.Stmt, defines map[string]bool) bool {
+	ifs, ok := s.(*ast.IfStmt)
+	if !ok || ifs.Init != nil {
+		return false
+	}
+	cond := ifs.Cond
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		cond = u.X
+	}
+	id, ok := cond.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, defined := defines[id.Name]
+	return defined
+}
+
+// applyTemplate maps one diagnostic's FixAction onto concrete edits.
+func applyTemplate(p *parsed, d *stanalyzer.Diagnostic, defines map[string]bool) ([]edit, string, error) {
+	act := d.Action
+	if act == nil {
+		return nil, "", fmt.Errorf("fix: %s at %s carries no action", d.Kind, d.Pos)
+	}
+	switch act.Kind {
+	case stanalyzer.FixInsertFlushAll:
+		return insertCompletion(p, d, act.Win+".FlushAll()", defines)
+	case stanalyzer.FixInsertFlush:
+		return insertCompletion(p, d, act.Win+".Flush("+act.Target+")", defines)
+	case stanalyzer.FixWidenFlushLocal:
+		return widenFlushLocal(p, d)
+	case stanalyzer.FixSplitEpoch:
+		return splitEpoch(p, d)
+	case stanalyzer.FixMoveAfterSync, stanalyzer.FixMoveOutOfExposure:
+		return moveAfterNextSync(p, d, defines)
+	case stanalyzer.FixRewriteAccumulate:
+		return rewriteAccumulate(p, d)
+	}
+	return nil, "", fmt.Errorf("fix: unknown action kind %q", act.Kind)
+}
+
+// insertCompletion inserts a completion call (Flush/FlushAll) before the
+// statement using the still-pending transfer. The insertion point ascends
+// from the flagged statement to the outermost enclosing statement that
+// neither contains the conflicting operation (the transfer must stay
+// before the flush) nor crosses a variant guard (the clean variant must
+// not inherit the extra call).
+func insertCompletion(p *parsed, d *stanalyzer.Diagnostic, call string, defines map[string]bool) ([]edit, string, error) {
+	anchorOff := d.Action.Anchor.Offset
+	chain := p.stmtAncestors(anchorOff)
+	if len(chain) == 0 {
+		return nil, "", fmt.Errorf("fix: no statement at %s", d.Action.Anchor)
+	}
+	refOff := -1
+	if d.Ref.IsValid() {
+		refOff = d.Ref.Offset
+	}
+	target := chain[len(chain)-1]
+	for i := len(chain) - 2; i >= 0; i-- {
+		s := chain[i]
+		if refOff >= 0 && p.offsetOf(s.Pos()) <= refOff && refOff < p.offsetOf(s.End()) {
+			break
+		}
+		if isDefineGuard(s, defines) {
+			break
+		}
+		target = s
+	}
+	at := lineStart(p.src, p.offsetOf(target.Pos()))
+	note := fmt.Sprintf("insert %s before %s:%d", call, p.name, p.fset.Position(target.Pos()).Line)
+	return []edit{{start: at, end: at, text: call + "\n"}}, note, nil
+}
+
+// widenFlushLocal rewrites the FlushLocal between the two conflicting
+// operations into a full Flush: local completion frees the origin buffer
+// but leaves the transfer pending at the target, so a second update to the
+// same cell still races.
+func widenFlushLocal(p *parsed, d *stanalyzer.Diagnostic) ([]edit, string, error) {
+	lo, hi := 0, len(p.src)
+	if d.Ref.IsValid() {
+		lo = d.Ref.Offset
+	}
+	if d.Action.Anchor.Offset > lo {
+		hi = d.Action.Anchor.Offset
+	}
+	var sel *ast.SelectorExpr
+	ast.Inspect(p.file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		s, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || s.Sel.Name != "FlushLocal" {
+			return true
+		}
+		off := p.offsetOf(call.Pos())
+		if off >= lo && off < hi && (d.Action.Win == "" || p.exprText(s.X) == d.Action.Win) {
+			sel = s
+		}
+		return true
+	})
+	if sel == nil {
+		return nil, "", fmt.Errorf("fix: no %s.FlushLocal between %s and %s", d.Action.Win, d.Ref, d.Action.Anchor)
+	}
+	note := fmt.Sprintf("widen %s.FlushLocal to Flush at %s:%d", d.Action.Win, p.name, p.fset.Position(sel.Sel.Pos()).Line)
+	return []edit{{start: p.offsetOf(sel.Sel.Pos()), end: p.offsetOf(sel.Sel.End()), text: "Flush"}}, note, nil
+}
+
+// splitEpoch inserts a collective Fence between the two conflicting
+// operations of one fence epoch, splitting it in two. The fence is placed
+// in the block that opened the epoch — outside any rank guard the
+// operations sit under, because every rank of the window's communicator
+// must reach a fence for it to complete.
+func splitEpoch(p *parsed, d *stanalyzer.Diagnostic) ([]edit, string, error) {
+	act := d.Action
+	if !act.Open.IsValid() || !d.Ref.IsValid() {
+		return nil, "", fmt.Errorf("fix: split-epoch at %s lacks open/ref positions", act.Anchor)
+	}
+	openStmt := p.stmtAt(act.Open.Offset)
+	if openStmt == nil {
+		return nil, "", fmt.Errorf("fix: no epoch-opening statement at %s", act.Open)
+	}
+	epochBlock := p.enclosingBlock(openStmt)
+	if epochBlock == nil {
+		return nil, "", fmt.Errorf("fix: epoch-opening statement at %s not in a block", act.Open)
+	}
+	childUnder := func(b *ast.BlockStmt, off int) ast.Stmt {
+		for _, s := range b.List {
+			if p.offsetOf(s.Pos()) <= off && off < p.offsetOf(s.End()) {
+				return s
+			}
+		}
+		return nil
+	}
+	fence := act.Win + ".Fence(mpi.AssertNone)"
+	tPos, tRef := childUnder(epochBlock, act.Anchor.Offset), childUnder(epochBlock, d.Ref.Offset)
+	if tPos == nil || tRef == nil {
+		return nil, "", fmt.Errorf("fix: conflicting operations of %s not under the epoch block", act.Anchor)
+	}
+	if tPos != tRef {
+		later := tPos
+		if p.offsetOf(tRef.Pos()) > p.offsetOf(later.Pos()) {
+			later = tRef
+		}
+		at := lineStart(p.src, p.offsetOf(later.Pos()))
+		note := fmt.Sprintf("split fence epoch: insert %s before %s:%d", fence, p.name, p.fset.Position(later.Pos()).Line)
+		return []edit{{start: at, end: at, text: fence + "\n"}}, note, nil
+	}
+	// Both operations sit under one guard (`if p.Rank() == 0 { ... }`):
+	// split the guard itself, closing it, fencing collectively, and
+	// reopening the same condition.
+	guard, ok := tPos.(*ast.IfStmt)
+	if !ok || guard.Else != nil || guard.Init != nil {
+		return nil, "", fmt.Errorf("fix: cannot split epoch inside %s:%d", p.name, p.fset.Position(tPos.Pos()).Line)
+	}
+	uPos, uRef := childUnder(guard.Body, act.Anchor.Offset), childUnder(guard.Body, d.Ref.Offset)
+	if uPos == nil || uRef == nil || uPos == uRef {
+		return nil, "", fmt.Errorf("fix: conflicting operations inseparable under guard at %s:%d", p.name, p.fset.Position(guard.Pos()).Line)
+	}
+	later := uPos
+	if p.offsetOf(uRef.Pos()) > p.offsetOf(later.Pos()) {
+		later = uRef
+	}
+	at := lineStart(p.src, p.offsetOf(later.Pos()))
+	cond := p.exprText(guard.Cond)
+	note := fmt.Sprintf("split fence epoch across guard %q: insert %s before %s:%d",
+		cond, fence, p.name, p.fset.Position(later.Pos()).Line)
+	return []edit{{start: at, end: at, text: "}\n" + fence + "\nif " + cond + " {\n"}}, note, nil
+}
+
+// moveAfterNextSync moves the flagged local access past the next
+// synchronization statement in its block, deferring it until the pending
+// transfer has completed (FixMoveAfterSync) or the exposure epoch has
+// closed (FixMoveOutOfExposure). When the access is the lone statement of
+// a variant guard, the whole guard moves, so the clean variant's path is
+// untouched.
+func moveAfterNextSync(p *parsed, d *stanalyzer.Diagnostic, defines map[string]bool) ([]edit, string, error) {
+	moved := p.stmtAt(d.Action.Anchor.Offset)
+	if moved == nil {
+		return nil, "", fmt.Errorf("fix: no statement at %s", d.Action.Anchor)
+	}
+	for {
+		block := p.enclosingBlock(moved)
+		if block == nil {
+			return nil, "", fmt.Errorf("fix: statement at %s not inside a block", d.Action.Anchor)
+		}
+		chain := p.stmtAncestors(p.offsetOf(moved.Pos()))
+		var guard ast.Stmt
+		for i := len(chain) - 1; i >= 0; i-- {
+			if chain[i] == moved && i > 0 {
+				guard = chain[i-1]
+			}
+		}
+		if guard != nil && isDefineGuard(guard, defines) && len(block.List) == 1 && guard.(*ast.IfStmt).Body == block {
+			moved = guard
+			continue
+		}
+		break
+	}
+	block := p.enclosingBlock(moved)
+	idx := -1
+	for i, s := range block.List {
+		if s == moved {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, "", fmt.Errorf("fix: lost statement at %s", d.Action.Anchor)
+	}
+	var sync ast.Stmt
+	for _, s := range block.List[idx+1:] {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && syncCalls[sel.Sel.Name] {
+			sync = s
+			break
+		}
+	}
+	if sync == nil {
+		return nil, "", fmt.Errorf("fix: no synchronization after %s:%d in its block",
+			p.name, p.fset.Position(moved.Pos()).Line)
+	}
+	ms, me := p.stmtLines(moved)
+	_, syncEnd := p.stmtLines(sync)
+	note := fmt.Sprintf("move %s:%d after the synchronization at %s:%d",
+		p.name, p.fset.Position(moved.Pos()).Line, p.name, p.fset.Position(sync.Pos()).Line)
+	return []edit{
+		{start: ms, end: me, text: ""},
+		{start: syncEnd, end: syncEnd, text: string(p.src[ms:me])},
+	}, note, nil
+}
+
+// rewriteAccumulate rewrites the plain Put at the anchor into an
+// Accumulate with the reduction op the conflicting accumulate-family
+// operation already uses, restoring Table I compatibility (same-op
+// accumulates may overlap; a plain Put may not).
+func rewriteAccumulate(p *parsed, d *stanalyzer.Diagnostic) ([]edit, string, error) {
+	act := d.Action
+	if act.Op == "" {
+		return nil, "", fmt.Errorf("fix: rewrite-accumulate at %s lacks a reduction op", act.Anchor)
+	}
+	var call *ast.CallExpr
+	var sel *ast.SelectorExpr
+	for _, n := range p.nodePath(act.Anchor.Offset) {
+		if c, ok := n.(*ast.CallExpr); ok {
+			if s, ok := c.Fun.(*ast.SelectorExpr); ok && s.Sel.Name == "Put" {
+				call, sel = c, s
+			}
+		}
+	}
+	if call == nil {
+		return nil, "", fmt.Errorf("fix: no Put call at %s", act.Anchor)
+	}
+	note := fmt.Sprintf("rewrite Put at %s:%d to Accumulate(%s)", p.name, p.fset.Position(call.Pos()).Line, act.Op)
+	return []edit{
+		{start: p.offsetOf(sel.Sel.Pos()), end: p.offsetOf(sel.Sel.End()), text: "Accumulate"},
+		{start: p.offsetOf(call.Rparen), end: p.offsetOf(call.Rparen), text: ", " + act.Op},
+	}, note, nil
+}

@@ -1,0 +1,297 @@
+package fix
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stanalyzer"
+)
+
+// Each snippet is a minimal buggy program triggering exactly one repair
+// template; the table pins kind -> action -> patched shape.
+const snippetHeader = `package apps
+
+import "repro/internal/mpi"
+
+`
+
+var templateCases = []struct {
+	name     string
+	root     string
+	src      string
+	kind     stanalyzer.Kind
+	action   stanalyzer.FixActionKind
+	contains []string // substrings the patched source must gain
+}{
+	{
+		name: "get-origin-use/insert-flush-all",
+		root: "SnipGetAll",
+		src: `func SnipGetAll(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		buf := p.AllocFloat64(2, "sa_win")
+		snap := p.AllocFloat64(2, "sa_snap")
+		w := p.WinCreate(buf, 8, p.CommWorld())
+		w.LockAll()
+		w.Get(snap, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+		if buggy {
+			_ = snap.Float64At(0)
+		}
+		w.FlushAll()
+		if !buggy {
+			_ = snap.Float64At(0)
+		}
+		w.UnlockAll()
+		w.Free()
+		return nil
+	}
+}
+`,
+		kind:     stanalyzer.KindGetOriginUse,
+		action:   stanalyzer.FixInsertFlushAll,
+		contains: []string{"w.FlushAll()\n\t\t\t_ = snap.Float64At(0)"},
+	},
+	{
+		name: "get-origin-use/insert-flush",
+		root: "SnipGetLock",
+		src: `func SnipGetLock(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		buf := p.AllocFloat64(2, "sb_win")
+		snap := p.AllocFloat64(1, "sb_snap")
+		w := p.WinCreate(buf, 8, p.CommWorld())
+		w.Lock(mpi.LockShared, 1)
+		w.Get(snap, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+		if buggy {
+			_ = snap.Float64At(0)
+		}
+		w.Unlock(1)
+		if !buggy {
+			_ = snap.Float64At(0)
+		}
+		w.Free()
+		return nil
+	}
+}
+`,
+		kind:     stanalyzer.KindGetOriginUse,
+		action:   stanalyzer.FixInsertFlush,
+		contains: []string{"w.Flush(1)\n\t\t\t_ = snap.Float64At(0)"},
+	},
+	{
+		name: "put-origin-store/insert-flush",
+		root: "SnipPutStore",
+		src: `func SnipPutStore(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		slab := p.AllocFloat64(1, "sc_slab")
+		chunk := p.AllocFloat64(1, "sc_chunk")
+		w := p.WinCreate(slab, 8, p.CommWorld())
+		w.Lock(mpi.LockShared, 1)
+		chunk.SetFloat64(0, 1)
+		w.Put(chunk, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+		if buggy {
+			chunk.SetFloat64(0, 2)
+		}
+		w.Unlock(1)
+		if !buggy {
+			chunk.SetFloat64(0, 2)
+		}
+		w.Free()
+		return nil
+	}
+}
+`,
+		kind:     stanalyzer.KindPutOriginStore,
+		action:   stanalyzer.FixInsertFlush,
+		contains: []string{"w.Flush(1)\n\t\t\tchunk.SetFloat64(0, 2)"},
+	},
+	{
+		name: "epoch-target-conflict/widen-flush-local",
+		root: "SnipFlushLocal",
+		src: `func SnipFlushLocal(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		slab := p.AllocFloat64(1, "sd_slab")
+		chunk := p.AllocFloat64(1, "sd_chunk")
+		w := p.WinCreate(slab, 8, p.CommWorld())
+		if p.Rank() == 0 {
+			w.Lock(mpi.LockShared, 1)
+			chunk.SetFloat64(0, 1)
+			w.Put(chunk, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+			if buggy {
+				w.FlushLocal(1)
+			} else {
+				w.Flush(1)
+			}
+			chunk.SetFloat64(0, 2)
+			w.Put(chunk, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+			w.Unlock(1)
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}
+`,
+		kind:     stanalyzer.KindEpochTargetConflict,
+		action:   stanalyzer.FixWidenFlushLocal,
+		contains: []string{"if buggy {\n\t\t\t\tw.Flush(1)\n\t\t\t} else {"},
+	},
+	{
+		name: "epoch-target-conflict/split-epoch",
+		root: "SnipSameGuard",
+		src: `func SnipSameGuard(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		board := p.AllocFloat64(4, "se_board")
+		srca := p.AllocFloat64(4, "se_a")
+		srcb := p.AllocFloat64(4, "se_b")
+		w := p.WinCreate(board, 8, p.CommWorld())
+		w.Fence(mpi.AssertNone)
+		if p.Rank() == 0 {
+			w.Put(srca, 0, 2, mpi.Float64, 1, 0, 2, mpi.Float64)
+			if buggy {
+				w.Put(srcb, 0, 2, mpi.Float64, 1, 1, 2, mpi.Float64)
+			} else {
+				w.Put(srcb, 0, 2, mpi.Float64, 1, 2, 2, mpi.Float64)
+			}
+		}
+		w.Fence(mpi.AssertNone)
+		w.Free()
+		return nil
+	}
+}
+`,
+		kind:     stanalyzer.KindEpochTargetConflict,
+		action:   stanalyzer.FixSplitEpoch,
+		contains: []string{"}\n\t\tw.Fence(mpi.AssertNone)\n\t\tif p.Rank() == 0 {"},
+	},
+	{
+		name: "exposure-access/move-out-of-exposure",
+		root: "SnipExpose",
+		src: `func SnipExpose(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		tile := p.AllocFloat64(2, "sf_tile")
+		w := p.WinCreate(tile, 8, p.CommWorld())
+		if p.Rank() == 0 {
+			w.Post(mpi.NewGroup([]int{1}))
+			if buggy {
+				tile.SetFloat64(8, 1)
+			}
+			w.WaitEpoch()
+		} else if p.Rank() == 1 {
+			src := p.AllocFloat64(1, "sf_src")
+			w.Start(mpi.NewGroup([]int{0}))
+			w.Put(src, 0, 1, mpi.Float64, 0, 0, 1, mpi.Float64)
+			w.Complete()
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}
+`,
+		kind:     stanalyzer.KindExposureAccess,
+		action:   stanalyzer.FixMoveOutOfExposure,
+		contains: []string{"w.WaitEpoch()\n\t\t\tif buggy {\n\t\t\t\ttile.SetFloat64(8, 1)\n\t\t\t}"},
+	},
+	{
+		name: "cross-local-conflict/move-after-sync",
+		root: "SnipPoll",
+		src: `func SnipPoll(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		box := p.AllocFloat64(1, "sg_box")
+		w := p.WinCreate(box, 8, p.CommWorld())
+		if p.Rank() == 0 {
+			flag := p.AllocFloat64(1, "sg_flag")
+			w.Lock(mpi.LockShared, 1)
+			w.Put(flag, 0, 1, mpi.Float64, 1, 0, 1, mpi.Float64)
+			w.Unlock(1)
+			p.Barrier(p.CommWorld())
+		} else if p.Rank() == 1 {
+			if buggy {
+				_ = box.Float64At(0)
+			}
+			p.Barrier(p.CommWorld())
+			if !buggy {
+				_ = box.Float64At(0)
+			}
+		} else {
+			p.Barrier(p.CommWorld())
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}
+`,
+		kind:     stanalyzer.KindCrossLocalConflict,
+		action:   stanalyzer.FixMoveAfterSync,
+		contains: []string{"p.Barrier(p.CommWorld())\n\t\t\tif buggy {\n\t\t\t\t_ = box.Float64At(0)\n\t\t\t}"},
+	},
+	{
+		name: "cross-target-conflict/rewrite-accumulate",
+		root: "SnipMix",
+		src: `func SnipMix(buggy bool) func(p *mpi.Proc) error {
+	return func(p *mpi.Proc) error {
+		hot := p.AllocFloat64(1, "sh_hot")
+		w := p.WinCreate(hot, 8, p.CommWorld())
+		if p.Rank() == 1 {
+			bump := p.AllocFloat64(1, "sh_bump")
+			prior := p.AllocFloat64(1, "sh_prior")
+			w.LockAll()
+			w.FetchAndOp(bump, 0, prior, 0, 0, 0, mpi.Float64, mpi.OpSum)
+			w.UnlockAll()
+		}
+		if p.Rank() == 2 {
+			reset := p.AllocFloat64(1, "sh_reset")
+			w.LockAll()
+			if buggy {
+				w.Put(reset, 0, 1, mpi.Float64, 0, 0, 1, mpi.Float64)
+			} else {
+				w.Accumulate(reset, 0, 1, mpi.Float64, 0, 0, 1, mpi.Float64, mpi.OpSum)
+			}
+			w.UnlockAll()
+		}
+		p.Barrier(p.CommWorld())
+		w.Free()
+		return nil
+	}
+}
+`,
+		kind:     stanalyzer.KindCrossTargetConflict,
+		action:   stanalyzer.FixRewriteAccumulate,
+		contains: []string{"w.Accumulate(reset, 0, 1, mpi.Float64, 0, 0, 1, mpi.Float64, mpi.OpSum)\n\t\t\t} else {"},
+	},
+}
+
+func TestTemplates(t *testing.T) {
+	for _, tc := range templateCases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			src := []byte(snippetHeader + tc.src)
+			if err := Typecheck("snip.go", src); err != nil {
+				t.Fatalf("snippet does not type-check: %v", err)
+			}
+			res, err := PatchSource("snip.go", src, Config{Root: tc.root})
+			if err != nil {
+				t.Fatalf("PatchSource: %v", err)
+			}
+			if len(res.Steps) != 1 {
+				t.Fatalf("got %d repair steps, want 1: %+v", len(res.Steps), res.Steps)
+			}
+			st := res.Steps[0]
+			if st.Kind != tc.kind || st.Action != tc.action {
+				t.Fatalf("repaired %s via %s, want %s via %s", st.Kind, st.Action, tc.kind, tc.action)
+			}
+			patched := string(res.Patched)
+			for _, want := range tc.contains {
+				if !strings.Contains(patched, want) {
+					t.Errorf("patched source lacks %q:\n%s", want, patched)
+				}
+			}
+			if formatted, err := gofmt(res.Patched); err != nil || string(formatted) != patched {
+				t.Errorf("patched source is not gofmt-idempotent (err=%v)", err)
+			}
+			if err := Typecheck("snip.go", res.Patched); err != nil {
+				t.Errorf("patched source does not type-check: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,274 @@
+package fix
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/mpi"
+	"repro/internal/profiler"
+	"repro/internal/trace"
+)
+
+// VerifyConfig sizes the dynamic proof of one repair.
+type VerifyConfig struct {
+	Schedules int    // explorer schedules per sweep (default 6)
+	Seed      uint64 // explorer seed (default 1)
+	MaxRanks  int    // cap on registry rank counts (default 8)
+}
+
+func (c VerifyConfig) withDefaults() VerifyConfig {
+	if c.Schedules == 0 {
+		c.Schedules = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MaxRanks == 0 {
+		c.MaxRanks = 8
+	}
+	return c
+}
+
+// Verdict is one program variant's outcome under the dynamic analyzer
+// (default schedule) and the schedule-exploration sweep.
+type Verdict struct {
+	Err     string `json:"err,omitempty"` // execution error, empty on success
+	Dynamic bool   `json:"dynamic"`       // default-schedule run reported violations
+	Explore bool   `json:"explore"`       // sweep found violating schedules
+}
+
+// Clean reports an error-free run with nothing flagged by either engine.
+func (v Verdict) Clean() bool { return v.Err == "" && !v.Dynamic && !v.Explore }
+
+// Matches reports engine-verdict agreement between two variants.
+func (v Verdict) Matches(o Verdict) bool {
+	return v.Err == o.Err && v.Dynamic == o.Dynamic && v.Explore == o.Explore
+}
+
+// CaseResult is the proven (or refuted) repair of one registry bug case.
+type CaseResult struct {
+	Name  string `json:"name"`
+	File  string `json:"file"`
+	Ranks int    `json:"ranks"`
+
+	Steps      []Step `json:"steps,omitempty"`
+	Iterations int    `json:"iterations"`
+	Diff       string `json:"diff,omitempty"`
+
+	// Engine verdicts: the compiled variants (ground truth), the pristine
+	// source under the interpreter (fidelity gate), and the patched source
+	// under the interpreter (the proof).
+	CompiledBuggy Verdict `json:"compiled_buggy"`
+	CompiledFixed Verdict `json:"compiled_fixed"`
+	InterpBuggy   Verdict `json:"interp_buggy"`
+	InterpFixed   Verdict `json:"interp_fixed"`
+	PatchedBuggy  Verdict `json:"patched_buggy"`
+	PatchedFixed  Verdict `json:"patched_fixed"`
+
+	// Gates. Verified is their conjunction.
+	InterpFidelity bool   `json:"interp_fidelity"` // interpreter reproduces compiled verdicts
+	BuggyCaught    bool   `json:"buggy_caught"`    // pristine bug visible to some engine (else there is nothing to prove)
+	PatchedClean   bool   `json:"patched_clean"`   // patched planted variant analyzes clean
+	CleanPreserved bool   `json:"clean_preserved"` // patched clean variant still clean
+	MatchesFixed   bool   `json:"matches_fixed"`   // patched verdicts equal the checked-in fixed variant's
+	StaticClean    bool   `json:"static_clean"`    // patched source re-analyzes without diagnostics
+	Formatted      bool   `json:"formatted"`       // patched source is gofmt-idempotent
+	Typechecks     bool   `json:"typechecks"`      // patched source re-type-checks
+	Verified       bool   `json:"verified"`
+	Reason         string `json:"reason,omitempty"` // first failing gate or repair error
+}
+
+// runBody executes one body under the dynamic analyzer — the same
+// pipeline experiments.runChecked uses, duplicated here because the
+// experiments package layers its repair column on top of this package.
+func runBody(ranks int, body func(p *mpi.Proc) error, relevant []string) (*core.Report, error) {
+	sink := trace.NewMemorySink()
+	var rel profiler.Relevance
+	if relevant != nil {
+		rel = profiler.FromNames(relevant)
+	}
+	pr := profiler.New(sink, rel)
+	if err := mpi.Run(ranks, mpi.Options{Hook: pr}, body); err != nil {
+		return nil, err
+	}
+	return core.Analyze(sink.Set())
+}
+
+// verdict scores one body under both dynamic engines.
+func (c VerifyConfig) verdict(body func(p *mpi.Proc) error, ranks int, relevant []string) Verdict {
+	rep, err := runBody(ranks, body, relevant)
+	if err != nil {
+		return Verdict{Err: err.Error()}
+	}
+	v := Verdict{Dynamic: len(rep.Violations) > 0}
+	var rel profiler.Relevance
+	if relevant != nil {
+		rel = profiler.FromNames(relevant)
+	}
+	strat, err := explore.ParseStrategy("sweep")
+	if err != nil {
+		return Verdict{Err: err.Error()}
+	}
+	res, err := explore.Explore(explore.Config{
+		Runner:    &explore.Runner{Body: body, Ranks: ranks, Rel: rel},
+		Strategy:  strat,
+		Schedules: c.Schedules,
+		Seed:      c.Seed,
+	})
+	if err != nil {
+		return Verdict{Err: err.Error()}
+	}
+	v.Explore = res.Distinct() > 0
+	return v
+}
+
+// sourceFor locates the embedded application source file declaring the
+// case's entry function.
+func sourceFor(root string) (string, []byte, error) {
+	entries, err := fs.ReadDir(apps.SourceFS(), ".")
+	if err != nil {
+		return "", nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		src, err := fs.ReadFile(apps.SourceFS(), name)
+		if err != nil {
+			continue
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, name, src, 0)
+		if err != nil {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == root {
+				return name, src, nil
+			}
+		}
+	}
+	return "", nil, fmt.Errorf("fix: no embedded source declares %q", root)
+}
+
+// interpVerdict builds the interpreted variant's body and scores it.
+func (c VerifyConfig) interpVerdict(ip *Interp, root string, buggy bool, ranks int, relevant []string) Verdict {
+	body, err := ip.Closure(root, buggy)
+	if err != nil {
+		return Verdict{Err: err.Error()}
+	}
+	return c.verdict(body, ranks, relevant)
+}
+
+// Repair patches one registry bug case's source and proves the repair:
+// the interpreter must reproduce the compiled variants' engine verdicts
+// from the pristine source (fidelity), the patched planted variant must
+// analyze clean under the dynamic analyzer and an exploration sweep with
+// verdicts matching the checked-in fixed variant, the clean variant's
+// behavior must be preserved, and the patched source must re-format,
+// re-type-check, and re-analyze statically without diagnostics.
+func Repair(bc apps.BugCase, cfg VerifyConfig) (*CaseResult, error) {
+	cfg = cfg.withDefaults()
+	name, src, err := sourceFor(bc.StaticRoot)
+	if err != nil {
+		return nil, err
+	}
+	ranks := bc.Ranks
+	if ranks > cfg.MaxRanks {
+		ranks = cfg.MaxRanks
+	}
+	res := &CaseResult{Name: bc.Name, File: name, Ranks: ranks}
+
+	fail := func(reason string) (*CaseResult, error) {
+		if res.Reason == "" {
+			res.Reason = reason
+		}
+		return res, nil
+	}
+
+	// Ground truth and interpreter fidelity on the pristine source.
+	res.CompiledBuggy = cfg.verdict(bc.Buggy, ranks, bc.RelevantBuffers)
+	res.CompiledFixed = cfg.verdict(bc.Fixed, ranks, bc.RelevantBuffers)
+	ip, err := NewInterp(name, src)
+	if err != nil {
+		return fail(fmt.Sprintf("parsing %s: %v", name, err))
+	}
+	res.InterpBuggy = cfg.interpVerdict(ip, bc.StaticRoot, true, ranks, bc.RelevantBuffers)
+	res.InterpFixed = cfg.interpVerdict(ip, bc.StaticRoot, false, ranks, bc.RelevantBuffers)
+	res.InterpFidelity = res.InterpBuggy.Matches(res.CompiledBuggy) && res.InterpFixed.Matches(res.CompiledFixed)
+	res.BuggyCaught = res.CompiledBuggy.Dynamic || res.CompiledBuggy.Explore
+
+	// The repair itself.
+	patch, err := PatchSource(name, src, Config{Root: bc.StaticRoot})
+	if err != nil {
+		return fail(fmt.Sprintf("repair: %v", err))
+	}
+	res.Steps, res.Iterations = patch.Steps, patch.Iterations
+	res.Diff = UnifiedDiff("a/"+name, "b/"+name, src, patch.Patched)
+
+	// Structural gates.
+	if formatted, err := gofmt(patch.Patched); err != nil || string(formatted) != string(patch.Patched) {
+		res.Formatted = false
+	} else {
+		res.Formatted = true
+	}
+	res.Typechecks = Typecheck(name, patch.Patched) == nil
+	_, diags, err := checkScoped(name, patch.Patched, Config{Root: bc.StaticRoot}.withDefaults())
+	res.StaticClean = err == nil && len(diags) == 0
+
+	// Dynamic proof on the patched source.
+	ipp, err := NewInterp(name, patch.Patched)
+	if err != nil {
+		return fail(fmt.Sprintf("parsing patched %s: %v", name, err))
+	}
+	res.PatchedBuggy = cfg.interpVerdict(ipp, bc.StaticRoot, true, ranks, bc.RelevantBuffers)
+	res.PatchedFixed = cfg.interpVerdict(ipp, bc.StaticRoot, false, ranks, bc.RelevantBuffers)
+	res.PatchedClean = res.PatchedBuggy.Clean()
+	res.CleanPreserved = res.PatchedFixed.Clean() && res.PatchedFixed.Matches(res.CompiledFixed)
+	res.MatchesFixed = res.PatchedBuggy.Matches(res.CompiledFixed)
+
+	gates := []struct {
+		ok     bool
+		reason string
+	}{
+		{res.InterpFidelity, "interpreter verdicts diverge from compiled variants"},
+		{res.BuggyCaught, "planted bug not visible to any dynamic engine"},
+		{res.PatchedClean, "patched planted variant still flagged"},
+		{res.CleanPreserved, "patched clean variant no longer clean"},
+		{res.MatchesFixed, "patched verdicts differ from the checked-in fixed variant"},
+		{res.StaticClean, "patched source still carries static diagnostics"},
+		{res.Formatted, "patched source is not gofmt-idempotent"},
+		{res.Typechecks, "patched source fails to type-check"},
+	}
+	res.Verified = true
+	for _, g := range gates {
+		if !g.ok {
+			res.Verified = false
+			if res.Reason == "" {
+				res.Reason = g.reason
+			}
+		}
+	}
+	return res, nil
+}
+
+// RepairAll repairs every given case, collecting per-case results; the
+// error is reserved for infrastructure failures (missing sources).
+func RepairAll(cases []apps.BugCase, cfg VerifyConfig) ([]*CaseResult, error) {
+	var out []*CaseResult
+	for _, bc := range cases {
+		res, err := Repair(bc, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bc.Name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

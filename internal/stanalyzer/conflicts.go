@@ -222,6 +222,10 @@ type rmaShape struct {
 
 	target, disp, tCount, tType int // target-side arguments; tCount -1 = 1
 
+	// opArg is the reduction-op argument index of accumulate-family
+	// calls (0 = none); its source text feeds rewrite-accumulate actions.
+	opArg int
+
 	writesTarget bool
 	readsTarget  bool
 	accFamily    bool
@@ -240,19 +244,19 @@ var rmaShapes = map[string]rmaShape{
 	},
 	"Accumulate": {
 		reads:  []bufArg{{0, 1, 2, 3}},
-		target: 4, disp: 5, tCount: 6, tType: 7,
+		target: 4, disp: 5, tCount: 6, tType: 7, opArg: 8,
 		writesTarget: true, accFamily: true,
 	},
 	"GetAccumulate": {
 		reads:  []bufArg{{0, 1, 2, 3}},
 		writes: []bufArg{{4, 5, 6, 7}},
-		target: 8, disp: 9, tCount: 10, tType: 11,
+		target: 8, disp: 9, tCount: 10, tType: 11, opArg: 12,
 		writesTarget: true, readsTarget: true, accFamily: true,
 	},
 	"FetchAndOp": {
 		reads:  []bufArg{{0, 1, -1, 6}},
 		writes: []bufArg{{2, 3, -1, 6}},
-		target: 4, disp: 5, tCount: -1, tType: 6,
+		target: 4, disp: 5, tCount: -1, tType: 6, opArg: 7,
 		writesTarget: true, readsTarget: true, accFamily: true,
 	},
 	"CompareAndSwap": {
@@ -318,18 +322,26 @@ func (w *walker) rmaCall(info *winInfo, name string, call *ast.CallExpr) {
 		}
 	}
 
-	if ep := w.currentEpoch(info.key); ep != nil {
+	ep := w.currentEpoch(info.key)
+	if ep != nil {
 		w.checkEpochTarget(info, ep, op)
 		ep.ops = append(ep.ops, op)
 	}
 
-	w.rma = append(w.rma, rmaEvent{
+	ev := rmaEvent{
 		call: name, pos: op.pos, winKey: info.key,
 		targetText: op.targetText, targetVal: op.targetVal,
 		tgtSpan: op.tgtSpan, phase: w.st.phase, fuzzy: w.st.phaseFuzzy,
 		rankGuard:    w.rankGuard(),
 		writesTarget: op.writesTarget, readsTarget: op.readsTarget, accFamily: op.accFamily,
-	})
+	}
+	if shape.accFamily && shape.opArg > 0 && len(call.Args) > shape.opArg {
+		ev.accOp = exprText(call.Args[shape.opArg])
+	}
+	if ep != nil {
+		ev.inEpoch, ev.epoch, ev.epochOpen = true, ep.kind, ep.openPos
+	}
+	w.rma = append(w.rma, ev)
 }
 
 func (w *walker) rmaBufUse(ba bufArg, call *ast.CallExpr) (bufUse, bool) {
@@ -408,14 +420,28 @@ func (w *walker) checkEpochTarget(info *winInfo, ep *epochState, op *pendingOp) 
 		if prev.merged {
 			conf = ConfMedium
 		}
+		anchor := w.c.fset.Position(op.pos)
+		var act *FixAction
+		switch {
+		case ep.kind == epFence:
+			act = &FixAction{Kind: FixSplitEpoch, Anchor: anchor, Win: info.text,
+				Open: w.c.fset.Position(ep.openPos)}
+		case prev.localDone:
+			act = &FixAction{Kind: FixWidenFlushLocal, Anchor: anchor, Win: info.text,
+				Target: op.targetText}
+		case ep.kind == epLock || ep.kind == epLockAll:
+			act = &FixAction{Kind: FixInsertFlush, Anchor: anchor, Win: info.text,
+				Target: op.targetText}
+		}
 		w.c.addDiag(Diagnostic{
 			Kind: KindEpochTargetConflict, Confidence: conf, Class: KindEpochTargetConflict.Class(),
-			Pos: w.c.fset.Position(op.pos), Ref: w.c.fset.Position(prev.pos),
+			Pos: anchor, Ref: w.c.fset.Position(prev.pos),
 			Fn: w.fnScope, Win: info.text, Buffer: info.bufName,
 			Message: fmt.Sprintf("%s and %s to overlapping regions of target %s within one %s epoch",
 				prev.call, op.call, op.targetText, ep.kind),
-			Fix:   KindEpochTargetConflict.Fix(),
-			Ranks: constRanks(prev.targetVal, op.targetVal),
+			Fix:    KindEpochTargetConflict.Fix(),
+			Action: act,
+			Ranks:  constRanks(prev.targetVal, op.targetVal),
 		})
 	}
 }
@@ -431,6 +457,32 @@ func compatibleOps(a, b *pendingOp) bool {
 		return true
 	}
 	return false
+}
+
+// crossTargetAction plans the repair for a cross-target conflict. A plain
+// Put racing an accumulate-family operation becomes an Accumulate with
+// the same reduction op (Table I makes same-family operations
+// compatible); two incompatible operations issued in one fence epoch are
+// separated by an extra collective fence. Everything else has no
+// single-edit mechanical repair.
+func crossTargetAction(w *walker, a, b *rmaEvent, info *winInfo) *FixAction {
+	if a.accFamily != b.accFamily {
+		plain, acc := a, b
+		if a.accFamily {
+			plain, acc = b, a
+		}
+		if plain.call == "Put" && acc.accOp != "" {
+			return &FixAction{Kind: FixRewriteAccumulate,
+				Anchor: w.c.fset.Position(plain.pos), Op: acc.accOp}
+		}
+		return nil
+	}
+	if info != nil && a.inEpoch && b.inEpoch &&
+		a.epoch == epFence && b.epoch == epFence && a.epochOpen == b.epochOpen {
+		return &FixAction{Kind: FixSplitEpoch, Anchor: w.c.fset.Position(b.pos),
+			Win: info.text, Open: w.c.fset.Position(a.epochOpen)}
+	}
+	return nil
 }
 
 func constRanks(vals ...*int64) []int {
@@ -498,17 +550,44 @@ func (w *walker) localAccess(bufKey, name string, call *ast.CallExpr) {
 	w.local = append(w.local, ev)
 }
 
+// winText recovers the source spelling of the window a pending operation
+// belongs to, for repair actions that insert window method calls.
+func (w *walker) winText(winKey string) string {
+	for _, info := range w.wins {
+		if info.key == winKey {
+			return info.text
+		}
+	}
+	return ""
+}
+
 func (w *walker) pendingDiag(kind Kind, verb string, ep *epochState, op *pendingOp, pos token.Pos, bufKey string, ov int, msg string) {
 	conf := ConfHigh
 	if ov == ovMaybe || op.merged {
 		conf = ConfMedium
 	}
+	anchor := w.c.fset.Position(pos)
+	var act *FixAction
+	if win := w.winText(op.winKey); win != "" {
+		switch ep.kind {
+		case epLockAll:
+			act = &FixAction{Kind: FixInsertFlushAll, Anchor: anchor, Win: win}
+		case epLock:
+			act = &FixAction{Kind: FixInsertFlush, Anchor: anchor, Win: win, Target: op.targetText}
+		case epFence:
+			act = &FixAction{Kind: FixSplitEpoch, Anchor: anchor, Win: win,
+				Open: w.c.fset.Position(ep.openPos)}
+		case epAccess:
+			act = &FixAction{Kind: FixMoveAfterSync, Anchor: anchor, Win: win}
+		}
+	}
 	w.c.addDiag(Diagnostic{
 		Kind: kind, Confidence: conf, Class: kind.Class(),
-		Pos: w.c.fset.Position(pos), Ref: w.c.fset.Position(op.pos),
+		Pos: anchor, Ref: w.c.fset.Position(op.pos),
 		Fn: w.fnScope, Buffer: w.c.allocNames[bufKey],
 		Message: msg, Fix: kind.Fix(),
-		Ranks: constRanks(op.targetVal),
+		Action: act,
+		Ranks:  constRanks(op.targetVal),
 	})
 }
 
@@ -542,8 +621,10 @@ func (w *walker) finalize() {
 			Message: fmt.Sprintf("local %s of the exposed window buffer inside a Post..Wait exposure epoch", verb),
 			Fix:     KindExposureAccess.Fix(),
 		}
+		d.Action = &FixAction{Kind: FixMoveOutOfExposure, Anchor: d.Pos}
 		if info != nil {
 			d.Win, d.Buffer = info.text, info.bufName
+			d.Action.Win = info.text
 		}
 		for _, r := range w.rma {
 			if r.winKey == l.inExposure && r.phase == l.phase && r.writesTarget {
@@ -595,14 +676,16 @@ func (w *walker) finalize() {
 			if l.write {
 				verb = "store"
 			}
+			anchor := w.c.fset.Position(l.pos)
 			w.c.addDiag(Diagnostic{
 				Kind: KindCrossLocalConflict, Confidence: conf, Class: KindCrossLocalConflict.Class(),
-				Pos: w.c.fset.Position(l.pos), Ref: w.c.fset.Position(r.pos),
+				Pos: anchor, Ref: w.c.fset.Position(r.pos),
 				Fn: w.fnScope, Win: info.text, Buffer: info.bufName,
 				Message: fmt.Sprintf("local %s of the window buffer can be concurrent with a remote %s targeting the same region in this synchronization phase",
 					verb, r.call),
-				Fix:   KindCrossLocalConflict.Fix(),
-				Ranks: constRanks(r.targetVal),
+				Fix:    KindCrossLocalConflict.Fix(),
+				Action: &FixAction{Kind: FixMoveAfterSync, Anchor: anchor, Win: info.text},
+				Ranks:  constRanks(r.targetVal),
 			})
 		}
 	}
@@ -644,6 +727,7 @@ func (w *walker) finalize() {
 			if info != nil {
 				d.Win, d.Buffer = info.text, info.bufName
 			}
+			d.Action = crossTargetAction(w, a, b, info)
 			w.c.addDiag(d)
 		}
 	}

@@ -76,6 +76,16 @@ const (
 	KindCrossTargetConflict Kind = "cross-target-conflict"
 )
 
+// Kinds returns every diagnostic kind in report order — the canonical
+// list `stanalyzer -list-kinds` prints and the doc-drift test pins
+// against the constant block above.
+func Kinds() []Kind {
+	return []Kind{
+		KindGetOriginUse, KindPutOriginStore, KindEpochTargetConflict,
+		KindExposureAccess, KindCrossLocalConflict, KindCrossTargetConflict,
+	}
+}
+
 // Class maps the kind to the paper's error-location class, matching
 // core.Violation.Class.
 func (k Kind) Class() core.Class {
@@ -105,6 +115,73 @@ func (k Kind) Fix() string {
 	return ""
 }
 
+// FixActionKind names one mechanical repair template of internal/fix.
+// Unlike the free-text Fix hint, an action kind is a contract: the repair
+// engine maps each kind to one AST rewrite and never parses prose.
+type FixActionKind string
+
+const (
+	// FixInsertFlushAll: insert `win.FlushAll()` before the anchor so
+	// every pending passive-target operation completes first.
+	FixInsertFlushAll FixActionKind = "insert-flush-all"
+	// FixInsertFlush: insert `win.Flush(target)` before the anchor,
+	// completing the pending operations to that target.
+	FixInsertFlush FixActionKind = "insert-flush"
+	// FixWidenFlushLocal: rewrite the `FlushLocal(target)` between the
+	// conflicting operations into a full `Flush(target)` — local
+	// completion is not target completion.
+	FixWidenFlushLocal FixActionKind = "widen-flush-local"
+	// FixSplitEpoch: insert a collective `win.Fence(mpi.AssertNone)`
+	// between the conflicting operations, splitting the fence epoch that
+	// opened at Open into two.
+	FixSplitEpoch FixActionKind = "split-epoch"
+	// FixMoveAfterSync: move the flagged local access (with its variant
+	// guard, if any) past the next synchronization statement.
+	FixMoveAfterSync FixActionKind = "move-after-sync"
+	// FixMoveOutOfExposure: move the flagged local access past the
+	// `WaitEpoch` that closes the Post..Wait exposure epoch.
+	FixMoveOutOfExposure FixActionKind = "move-out-of-exposure"
+	// FixRewriteAccumulate: rewrite the plain `Put` at the anchor into an
+	// `Accumulate` using Op — the reduction the conflicting
+	// accumulate-family operation already uses — restoring Table I
+	// compatibility.
+	FixRewriteAccumulate FixActionKind = "rewrite-accumulate"
+)
+
+// FixAction is the machine-readable companion of a diagnostic's Fix
+// hint: which repair template applies, where it anchors, and the
+// expressions the rewrite needs. A nil action means the checker knows no
+// mechanical repair for the finding.
+type FixAction struct {
+	Kind   FixActionKind
+	Anchor token.Position // the flagged statement the template anchors on
+
+	Win    string         // window variable spelling, for inserted calls
+	Target string         // target-rank expression (insert-flush, widen-flush-local)
+	Op     string         // reduction-op expression (rewrite-accumulate)
+	Open   token.Position // epoch-opening statement (split-epoch)
+}
+
+// RepairTemplates lists the fix-action kinds the checker can attach to
+// diagnostics of this kind, in preference order.
+func (k Kind) RepairTemplates() []FixActionKind {
+	switch k {
+	case KindGetOriginUse:
+		return []FixActionKind{FixInsertFlush, FixInsertFlushAll, FixSplitEpoch, FixMoveAfterSync}
+	case KindPutOriginStore:
+		return []FixActionKind{FixInsertFlush, FixInsertFlushAll, FixSplitEpoch, FixMoveAfterSync}
+	case KindEpochTargetConflict:
+		return []FixActionKind{FixWidenFlushLocal, FixInsertFlush, FixSplitEpoch}
+	case KindExposureAccess:
+		return []FixActionKind{FixMoveOutOfExposure}
+	case KindCrossLocalConflict:
+		return []FixActionKind{FixMoveAfterSync}
+	case KindCrossTargetConflict:
+		return []FixActionKind{FixRewriteAccumulate, FixSplitEpoch}
+	}
+	return nil
+}
+
 // Diagnostic is one static finding: the analogue of core.Violation for
 // the compile-time checker.
 type Diagnostic struct {
@@ -123,6 +200,10 @@ type Diagnostic struct {
 
 	Message string
 	Fix     string
+
+	// Action is the structured repair the free-text Fix hint describes;
+	// nil when no mechanical template applies.
+	Action *FixAction
 
 	// Ranks lists the statically-known target ranks of the involved
 	// operations; the schedule explorer seeds its strategies from them.
@@ -271,17 +352,28 @@ func RenderDiags(diags []Diagnostic) string {
 
 // diagJSON is the JSON shape of one diagnostic.
 type diagJSON struct {
-	Kind       string `json:"kind"`
-	Confidence string `json:"confidence"`
-	Class      string `json:"class"`
-	Pos        string `json:"pos"`
-	Ref        string `json:"ref,omitempty"`
-	Fn         string `json:"func"`
-	Win        string `json:"win,omitempty"`
-	Buffer     string `json:"buffer,omitempty"`
-	Message    string `json:"message"`
-	Fix        string `json:"fix,omitempty"`
-	Ranks      []int  `json:"ranks,omitempty"`
+	Kind       string         `json:"kind"`
+	Confidence string         `json:"confidence"`
+	Class      string         `json:"class"`
+	Pos        string         `json:"pos"`
+	Ref        string         `json:"ref,omitempty"`
+	Fn         string         `json:"func"`
+	Win        string         `json:"win,omitempty"`
+	Buffer     string         `json:"buffer,omitempty"`
+	Message    string         `json:"message"`
+	Fix        string         `json:"fix,omitempty"`
+	Action     *fixActionJSON `json:"action,omitempty"`
+	Ranks      []int          `json:"ranks,omitempty"`
+}
+
+// fixActionJSON is the JSON shape of a structured repair action.
+type fixActionJSON struct {
+	Kind   string `json:"kind"`
+	Anchor string `json:"anchor"`
+	Win    string `json:"win,omitempty"`
+	Target string `json:"target,omitempty"`
+	Op     string `json:"op,omitempty"`
+	Open   string `json:"open,omitempty"`
 }
 
 // MarshalJSON renders the report as a JSON array of diagnostics.
@@ -309,6 +401,16 @@ func MarshalDiags(diags []Diagnostic) ([]byte, error) {
 		}
 		if d.Ref.IsValid() {
 			j.Ref = locString(d.Ref)
+		}
+		if a := d.Action; a != nil {
+			ja := &fixActionJSON{
+				Kind: string(a.Kind), Anchor: locString(a.Anchor),
+				Win: a.Win, Target: a.Target, Op: a.Op,
+			}
+			if a.Open.IsValid() {
+				ja.Open = locString(a.Open)
+			}
+			j.Action = ja
 		}
 		out = append(out, j)
 	}

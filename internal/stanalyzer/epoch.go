@@ -216,6 +216,15 @@ type rmaEvent struct {
 	writesTarget bool
 	readsTarget  bool
 	accFamily    bool
+
+	accOp string // reduction-op expression of accumulate-family calls
+
+	// Epoch identity at issue time, for repair-action planning: a
+	// split-epoch action is only sound when both events share one fence
+	// epoch.
+	inEpoch   bool
+	epoch     epochKind
+	epochOpen token.Pos
 }
 
 // localEvent is one load/store through a buffer accessor.

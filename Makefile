@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test check staticcheck race cover bench bench-smoke microbench fuzz fuzz-gen soak explore experiments table2 fig8 fig9 trace-smoke serve-smoke serve-bench corpus corpus-smoke fix-smoke clean
+.PHONY: all build test check staticcheck race cover bench bench-smoke microbench fuzz fuzz-gen fuzz-shadow soak explore experiments table2 fig8 fig9 trace-smoke serve-smoke serve-bench corpus corpus-smoke fix-smoke shadow-smoke clean
 
 all: build test check
 
@@ -14,10 +14,25 @@ test:
 	$(GO) test ./...
 
 # Full gate: vet, the test suite under the race detector, the determinism
-# soak, the static-checker golden report, and the auto-repair gate.
-check: soak staticcheck fix-smoke
+# soak, the static-checker golden report, the auto-repair gate, and the
+# shadow/pairwise differential gate.
+check: soak staticcheck fix-smoke shadow-smoke
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# Shadow-engine differential gate: the shadow cross-process engine must
+# render byte-identical reports to the pairwise reference over every
+# bundled bug case and every injection pattern (at 1 and GOMAXPROCS
+# workers), and the differential engine must pass on the benchmark's
+# multi-origin worst-case region (exercised via the experiments suite).
+shadow-smoke:
+	$(GO) test -race -run 'TestShadowPairwiseDifferentialSweep' .
+	$(GO) test -race -run 'TestBenchShadowAgreement' ./internal/experiments
+
+# Fuzz the shadow engine against the pairwise oracle on generated RMA
+# programs: any disagreement between the two engines is a crasher.
+fuzz-shadow:
+	$(GO) test -fuzz FuzzShadowDifferential -fuzztime 30s .
 
 # Static epoch-state checker over the bundled apps (buggy variants),
 # compared against the checked-in golden report; exits 1 on drift.

@@ -2,11 +2,13 @@ package mcchecker
 
 import (
 	"bytes"
+	"fmt"
 	"runtime"
 	"testing"
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/gen"
 	"repro/internal/mpi"
 	"repro/internal/profiler"
 	"repro/internal/trace"
@@ -86,4 +88,143 @@ func TestReportsByteIdenticalAcrossWorkers(t *testing.T) {
 			}
 		})
 	}
+}
+
+// simulate runs a per-rank body under the profiler and returns the trace
+// set, exactly like the offline front end would capture it.
+func simulate(ranks int, rel profiler.Relevance, body func(p *mpi.Proc) error) (*trace.Set, error) {
+	sink := trace.NewMemorySink()
+	pr := profiler.New(sink, rel)
+	if err := mpi.Run(ranks, mpi.Options{Hook: pr}, body); err != nil {
+		return nil, err
+	}
+	return sink.Set(), nil
+}
+
+// genCase builds one injected generator program for a pattern, retrying
+// a few seeds because not every seed offers sites for every pattern.
+func genCase(pattern string, seed uint64) (*gen.Program, error) {
+	var lastErr error
+	for attempt := 0; attempt < 16; attempt++ {
+		s := seed + uint64(attempt)*31
+		base := gen.Generate(s, gen.Options{Ranks: 2 + int(s%3)})
+		pr, err := gen.Inject(base, pattern, s^0x9e3779b9)
+		if err == nil {
+			return pr, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// checkEngineAgreement asserts that the pairwise and shadow engines
+// render byte-identical reports on the set at the given worker count and
+// that the differential engine (which re-derives both and compares
+// violation identities internally) accepts the trace.
+func checkEngineAgreement(t *testing.T, set *trace.Set, workers int) {
+	t.Helper()
+	run := func(engine core.Engine) (string, []byte) {
+		opts := core.DefaultOptions()
+		opts.Workers = workers
+		opts.Engine = engine
+		rep, err := core.AnalyzeWith(set, opts)
+		if err != nil {
+			t.Fatalf("workers=%d engine=%s: %v", workers, engine, err)
+		}
+		js, err := rep.JSON()
+		if err != nil {
+			t.Fatalf("workers=%d engine=%s: %v", workers, engine, err)
+		}
+		return rep.String(), js
+	}
+	pText, pJSON := run(core.EnginePairwise)
+	sText, sJSON := run(core.EngineShadow)
+	if sText != pText {
+		t.Errorf("workers=%d: shadow report diverged from pairwise\n--- pairwise ---\n%s\n--- shadow ---\n%s",
+			workers, pText, sText)
+	}
+	if !bytes.Equal(sJSON, pJSON) {
+		t.Errorf("workers=%d: shadow JSON diverged from pairwise", workers)
+	}
+	opts := core.DefaultOptions()
+	opts.Workers = workers
+	opts.Engine = core.EngineDifferential
+	if _, err := core.AnalyzeWith(set, opts); err != nil {
+		t.Errorf("workers=%d: differential engine: %v", workers, err)
+	}
+}
+
+// TestShadowPairwiseDifferentialSweep is the cross-engine contract: over
+// every bundled bug case and one injected generator program per bug
+// pattern, the shadow engine must render byte-identical reports to the
+// pairwise reference at every worker count, and the differential engine
+// must find no disagreement.
+func TestShadowPairwiseDifferentialSweep(t *testing.T) {
+	workerCounts := []int{1, runtime.GOMAXPROCS(0)}
+
+	type sweepCase struct {
+		name  string
+		ranks int
+		rel   profiler.Relevance
+		body  func(p *mpi.Proc) error
+	}
+	var cases []sweepCase
+	for _, bc := range apps.BugCases() {
+		ranks := bc.Ranks
+		if ranks > 8 {
+			ranks = 8
+		}
+		var rel profiler.Relevance
+		if bc.RelevantBuffers != nil {
+			rel = profiler.FromNames(bc.RelevantBuffers)
+		}
+		cases = append(cases, sweepCase{"app/" + bc.Name, ranks, rel, bc.Buggy})
+	}
+	for pi, p := range gen.Patterns() {
+		pr, err := genCase(p.Name, uint64(400+17*pi))
+		if err != nil {
+			t.Fatalf("gen/%s: %v", p.Name, err)
+		}
+		cases = append(cases, sweepCase{"gen/" + p.Name, pr.Ranks, nil, pr.Body()})
+	}
+
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			set, err := simulate(c.ranks, c.rel, c.body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts {
+				checkEngineAgreement(t, set, w)
+			}
+		})
+	}
+}
+
+// FuzzShadowDifferential drives the differential engine over generated
+// RMA programs: any seed/pattern combination on which the shadow engine
+// disagrees with the pairwise reference is a crasher.
+func FuzzShadowDifferential(f *testing.F) {
+	for pi := range gen.Patterns() {
+		f.Add(uint64(500+17*pi), uint8(pi))
+		f.Add(uint64(42+13*pi), uint8(pi))
+	}
+	patterns := gen.Patterns()
+	f.Fuzz(func(t *testing.T, seed uint64, pi uint8) {
+		p := patterns[int(pi)%len(patterns)]
+		base := gen.Generate(seed, gen.Options{Ranks: 2 + int(seed%3)})
+		pr, err := gen.Inject(base, p.Name, seed^0x9e3779b9)
+		if err != nil {
+			// Not every seed offers sites for every pattern; exercise the
+			// clean base program instead of discarding the input.
+			pr = base
+		}
+		set, err := simulate(pr.Ranks, nil, pr.Body())
+		if err != nil {
+			t.Skip(fmt.Sprintf("simulate: %v", err))
+		}
+		checkEngineAgreement(t, set, 1)
+		checkEngineAgreement(t, set, runtime.GOMAXPROCS(0))
+	})
 }

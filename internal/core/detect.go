@@ -13,12 +13,64 @@ import (
 	"repro/internal/trace"
 )
 
+// Engine selects the cross-process detection implementation. The contract
+// between the engines is byte-identical reports: EngineShadow must produce
+// exactly the violations, dedup counts, and witness traces of
+// EnginePairwise, only faster — which is why the zero value is the shadow
+// engine and EngineDifferential exists to enforce the contract at runtime.
+type Engine uint8
+
+const (
+	// EngineShadow is the FastTrack-style shadow-memory engine
+	// (detect_shadow.go): accesses are inserted into an interval-keyed
+	// shadow map and matched via vector-clock binary searches instead of
+	// pairwise vector scans. The default.
+	EngineShadow Engine = iota
+	// EnginePairwise is the original O(ops²)-per-vector reference
+	// implementation (checkRegion), kept as the differential oracle.
+	EnginePairwise
+	// EngineDifferential runs both engines and fails the analysis if
+	// their reports differ in any violation, count, or rendered byte.
+	EngineDifferential
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineShadow:
+		return "shadow"
+	case EnginePairwise:
+		return "pairwise"
+	case EngineDifferential:
+		return "differential"
+	}
+	return fmt.Sprintf("engine(%d)", uint8(e))
+}
+
+// ParseEngine converts a -engine flag value to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "shadow", "":
+		return EngineShadow, nil
+	case "pairwise":
+		return EnginePairwise, nil
+	case "differential":
+		return EngineDifferential, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want shadow, pairwise, or differential)", s)
+}
+
 // Options selects which detectors run; the defaults (via Analyze) run both.
 // Disabling one reproduces the baselines the paper compares against:
 // SyncChecker detects only within-epoch errors (§VII).
 type Options struct {
 	IntraEpoch   bool
 	CrossProcess bool
+
+	// Engine selects the cross-process detector implementation. The zero
+	// value is EngineShadow — safe because every engine is required to
+	// produce byte-identical reports (enforced by EngineDifferential and
+	// the differential test sweep).
+	Engine Engine
 
 	// Workers parallelizes the cross-process detection across concurrent
 	// regions (regions are independent by construction) — the
@@ -60,8 +112,10 @@ func (o *Options) ctxErr() error {
 	return nil
 }
 
-// DefaultOptions runs the full MC-Checker analysis.
-func DefaultOptions() Options { return Options{IntraEpoch: true, CrossProcess: true} }
+// DefaultOptions runs the full MC-Checker analysis with the shadow engine.
+func DefaultOptions() Options {
+	return Options{IntraEpoch: true, CrossProcess: true, Engine: EngineShadow}
+}
 
 // Analyzer runs DN-Analyzer's detection phase over a built model, matching
 // and DAG (paper §IV-C-3 and §IV-C-4).
@@ -102,7 +156,15 @@ func (a *Analyzer) Run() (*Report, error) {
 	if a.opts.CrossProcess {
 		sp := reg.StartSpan(PhaseSpanName, "phase", "detect_cross")
 		psp := tr.Start("pipeline", "main", "detect_cross")
-		err := a.detectCrossProcess()
+		var err error
+		switch a.opts.Engine {
+		case EnginePairwise:
+			err = a.detectCrossProcess()
+		case EngineDifferential:
+			err = a.detectCrossDifferential()
+		default:
+			err = a.detectCrossProcessShadow()
+		}
 		psp.End()
 		sp.End()
 		if err != nil {
@@ -513,6 +575,23 @@ func (a *Analyzer) checkRegion(rg dag.Region, col *collector) error {
 
 	// Step 2: local operations at each process against the stored remote
 	// operations on that process's window buffers.
+	return a.forEachLocalAccess(rg, func(ev *trace.Event, cls Op, fp model.Footprint, storeRuleApplies bool) error {
+		a.checkLocalAgainstVectors(rg, vectors, ev, cls, fp, storeRuleApplies, col)
+		return nil
+	})
+}
+
+// forEachLocalAccess walks a region rank-major and visits every local
+// buffer access the cross-process detector's step 2 must check: plain
+// loads and stores (with the MPI-2.2 no-overlap store rule in force),
+// RMA origin buffers (load-like for Put/Acc, store-like for Get; store
+// rule off per paper §IV-C-4), result buffers of fetching atomics
+// (store-class at completion), and the logged message buffers of
+// point-to-point and collective calls ("all MPI calls performed to a
+// local buffer"). Shared by the pairwise and shadow engines so the two
+// cannot drift on what counts as a local access.
+func (a *Analyzer) forEachLocalAccess(rg dag.Region,
+	visit func(ev *trace.Event, cls Op, fp model.Footprint, storeRuleApplies bool) error) error {
 	for r := 0; r < a.m.Set.Ranks(); r++ {
 		t := a.m.Set.Traces[r]
 		lo, hi := rg.Span(int32(r))
@@ -524,8 +603,9 @@ func (a *Analyzer) checkRegion(rg dag.Region, col *collector) error {
 				if ev.Kind == trace.KindStore {
 					cls = OpStore
 				}
-				acc := model.AccessFootprint(ev)
-				a.checkLocalAgainstVectors(rg, vectors, ev, cls, acc, true, col)
+				if err := visit(ev, cls, model.AccessFootprint(ev), true); err != nil {
+					return err
+				}
 			case ev.Kind.IsRMAComm():
 				// The origin buffer access of an RMA call is treated as a
 				// local load (Put/Acc) or store (Get); the no-overlap store
@@ -534,7 +614,9 @@ func (a *Analyzer) checkRegion(rg dag.Region, col *collector) error {
 				if err != nil {
 					return err
 				}
-				a.checkLocalAgainstVectors(rg, vectors, ev, originClass(ev.Kind), origin, false, col)
+				if err := visit(ev, originClass(ev.Kind), origin, false); err != nil {
+					return err
+				}
 				if ev.ResultCount > 0 {
 					// The result buffer of a fetching atomic is written at
 					// completion: a store-class local access.
@@ -542,7 +624,9 @@ func (a *Analyzer) checkRegion(rg dag.Region, col *collector) error {
 					if err != nil {
 						return err
 					}
-					a.checkLocalAgainstVectors(rg, vectors, ev, OpStore, result, false, col)
+					if err := visit(ev, OpStore, result, false); err != nil {
+						return err
+					}
 				}
 			default:
 				// Point-to-point and collective calls access local buffers
@@ -552,7 +636,9 @@ func (a *Analyzer) checkRegion(rg dag.Region, col *collector) error {
 					if err != nil {
 						return err
 					}
-					a.checkLocalAgainstVectors(rg, vectors, ev, cls, fp, false, col)
+					if err := visit(ev, cls, fp, false); err != nil {
+						return err
+					}
 				}
 			}
 		}

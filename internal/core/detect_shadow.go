@@ -1,0 +1,354 @@
+package core
+
+// The shadow cross-process engine: the same detection semantics as
+// checkRegion (detect.go), restated over internal/shadow's shadow-memory
+// store so the per-vector cost drops from O(ops²) pairwise scans to
+// interval-keyed cell lookups plus vector-clock binary searches
+// (FastTrack, Flanagan & Freund, PLDI 2009, transposed to MC-Checker's
+// epoch model). The contract is byte-identical reports — every
+// violation, dedup count, representative instance, and witness chain
+// must match the pairwise engine exactly; EngineDifferential and the
+// differential test sweep enforce it.
+//
+// How the semantics map onto the store:
+//
+//   - group classification replaces the per-pair guards. Stored
+//     accesses are grouped by (origin rank, operation class) where a
+//     class interns (Kind, AccOp, TargetType) — exactly the fields
+//     EffectiveCompat and Table read — so "same rank" and
+//     "compatibility BOTH" skip whole groups once per query instead of
+//     once per pair;
+//   - the DAG Concurrent() calls become the store's concurrent-range
+//     binary searches over segment clocks (dag.ClockRef);
+//   - byte-overlap guards become shadow-cell membership: a query only
+//     walks the cells its footprint touches, and a cell interval is a
+//     subset of every member's footprint, so touching one proves
+//     overlap. The MPI-2.2 no-overlap store rule (Error × local store)
+//     maps to ModeAll, walking the group's full concurrent range;
+//   - the store emits matches in vector insertion order, which keeps
+//     the first recorded instance of every dedup key — and therefore
+//     the surviving representative fields and witness — identical to
+//     the pairwise scan.
+import (
+	"fmt"
+
+	"repro/internal/dag"
+	"repro/internal/model"
+	"repro/internal/shadow"
+	"repro/internal/trace"
+)
+
+// opClassKey interns the event fields that all group-level decisions
+// (EffectiveCompat, OpOf/Table) are pure functions of.
+type opClassKey struct {
+	kind       trace.Kind
+	accOp      trace.AccOp
+	targetType int32
+}
+
+// localRuleKey caches the step-2 rule strings per (local class, remote
+// kind); the no-overlap variant additionally names the window (window
+// IDs start at 0, so the variant needs its own flag, not a sentinel).
+type localRuleKey struct {
+	cls       Op
+	kind      trace.Kind
+	win       int32
+	noOverlap bool
+}
+
+// shadowRegion is the per-region state of the shadow engine: the store,
+// the stored-op payload arena, and the interning tables (operation
+// classes, access sites, rule strings) that keep the emit path free of
+// fmt.Sprintf calls.
+type shadowRegion struct {
+	a  *Analyzer
+	st *shadow.Store
+
+	ops    []storedOp      // arena: Access.Payload indexes this
+	opSite []shadow.SiteID // site of each stored op, parallel to ops
+
+	depot   *shadow.Depot
+	siteOps []string // rendered operand (operandString short=false) per SiteID
+
+	classIdx map[opClassKey]int32
+	classRep []*trace.Event // representative event per class
+
+	pairRules  map[[2]trace.Kind]string
+	localRules map[localRuleKey]string
+}
+
+func newShadowRegion(a *Analyzer) *shadowRegion {
+	depot := shadow.NewDepot()
+	return &shadowRegion{
+		a:          a,
+		st:         shadow.NewStore(depot),
+		depot:      depot,
+		classIdx:   map[opClassKey]int32{},
+		pairRules:  map[[2]trace.Kind]string{},
+		localRules: map[localRuleKey]string{},
+	}
+}
+
+// siteOf interns an event's access site, rendering its operand string
+// (shared by dedup-key presetting and witness/report rendering) once.
+func (sr *shadowRegion) siteOf(ev *trace.Event) shadow.SiteID {
+	id, fresh := sr.depot.Intern(uint8(ev.Kind), ev.File, ev.Line, ev.Func)
+	if fresh {
+		sr.siteOps = append(sr.siteOps, operandString(ev, false))
+	}
+	return id
+}
+
+// classOf interns an event's operation class.
+func (sr *shadowRegion) classOf(ev *trace.Event) int32 {
+	k := opClassKey{kind: ev.Kind, accOp: ev.AccOp, targetType: ev.TargetType}
+	if id, ok := sr.classIdx[k]; ok {
+		return id
+	}
+	id := int32(len(sr.classRep))
+	sr.classIdx[k] = id
+	sr.classRep = append(sr.classRep, ev)
+	return id
+}
+
+func (sr *shadowRegion) pairRule(prev, cur trace.Kind) string {
+	k := [2]trace.Kind{prev, cur}
+	if r, ok := sr.pairRules[k]; ok {
+		return r
+	}
+	r := fmt.Sprintf("concurrent %s and %s from different processes overlap in the target window", prev, cur)
+	sr.pairRules[k] = r
+	return r
+}
+
+func (sr *shadowRegion) localRule(cls Op, kind trace.Kind, win int32, noOverlap bool) string {
+	k := localRuleKey{cls: cls, kind: kind, noOverlap: noOverlap}
+	if noOverlap {
+		k.win = win
+	}
+	if r, ok := sr.localRules[k]; ok {
+		return r
+	}
+	var r string
+	if noOverlap {
+		r = fmt.Sprintf("local %s to window %d while a concurrent remote %s updates the window (erroneous even without overlap)",
+			cls, win, kind)
+	} else {
+		r = fmt.Sprintf("local %s at the target process conflicts with a concurrent remote %s", cls, kind)
+	}
+	sr.localRules[k] = r
+	return r
+}
+
+// detectCrossProcessShadow is detectCrossProcess with the shadow engine
+// per region; the parallelization and merge order are identical.
+func (a *Analyzer) detectCrossProcessShadow() error {
+	regions := a.d.Regions()
+	a.report.Regions = len(regions)
+	scope := func(i int) string { return fmt.Sprintf("region %d", i) }
+	return a.parallelCollect(len(regions), "detect_cross", scope, func(i int, col *collector) error {
+		return a.checkRegionShadow(regions[i], col)
+	})
+}
+
+func (a *Analyzer) checkRegionShadow(rg dag.Region, col *collector) error {
+	sr := newShadowRegion(a)
+
+	// Step 1: remote one-sided operations. Each is checked against the
+	// store (same check-then-insert discipline as the pairwise vector
+	// scan, so an operation never matches itself or its successors).
+	if err := sr.matchRMA(rg, col); err != nil {
+		return err
+	}
+
+	// Step 2: local operations at each target process, via the walker
+	// shared with the pairwise engine.
+	return a.forEachLocalAccess(rg, func(ev *trace.Event, cls Op, fp model.Footprint, storeRule bool) error {
+		sr.checkLocal(rg, ev, cls, fp, storeRule, col)
+		return nil
+	})
+}
+
+func (sr *shadowRegion) matchRMA(rg dag.Region, col *collector) error {
+	a := sr.a
+	for r := 0; r < a.m.Set.Ranks(); r++ {
+		t := a.m.Set.Traces[r]
+		lo, hi := rg.Span(int32(r))
+		for seq := lo; seq < hi; seq++ {
+			ev := &t.Events[seq]
+			if !ev.Kind.IsRMAComm() {
+				continue
+			}
+			target, err := a.m.TargetFootprint(ev)
+			if err != nil {
+				return err
+			}
+			id := ev.ID()
+			key := shadow.VectorKey{Win: ev.Win, Target: target.Rank}
+			cur := storedOp{ev: ev, target: target, epoch: a.opEpoch[id]}
+			curSite := sr.siteOf(ev)
+			clock := a.d.ClockRef(id)
+
+			sr.st.Query(key, shadow.Query{Rank: ev.Rank, Seq: id.Seq, Clock: clock},
+				target.Intervals,
+				func(rank, class int32) shadow.Mode {
+					if rank == ev.Rank {
+						// Same-process pairs are the intra-epoch detector's job.
+						return shadow.ModeSkip
+					}
+					if EffectiveCompat(sr.classRep[class], ev) == Both {
+						return shadow.ModeSkip
+					}
+					return shadow.ModeOverlap
+				},
+				func(payload int32) {
+					prev := &sr.ops[payload]
+					iv, _ := target.Overlaps(prev.target)
+					v := &Violation{
+						Severity: a.rmaPairSeverity(prev, &cur),
+						Class:    AcrossProcesses,
+						Rule:     sr.pairRule(prev.ev.Kind, ev.Kind),
+						A:        *prev.ev, B: *ev, Win: ev.Win, Overlap: iv, Region: rg.Index,
+					}
+					presetKey(v, sr.siteOps[sr.opSite[payload]], sr.siteOps[curSite])
+					a.addCross(col, rg, prev.epoch, cur.epoch, v)
+				})
+
+			payload := int32(len(sr.ops))
+			sr.ops = append(sr.ops, cur)
+			sr.opSite = append(sr.opSite, curSite)
+			sr.st.Insert(key, shadow.Access{
+				Payload: payload, Rank: ev.Rank, Class: sr.classOf(ev), Site: curSite,
+				Seq: id.Seq, Clock: clock, Target: target.Intervals,
+			})
+		}
+	}
+	return nil
+}
+
+// checkLocal is checkLocalAgainstVectors over the store: one query per
+// (footprint interval → window) hit, probing with the full footprint —
+// the pairwise scan's conflict test uses the whole footprint too, and
+// its per-interval vector rescans (which multiply dedup counts) are
+// reproduced by issuing one store query per hit.
+func (sr *shadowRegion) checkLocal(rg dag.Region, ev *trace.Event, cls Op,
+	fp model.Footprint, storeRule bool, col *collector) {
+	a := sr.a
+	id := ev.ID()
+	evEpoch := a.opEpoch[id]
+	q := shadow.Query{Rank: ev.Rank, Seq: id.Seq, Clock: a.d.ClockRef(id)}
+	evSite := shadow.SiteID(-1)
+
+	for _, iv := range fp.Intervals {
+		wi, ok := a.m.WindowAt(fp.Rank, iv)
+		if !ok {
+			continue
+		}
+		sr.st.Query(shadow.VectorKey{Win: wi.ID, Target: fp.Rank}, q, fp.Intervals,
+			func(rank, class int32) shadow.Mode {
+				if rank == ev.Rank {
+					return shadow.ModeSkip
+				}
+				opCls, _ := OpOf(sr.classRep[class].Kind)
+				switch Table(opCls, cls) {
+				case Both:
+					return shadow.ModeSkip
+				case Error:
+					// Store vs Put/Acc: erroneous without overlap — but only
+					// for true local stores, not Get origin-buffer writes.
+					if storeRule {
+						return shadow.ModeAll
+					}
+					return shadow.ModeOverlap
+				default: // NonOverlap
+					return shadow.ModeOverlap
+				}
+			},
+			func(payload int32) {
+				op := &sr.ops[payload]
+				overlapIv, _ := fp.Overlaps(op.target)
+				opCls, _ := OpOf(op.ev.Kind)
+				noOverlap := Table(opCls, cls) == Error && overlapIv.Empty()
+				if evSite < 0 {
+					evSite = sr.siteOf(ev)
+				}
+				v := &Violation{
+					Severity: a.localPairSeverity(op),
+					Class:    AcrossProcesses,
+					Rule:     sr.localRule(cls, op.ev.Kind, wi.ID, noOverlap),
+					A:        *op.ev, B: *ev, Win: wi.ID, Overlap: overlapIv, Region: rg.Index,
+				}
+				presetKey(v, sr.siteOps[sr.opSite[payload]], sr.siteOps[evSite])
+				a.addCross(col, rg, op.epoch, evEpoch, v)
+			})
+	}
+}
+
+// detectCrossDifferential runs the pairwise oracle and the shadow engine
+// on private sub-analyzers, fails if their sorted cross-process reports
+// differ in any violation, count, or rendered byte, and merges the
+// shadow result into the main report.
+func (a *Analyzer) detectCrossDifferential() error {
+	a.report.Regions = len(a.d.Regions())
+	run := func(engine Engine) (*Report, error) {
+		opts := a.opts
+		opts.Engine = engine
+		if engine == EnginePairwise {
+			// The oracle run is redundant work; keep it off the causal
+			// timeline so span lanes reflect the production engine only.
+			opts.Trace = nil
+		}
+		sub := NewAnalyzer(a.m, a.d, a.epochs, a.opEpoch, opts)
+		var err error
+		if engine == EnginePairwise {
+			err = sub.detectCrossProcess()
+		} else {
+			err = sub.detectCrossProcessShadow()
+		}
+		if err != nil {
+			return nil, err
+		}
+		sub.report.Sort()
+		return sub.report, nil
+	}
+	pw, err := run(EnginePairwise)
+	if err != nil {
+		return err
+	}
+	sh, err := run(EngineShadow)
+	if err != nil {
+		return err
+	}
+	if err := diffCrossReports(pw, sh); err != nil {
+		return err
+	}
+	for _, v := range sh.Violations {
+		a.report.addCounted(a.vindex, v)
+	}
+	return nil
+}
+
+// diffCrossReports compares two sorted cross-process reports for byte
+// identity: same violations, same dedup counts, same renderings.
+func diffCrossReports(pw, sh *Report) error {
+	if len(pw.Violations) != len(sh.Violations) {
+		return fmt.Errorf("differential engine mismatch: pairwise reports %d violation(s), shadow %d",
+			len(pw.Violations), len(sh.Violations))
+	}
+	for i := range pw.Violations {
+		p, s := pw.Violations[i], sh.Violations[i]
+		if p.key() != s.key() {
+			return fmt.Errorf("differential engine mismatch at violation %d: pairwise key %q, shadow key %q",
+				i, p.key(), s.key())
+		}
+		if p.Count != s.Count {
+			return fmt.Errorf("differential engine mismatch at violation %d (%s): pairwise count %d, shadow count %d",
+				i, p.key(), p.Count, s.Count)
+		}
+		if ps, ss := p.String(), s.String(); ps != ss {
+			return fmt.Errorf("differential engine mismatch at violation %d: renderings differ\npairwise:\n%s\nshadow:\n%s",
+				i, ps, ss)
+		}
+	}
+	return nil
+}

@@ -107,6 +107,28 @@ func (v *Violation) key() string {
 	return v.dedupKey
 }
 
+// presetKey assembles the dedup key from pre-rendered operand strings —
+// byte-identical to what key() would build from the events. The shadow
+// engine renders each access site's operand string once (site-interned in
+// its depot) and presets v.dedupKey at construction, keeping the
+// per-violation cost off the hot path. aOp and bOp are operandString
+// renderings of v.A and v.B with short=false, in either order.
+func presetKey(v *Violation, aOp, bOp string) {
+	if bOp < aOp {
+		aOp, bOp = bOp, aOp
+	}
+	var sb strings.Builder
+	sb.Grow(len(aOp) + len(bOp) + len(v.Rule) + 16)
+	sb.WriteString(aOp)
+	sb.WriteByte('|')
+	sb.WriteString(bOp)
+	sb.WriteByte('|')
+	sb.WriteString(v.Rule)
+	sb.WriteByte('|')
+	sb.WriteString(strconv.FormatInt(int64(v.Win), 10))
+	v.dedupKey = sb.String()
+}
+
 // Signature returns the violation's canonical identity: severity, class,
 // rule, and the sorted pair of conflicting operations (kind, call site,
 // routine), plus whether a window was involved. It deliberately excludes

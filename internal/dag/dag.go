@@ -318,3 +318,15 @@ func (d *DAG) Segments(rank int32) int { return len(d.segs[rank]) }
 func (d *DAG) Clock(id trace.ID) VC {
 	return d.segs[id.Rank][d.segOf[id.Rank][id.Seq]].clone()
 }
+
+// ClockRef returns the vector clock in effect for an event without
+// copying: the clock of the segment the event belongs to. The returned
+// slice is owned by the DAG and must be treated as read-only. This is
+// the clock-edge export the shadow-memory engine builds its
+// concurrent-range searches on; along one rank's program order the
+// returned clocks are elementwise monotone non-decreasing (segments
+// only ever join in more knowledge), which is what makes binary search
+// over per-rank access lists sound. Use Clock for a safe mutable copy.
+func (d *DAG) ClockRef(id trace.ID) VC {
+	return d.segs[id.Rank][d.segOf[id.Rank][id.Seq]]
+}

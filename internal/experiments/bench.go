@@ -47,21 +47,29 @@ func statOf(r testing.BenchmarkResult, events int) BenchStat {
 }
 
 // BenchDecode compares the pooled decode path against the pool disabled.
+// The pool trades allocations for per-op bookkeeping: AllocReductionPct
+// records what it saves, NsPerOpDeltaPct records what it costs (positive
+// = pooled is slower per op) — both are kept so a pool change that wins
+// one axis by regressing the other shows up honestly in the diff.
 type BenchDecode struct {
-	Events           int       `json:"events"`
-	Pooled           BenchStat `json:"pooled"`
-	Unpooled         BenchStat `json:"unpooled"`
-	AllocReductionPct float64  `json:"alloc_reduction_pct"`
+	Events            int       `json:"events"`
+	Pooled            BenchStat `json:"pooled"`
+	Unpooled          BenchStat `json:"unpooled"`
+	AllocReductionPct float64   `json:"alloc_reduction_pct"`
+	NsPerOpDeltaPct   float64   `json:"ns_per_op_delta_pct"`
 }
 
 // BenchAnalyze compares the analyzer at one front-end worker against the
-// machine's width.
+// machine's width. EffectiveWorkers is the worker count the workers_max
+// measurement actually ran with — on a single-CPU machine it is 1 and
+// the speedup column is meaningless, which the field makes visible.
 type BenchAnalyze struct {
-	Events     int       `json:"events"`
-	MaxWorkers int       `json:"max_workers"`
-	Workers1   BenchStat `json:"workers_1"`
-	WorkersMax BenchStat `json:"workers_max"`
-	Speedup    float64   `json:"speedup"`
+	Events           int       `json:"events"`
+	MaxWorkers       int       `json:"max_workers"`
+	EffectiveWorkers int       `json:"effective_workers"`
+	Workers1         BenchStat `json:"workers_1"`
+	WorkersMax       BenchStat `json:"workers_max"`
+	Speedup          float64   `json:"speedup"`
 }
 
 // BenchPhase is one pipeline phase's share of an instrumented analysis.
@@ -80,9 +88,25 @@ type BenchCross struct {
 	Speedup   float64   `json:"speedup"`
 }
 
+// BenchShadow compares the shadow cross-process engine against the
+// pairwise reference on an amplified multi-origin region — the shape
+// where the pairwise per-vector scan is O(ops²). Agreement records that
+// the differential engine verified byte-identical reports on the same
+// trace before either engine was timed.
+type BenchShadow struct {
+	Ops       int       `json:"ops"`
+	Ranks     int       `json:"ranks"`
+	Events    int       `json:"events"`
+	Pairwise  BenchStat `json:"pairwise"`
+	Shadow    BenchStat `json:"shadow"`
+	Speedup   float64   `json:"speedup"`
+	Agreement bool      `json:"agreement"`
+}
+
 // BenchResult is the schema of BENCH.json.
 type BenchResult struct {
 	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
 	Amplify    int    `json:"amplify"`
 	BenchTime  string `json:"benchtime,omitempty"`
 
@@ -91,6 +115,7 @@ type BenchResult struct {
 	Analyze   BenchAnalyze `json:"analyze"`
 	Phases    []BenchPhase `json:"phases"`
 	Cross     BenchCross   `json:"cross_process"`
+	Shadow    BenchShadow  `json:"shadow_vs_pairwise"`
 }
 
 // BenchConfig parameterizes the harness.
@@ -104,6 +129,10 @@ type BenchConfig struct {
 	// CrossOps sizes the synthetic region of the linear-vs-quadratic
 	// comparison (the quadratic baseline is O(ops²)).
 	CrossOps int
+	// ShadowOps sizes the amplified multi-origin region of the
+	// shadow-vs-pairwise comparison (the pairwise engine's per-vector
+	// scan is O(ops²) there). Default 4096.
+	ShadowOps int
 	// Trace, when non-nil, records the instrumented phase pass (the one
 	// benchPhases reads the span registry from) as a causal timeline with
 	// per-worker lanes.
@@ -120,6 +149,17 @@ func Bench(cfg BenchConfig) (*BenchResult, error) {
 	}
 	if cfg.CrossOps < 1 {
 		cfg.CrossOps = 1024
+	}
+	if cfg.ShadowOps < 1 {
+		cfg.ShadowOps = 4096
+	}
+	// Use the machine's full width: a harness invoked with a restricted
+	// GOMAXPROCS (or from an environment that pinned it to 1) would
+	// otherwise record a meaningless 1.00x analyze "speedup". Restore on
+	// return so the caller's setting survives.
+	if prev := runtime.GOMAXPROCS(0); prev < runtime.NumCPU() {
+		runtime.GOMAXPROCS(runtime.NumCPU())
+		defer runtime.GOMAXPROCS(prev)
 	}
 	benchInit.Do(testing.Init)
 	if cfg.BenchTime != "" {
@@ -139,6 +179,7 @@ func Bench(cfg BenchConfig) (*BenchResult, error) {
 
 	res := &BenchResult{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Amplify:    cfg.Amplify,
 		BenchTime:  cfg.BenchTime,
 	}
@@ -155,6 +196,9 @@ func Bench(cfg BenchConfig) (*BenchResult, error) {
 	}
 	res.Phases = phases
 	if err := benchCross(cfg.CrossOps, &res.Cross); err != nil {
+		return nil, err
+	}
+	if err := benchShadow(cfg.ShadowOps, &res.Shadow); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -233,6 +277,9 @@ func benchDecode(sets []*trace.Set, events int, out *BenchDecode) error {
 	if out.Unpooled.AllocsPerOp > 0 {
 		out.AllocReductionPct = (1 - float64(out.Pooled.AllocsPerOp)/float64(out.Unpooled.AllocsPerOp)) * 100
 	}
+	if out.Unpooled.NsPerOp > 0 {
+		out.NsPerOpDeltaPct = (out.Pooled.NsPerOp - out.Unpooled.NsPerOp) / out.Unpooled.NsPerOp * 100
+	}
 	return nil
 }
 
@@ -286,6 +333,12 @@ func benchAnalyze(sets []*trace.Set, events int, out *BenchAnalyze) error {
 
 	out.Events = events
 	out.MaxWorkers = max
+	// The pool can be configured wider than the machine; the schedulable
+	// parallelism is what the speedup column should be read against.
+	out.EffectiveWorkers = max
+	if n := runtime.NumCPU(); out.EffectiveWorkers > n {
+		out.EffectiveWorkers = n
+	}
 	out.Workers1 = statOf(w1, events)
 	out.WorkersMax = statOf(wm, events)
 	if out.WorkersMax.NsPerOp > 0 {
@@ -324,13 +377,15 @@ func benchPhases(sets []*trace.Set, tr *tracing.Recorder) ([]BenchPhase, error) 
 }
 
 // benchCross times the linear cross-process detector against the
-// quadratic baseline on one synthetic concurrent region.
+// quadratic baseline on one synthetic concurrent region. The engine is
+// pinned to pairwise so this section keeps measuring the original linear
+// detector; the shadow engine has its own section.
 func benchCross(ops int, out *BenchCross) error {
 	set := SyntheticRegion(16, ops)
 	linear := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := core.AnalyzeWith(set, core.Options{CrossProcess: true}); err != nil {
+			if _, err := core.AnalyzeWith(set, core.Options{CrossProcess: true, Engine: core.EnginePairwise}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -348,6 +403,44 @@ func benchCross(ops int, out *BenchCross) error {
 	out.Quadratic = statOf(quadratic, set.TotalEvents())
 	if out.Linear.NsPerOp > 0 {
 		out.Speedup = out.Quadratic.NsPerOp / out.Linear.NsPerOp
+	}
+	return nil
+}
+
+// benchShadow times the shadow engine against the pairwise reference on
+// the multi-origin region where every operation shares one (window,
+// target) vector. The differential engine runs once first: if the two
+// engines' reports are not byte-identical on this trace the harness fails
+// instead of publishing a speedup for a detector that disagrees with its
+// reference.
+func benchShadow(ops int, out *BenchShadow) error {
+	const ranks = 8
+	set := ShadowSyntheticRegion(ranks, ops)
+	if _, err := core.AnalyzeWith(set, core.Options{CrossProcess: true, Engine: core.EngineDifferential}); err != nil {
+		return fmt.Errorf("bench: shadow/pairwise disagreement: %w", err)
+	}
+	out.Agreement = true
+
+	run := func(engine core.Engine) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AnalyzeWith(set, core.Options{CrossProcess: true, Engine: engine}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	shadow := run(core.EngineShadow)
+	pairwise := run(core.EnginePairwise)
+
+	out.Ops = ops
+	out.Ranks = ranks
+	out.Events = set.TotalEvents()
+	out.Shadow = statOf(shadow, set.TotalEvents())
+	out.Pairwise = statOf(pairwise, set.TotalEvents())
+	if out.Shadow.NsPerOp > 0 {
+		out.Speedup = out.Pairwise.NsPerOp / out.Shadow.NsPerOp
 	}
 	return nil
 }

@@ -131,3 +131,20 @@ func TestSyntheticRegion(t *testing.T) {
 		t.Errorf("synthetic region should contain exactly the planted conflict, got:\n%s", rep)
 	}
 }
+
+// TestBenchShadowAgreement runs the shadow-vs-pairwise benchmark's
+// differential gate on its worst-case multi-origin region (sized down —
+// the gate, not the timing, is what CI needs).
+func TestBenchShadowAgreement(t *testing.T) {
+	set := ShadowSyntheticRegion(8, 512)
+	if set.Ranks() != 8 {
+		t.Fatalf("ranks = %d", set.Ranks())
+	}
+	rep, err := core.AnalyzeWith(set, core.Options{CrossProcess: true, Engine: core.EngineDifferential})
+	if err != nil {
+		t.Fatalf("shadow/pairwise disagreement: %v", err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Error("multi-origin region should report its planted conflict")
+	}
+}

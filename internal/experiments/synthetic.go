@@ -67,3 +67,61 @@ func SyntheticRegion(ranks, ops int) *trace.Set {
 	}
 	return b.Set()
 }
+
+// ShadowSyntheticRegion builds the worst case for the pairwise detector:
+// every rank except rank 0 puts to rank 0's window, so all operations land
+// in ONE (window, target) vector and the per-vector rescan degenerates to
+// O(ops^2) comparisons. Each origin writes its own disjoint stripe under a
+// shared-lock epoch, so the operations are mutually concurrent but the
+// shadow engine's interval cells stay disjoint and each query touches only
+// its own stripe. A handful of planted overlaps at the tail of the window
+// keep both engines emitting, so differential agreement is checkable on
+// the same workload that is benchmarked.
+func ShadowSyntheticRegion(ranks, ops int) *trace.Set {
+	if ranks < 3 {
+		ranks = 3
+	}
+	origins := ranks - 1
+	perRank := ops / origins
+	if perRank < 1 {
+		perRank = 1
+	}
+	b := testutil.NewTraceBuilder(ranks)
+	winSize := uint64(origins*perRank*8 + 64)
+	b.WinCreate(1, 0x10000, winSize)
+
+	line := int32(1)
+	for r := int32(1); r < int32(ranks); r++ {
+		b.Add(r, trace.Event{Kind: trace.KindWinLock, Win: 1, Target: 0,
+			Lock: trace.LockShared, File: "synth.go", Line: line})
+		line++
+		for k := 0; k < perRank; k++ {
+			disp := uint64(r-1)*uint64(perRank)*8 + uint64(k)*8
+			b.Add(r, trace.Event{
+				Kind: trace.KindPut, Win: 1, Target: 0,
+				OriginAddr: 0x500 + uint64(k)*8, OriginType: trace.TypeFloat64, OriginCount: 1,
+				TargetDisp: disp, TargetType: trace.TypeFloat64, TargetCount: 1,
+				File: "synth.go", Line: line,
+			})
+			line++
+		}
+		b.Add(r, trace.Event{Kind: trace.KindWinUnlock, Win: 1, Target: 0,
+			File: "synth.go", Line: line})
+		line++
+	}
+	// Planted conflicts: ranks 1 and 2 both put the last word of the window.
+	for _, r := range []int32{1, 2} {
+		b.Add(r, trace.Event{Kind: trace.KindWinLock, Win: 1, Target: 0,
+			Lock: trace.LockShared, File: "synth.go", Line: line})
+		b.Add(r, trace.Event{
+			Kind: trace.KindPut, Win: 1, Target: 0,
+			OriginAddr: 0x400, OriginType: trace.TypeFloat64, OriginCount: 1,
+			TargetDisp: winSize - 8, TargetType: trace.TypeFloat64, TargetCount: 1,
+			File: "synth.go", Line: line + 1,
+		})
+		b.Add(r, trace.Event{Kind: trace.KindWinUnlock, Win: 1, Target: 0,
+			File: "synth.go", Line: line + 2})
+		line += 3
+	}
+	return b.Set()
+}

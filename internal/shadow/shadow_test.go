@@ -1,0 +1,335 @@
+package shadow
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/memory"
+)
+
+// clock builds a vector clock literal.
+func clock(vs ...int64) []int64 { return vs }
+
+func collectQuery(st *Store, key VectorKey, q Query, fp []memory.Interval, mode Mode,
+	modes map[int32]Mode) []int32 {
+	var got []int32
+	st.Query(key, q, fp, func(rank, class int32) Mode {
+		if modes != nil {
+			if m, ok := modes[rank]; ok {
+				return m
+			}
+		}
+		if rank == q.Rank {
+			return ModeSkip
+		}
+		return mode
+	}, func(p int32) { got = append(got, p) })
+	return got
+}
+
+func TestDepotInternDense(t *testing.T) {
+	d := NewDepot()
+	a, fresh := d.Intern(1, "f.go", 10, "fn")
+	if !fresh || a != 0 {
+		t.Fatalf("first intern: id=%d fresh=%v", a, fresh)
+	}
+	b, fresh := d.Intern(1, "f.go", 10, "fn")
+	if fresh || b != a {
+		t.Fatalf("re-intern: id=%d fresh=%v", b, fresh)
+	}
+	c, fresh := d.Intern(2, "f.go", 10, "fn")
+	if !fresh || c != 1 {
+		t.Fatalf("distinct kind: id=%d fresh=%v", c, fresh)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len=%d", d.Len())
+	}
+}
+
+// Two accesses from different ranks, concurrent, overlapping: the query
+// sees the stored one through a cell.
+func TestQueryOverlapBasic(t *testing.T) {
+	st := NewStore(nil)
+	key := VectorKey{Win: 1, Target: 2}
+	st.Insert(key, Access{Payload: 7, Rank: 0, Class: 0, Seq: 5,
+		Clock: clock(-1, -1, -1), Target: []memory.Interval{{Lo: 100, Hi: 200}}})
+
+	q := Query{Rank: 1, Seq: 3, Clock: clock(-1, -1, -1)}
+	got := collectQuery(st, key, q, []memory.Interval{{Lo: 150, Hi: 160}}, ModeOverlap, nil)
+	if !reflect.DeepEqual(got, []int32{7}) {
+		t.Fatalf("got %v", got)
+	}
+	// Disjoint probe: no match.
+	if got := collectQuery(st, key, q, []memory.Interval{{Lo: 300, Hi: 310}}, ModeOverlap, nil); got != nil {
+		t.Fatalf("disjoint probe matched %v", got)
+	}
+	// Unknown vector: no match.
+	if got := collectQuery(st, VectorKey{Win: 9, Target: 2}, q, []memory.Interval{{Lo: 150, Hi: 160}}, ModeOverlap, nil); got != nil {
+		t.Fatalf("unknown vector matched %v", got)
+	}
+}
+
+// Happens-before in either direction suppresses the match.
+func TestQueryHappensBeforeSuppresses(t *testing.T) {
+	st := NewStore(nil)
+	key := VectorKey{Win: 1, Target: 2}
+	st.Insert(key, Access{Payload: 1, Rank: 0, Class: 0, Seq: 5,
+		Clock: clock(-1, -1, -1), Target: []memory.Interval{{Lo: 0, Hi: 64}}})
+
+	fp := []memory.Interval{{Lo: 0, Hi: 64}}
+	// Query knows rank 0 up to seq 5: stored op happens-before the query.
+	q := Query{Rank: 1, Seq: 9, Clock: clock(5, -1, -1)}
+	if got := collectQuery(st, key, q, fp, ModeOverlap, nil); got != nil {
+		t.Fatalf("stored-before-query matched %v", got)
+	}
+	// Stored op knows the query's rank up to seq 9: query happens-before
+	// stored is impossible, but simulate the reverse edge by inserting an
+	// op whose clock covers the query.
+	st.Insert(key, Access{Payload: 2, Rank: 2, Class: 0, Seq: 1,
+		Clock: clock(-1, 9, -1), Target: []memory.Interval{{Lo: 0, Hi: 64}}})
+	q2 := Query{Rank: 1, Seq: 9, Clock: clock(5, -1, -1)}
+	if got := collectQuery(st, key, q2, fp, ModeOverlap, nil); got != nil {
+		t.Fatalf("query-before-stored matched %v", got)
+	}
+	// A genuinely concurrent query sees only the concurrent member.
+	q3 := Query{Rank: 1, Seq: 20, Clock: clock(5, -1, -1)}
+	got := collectQuery(st, key, q3, fp, ModeOverlap, nil)
+	if !reflect.DeepEqual(got, []int32{2}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// ModeAll matches concurrent members regardless of byte overlap,
+// including members with empty footprints; ModeSkip matches nothing.
+func TestQueryModeAllAndSkip(t *testing.T) {
+	st := NewStore(nil)
+	key := VectorKey{Win: 3, Target: 0}
+	st.Insert(key, Access{Payload: 10, Rank: 1, Class: 0, Seq: 2,
+		Clock: clock(-1, -1), Target: []memory.Interval{{Lo: 0, Hi: 8}}})
+	st.Insert(key, Access{Payload: 11, Rank: 1, Class: 0, Seq: 4,
+		Clock: clock(-1, -1), Target: nil}) // no footprint at all
+
+	q := Query{Rank: 0, Seq: 1, Clock: clock(-1, -1)}
+	probe := []memory.Interval{{Lo: 1000, Hi: 1008}} // overlaps nothing
+	got := collectQuery(st, key, q, probe, ModeAll, nil)
+	if !reflect.DeepEqual(got, []int32{10, 11}) {
+		t.Fatalf("ModeAll got %v", got)
+	}
+	if got := collectQuery(st, key, q, probe, ModeSkip, nil); got != nil {
+		t.Fatalf("ModeSkip matched %v", got)
+	}
+}
+
+// A member spanning several cells is emitted once per query, and matches
+// arrive in insertion order even when cells are visited out of order.
+func TestQueryDedupAcrossCellsAndOrder(t *testing.T) {
+	st := NewStore(nil)
+	key := VectorKey{Win: 1, Target: 0}
+	// Member A covers [0,100); B covers [50,150) — splits A's cell.
+	st.Insert(key, Access{Payload: 0, Rank: 1, Class: 0, Seq: 1,
+		Clock: clock(-1, -1), Target: []memory.Interval{{Lo: 0, Hi: 100}}})
+	st.Insert(key, Access{Payload: 1, Rank: 2, Class: 0, Seq: 1,
+		Clock: clock(-1, -1), Target: []memory.Interval{{Lo: 50, Hi: 150}}})
+	if c := st.Cells(key); c != 3 {
+		t.Fatalf("cells=%d, want 3 ([0,50) [50,100) [100,150))", c)
+	}
+
+	q := Query{Rank: 0, Seq: 1, Clock: clock(-1, -1, -1)}
+	// The probe touches both of A's cells and both of B's.
+	got := collectQuery(st, key, q, []memory.Interval{{Lo: 0, Hi: 150}}, ModeOverlap, nil)
+	if !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Fatalf("got %v, want each member once in insertion order", got)
+	}
+	// Probe with two intervals hitting the same member twice: still once.
+	got = collectQuery(st, key, q,
+		[]memory.Interval{{Lo: 120, Hi: 130}, {Lo: 60, Hi: 70}}, ModeOverlap, nil)
+	if !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Fatalf("two-interval probe got %v", got)
+	}
+}
+
+// The solo→list spill: the second same-(rank,class) member on the same
+// bytes grows the inlined entry, and both match.
+func TestCellGroupSpill(t *testing.T) {
+	st := NewStore(nil)
+	key := VectorKey{Win: 1, Target: 0}
+	for i := int32(0); i < 3; i++ {
+		st.Insert(key, Access{Payload: i, Rank: 1, Class: 0, Seq: int64(i),
+			Clock: clock(-1, -1), Target: []memory.Interval{{Lo: 0, Hi: 8}}})
+	}
+	if c := st.Cells(key); c != 1 {
+		t.Fatalf("cells=%d, want 1", c)
+	}
+	if g := st.Groups(key); g != 1 {
+		t.Fatalf("groups=%d, want 1", g)
+	}
+	q := Query{Rank: 0, Seq: 100, Clock: clock(-1, -1)}
+	got := collectQuery(st, key, q, []memory.Interval{{Lo: 0, Hi: 8}}, ModeOverlap, nil)
+	if !reflect.DeepEqual(got, []int32{0, 1, 2}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+// After a split, appending to one half must not clobber the other
+// (the cloneEntries capacity cap).
+func TestCellSplitAliasing(t *testing.T) {
+	st := NewStore(nil)
+	key := VectorKey{Win: 1, Target: 0}
+	// Two members of one group share a cell → spilled idxs slice.
+	st.Insert(key, Access{Payload: 0, Rank: 1, Class: 0, Seq: 0,
+		Clock: clock(-1, -1, -1, -1), Target: []memory.Interval{{Lo: 0, Hi: 100}}})
+	st.Insert(key, Access{Payload: 1, Rank: 1, Class: 0, Seq: 1,
+		Clock: clock(-1, -1, -1, -1), Target: []memory.Interval{{Lo: 0, Hi: 100}}})
+	// Split the cell at 50, then add a member to the RIGHT half only.
+	st.Insert(key, Access{Payload: 2, Rank: 2, Class: 0, Seq: 0,
+		Clock: clock(-1, -1, -1, -1), Target: []memory.Interval{{Lo: 50, Hi: 100}}})
+	// And one more of group (1,0) to the right half: if the split aliased
+	// the idxs slices, this append would corrupt the left half's list.
+	st.Insert(key, Access{Payload: 3, Rank: 1, Class: 0, Seq: 2,
+		Clock: clock(-1, -1, -1, -1), Target: []memory.Interval{{Lo: 50, Hi: 100}}})
+
+	q := Query{Rank: 3, Seq: 0, Clock: clock(-1, -1, -1, -1)}
+	left := collectQuery(st, key, q, []memory.Interval{{Lo: 0, Hi: 50}}, ModeOverlap, nil)
+	if !reflect.DeepEqual(left, []int32{0, 1}) {
+		t.Fatalf("left half got %v, want [0 1]", left)
+	}
+	right := collectQuery(st, key, q, []memory.Interval{{Lo: 50, Hi: 100}}, ModeOverlap, nil)
+	if !reflect.DeepEqual(right, []int32{0, 1, 2, 3}) {
+		t.Fatalf("right half got %v", right)
+	}
+}
+
+// concurrentRange against a brute-force reference over random-ish
+// monotone clock histories.
+func TestConcurrentRangeMatchesBruteForce(t *testing.T) {
+	st := NewStore(nil)
+	key := VectorKey{Win: 1, Target: 0}
+	// Rank 1's history: clocks (knowledge of rank 0) only grow.
+	type m struct {
+		seq   int64
+		knows int64 // clock[0]
+	}
+	hist := []m{{0, -1}, {2, -1}, {4, 3}, {6, 3}, {8, 7}, {10, 12}}
+	for i, h := range hist {
+		st.Insert(key, Access{Payload: int32(i), Rank: 1, Class: 0, Seq: h.seq,
+			Clock: clock(h.knows, -1), Target: []memory.Interval{{Lo: 0, Hi: 8}}})
+	}
+	for _, q := range []Query{
+		{Rank: 0, Seq: 0, Clock: clock(-1, -1)},
+		{Rank: 0, Seq: 5, Clock: clock(-1, 2)},
+		{Rank: 0, Seq: 8, Clock: clock(-1, 6)},
+		{Rank: 0, Seq: 13, Clock: clock(-1, 10)},
+		{Rank: 0, Seq: 4, Clock: clock(-1, 11)},
+	} {
+		var want []int32
+		for i, h := range hist {
+			storedBeforeQ := q.Clock[1] >= h.seq
+			qBeforeStored := h.knows >= q.Seq
+			if !storedBeforeQ && !qBeforeStored {
+				want = append(want, int32(i))
+			}
+		}
+		got := collectQuery(st, key, q, []memory.Interval{{Lo: 0, Hi: 8}}, ModeOverlap, nil)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %+v: got %v want %v", q, got, want)
+		}
+	}
+}
+
+// Gap-filling and boundary splits keep cells sorted, disjoint, and
+// covering exactly the inserted footprints.
+func TestCoverInvariants(t *testing.T) {
+	st := NewStore(nil)
+	key := VectorKey{Win: 1, Target: 0}
+	ivs := [][]memory.Interval{
+		{{Lo: 40, Hi: 60}},
+		{{Lo: 10, Hi: 20}, {Lo: 80, Hi: 90}},
+		{{Lo: 0, Hi: 100}},
+		{{Lo: 55, Hi: 85}},
+		{{Lo: 20, Hi: 40}},
+	}
+	for i, fp := range ivs {
+		st.Insert(key, Access{Payload: int32(i), Rank: int32(i % 3), Class: 0,
+			Seq: int64(i), Clock: clock(-1, -1, -1), Target: fp})
+	}
+	v := st.vectors[key]
+	for i := range v.cells {
+		if v.cells[i].lo >= v.cells[i].hi {
+			t.Fatalf("cell %d empty: [%d,%d)", i, v.cells[i].lo, v.cells[i].hi)
+		}
+		if i > 0 && v.cells[i-1].hi > v.cells[i].lo {
+			t.Fatalf("cells %d,%d overlap or unsorted", i-1, i)
+		}
+	}
+	// Every member's footprint is exactly tiled by the cells that hold it.
+	for id := int32(0); id < int32(len(ivs)); id++ {
+		var covered []memory.Interval
+		for i := range v.cells {
+			c := &v.cells[i]
+			for j := range c.entries {
+				cg := &c.entries[j]
+				for k := 0; k < cg.size(); k++ {
+					if cg.at(k) == id {
+						covered = append(covered, memory.Interval{Lo: c.lo, Hi: c.hi})
+					}
+				}
+			}
+		}
+		sort.Slice(covered, func(i, j int) bool { return covered[i].Lo < covered[j].Lo })
+		var want uint64
+		for _, iv := range ivs[id] {
+			want += iv.Hi - iv.Lo
+		}
+		var got uint64
+		for _, iv := range covered {
+			got += iv.Hi - iv.Lo
+		}
+		if got != want {
+			t.Fatalf("member %d covered %d bytes, footprint has %d", id, got, want)
+		}
+		for _, cv := range covered {
+			inside := false
+			for _, iv := range ivs[id] {
+				if cv.Lo >= iv.Lo && cv.Hi <= iv.Hi {
+					inside = true
+					break
+				}
+			}
+			if !inside {
+				t.Fatalf("member %d covered by cell %v outside its footprint %v", id, cv, ivs[id])
+			}
+		}
+	}
+	if st.Members() != len(ivs) {
+		t.Fatalf("Members=%d", st.Members())
+	}
+}
+
+// classify must be called at most once per group per query even when the
+// group appears in many probed cells.
+func TestClassifyOncePerGroup(t *testing.T) {
+	st := NewStore(nil)
+	key := VectorKey{Win: 1, Target: 0}
+	// One group spread over several cells.
+	st.Insert(key, Access{Payload: 0, Rank: 1, Class: 0, Seq: 0,
+		Clock: clock(-1, -1), Target: []memory.Interval{{Lo: 0, Hi: 30}}})
+	st.Insert(key, Access{Payload: 1, Rank: 1, Class: 0, Seq: 1,
+		Clock: clock(-1, -1), Target: []memory.Interval{{Lo: 20, Hi: 60}}})
+	calls := 0
+	st.Query(key, Query{Rank: 0, Seq: 5, Clock: clock(-1, -1)},
+		[]memory.Interval{{Lo: 0, Hi: 60}},
+		func(rank, class int32) Mode { calls++; return ModeOverlap },
+		func(int32) {})
+	if calls != 1 {
+		t.Fatalf("classify called %d times, want 1", calls)
+	}
+	// A second query re-classifies (fresh qstamp).
+	st.Query(key, Query{Rank: 0, Seq: 6, Clock: clock(-1, -1)},
+		[]memory.Interval{{Lo: 0, Hi: 60}},
+		func(rank, class int32) Mode { calls++; return ModeOverlap },
+		func(int32) {})
+	if calls != 2 {
+		t.Fatalf("classify called %d times across two queries, want 2", calls)
+	}
+}
